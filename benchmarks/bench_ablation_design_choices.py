@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Three ablations, each exercised on one simulated CCSD trace at a moderate
+capacity:
+
+* **minimum-idle pre-filter** — the paper's dynamic selection first keeps the
+  candidates inducing minimal idle time on the processor, then applies the
+  criterion.  The ablation applies the criterion directly to every fitting
+  task.
+* **dynamic correction** — OOSIM (pure static Johnson order) versus its
+  corrected variants (Section 4.3), quantifying what the corrections buy.
+* **batch size** — Section 6.3 uses batches of 100 tasks; the sweep measures
+  how smaller scheduling windows degrade the achievable overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chemistry import ccsd_ensemble
+from repro.core import omim
+from repro.heuristics import get_heuristic
+from repro.simulator import (
+    CriterionPolicy,
+    execute_in_batches,
+    execute_with_policy,
+    largest_communication,
+)
+from repro.viz import render_series_table
+
+
+@pytest.fixture(scope="module")
+def ccsd_instance(config):
+    trace = ccsd_ensemble(processes=config.processes, traces=1, seed=config.seed)[0]
+    return trace.to_instance_with_factor(1.5)
+
+
+class _UnfilteredPolicy(CriterionPolicy):
+    """LCMR without the minimum-idle pre-filter (pure criterion selection)."""
+
+    def select(self, candidates, state):  # type: ignore[override]
+        return min(candidates, key=self.criterion)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_minimum_idle_filter(benchmark, ccsd_instance):
+    def run():
+        filtered = execute_with_policy(ccsd_instance, CriterionPolicy(largest_communication))
+        unfiltered = execute_with_policy(ccsd_instance, _UnfilteredPolicy(largest_communication))
+        return filtered.makespan, unfiltered.makespan
+
+    filtered, unfiltered = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = omim(ccsd_instance)
+    print(
+        "\nminimum-idle filter ablation (LCMR, CCSD, 1.5 mc): "
+        f"with filter {filtered / reference:.4f}, without {unfiltered / reference:.4f} (ratio to OMIM)"
+    )
+    # The ablation is a measurement, not a correctness property: report both
+    # ratios and only check that the schedules respect the OMIM lower bound.
+    assert filtered >= reference - 1e-9
+    assert unfiltered >= reference - 1e-9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_dynamic_corrections(benchmark, ccsd_instance):
+    def run():
+        return {
+            name: get_heuristic(name).schedule(ccsd_instance).makespan
+            for name in ("OOSIM", "OOLCMR", "OOSCMR", "OOMAMR")
+        }
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = omim(ccsd_instance)
+    ratios = {name: value / reference for name, value in makespans.items()}
+    print("\ndynamic-correction ablation (CCSD, 1.5 mc):", {k: round(v, 4) for k, v in ratios.items()})
+    # At least one corrected variant improves on the uncorrected Johnson order.
+    assert min(ratios["OOLCMR"], ratios["OOSCMR"], ratios["OOMAMR"]) <= ratios["OOSIM"] + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_size(benchmark, ccsd_instance):
+    heuristic = get_heuristic("OOLCMR")
+    sizes = (25, 50, 100, 200)
+
+    def run():
+        return {
+            size: execute_in_batches(ccsd_instance, heuristic.schedule, batch_size=size).makespan
+            for size in sizes
+        }
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = omim(ccsd_instance)
+    series = {"OOLCMR": [(float(size), makespans[size] / reference) for size in sizes]}
+    print()
+    print(
+        render_series_table(
+            series,
+            title="batch-size ablation (CCSD, 1.5 mc)",
+            x_label="batch size",
+            y_label="ratio to OMIM",
+        )
+    )
+    # Every batched run stays above the OMIM lower bound; the full-window run
+    # is recorded for EXPERIMENTS.md (batching generally costs a few percent).
+    assert all(value >= reference - 1e-9 for value in makespans.values())

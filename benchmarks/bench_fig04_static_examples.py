@@ -1,0 +1,18 @@
+"""Figure 4 — static-order heuristic schedules on the Table 3 task set."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure04_static_examples
+
+
+@pytest.mark.benchmark(group="figure04")
+def test_figure04_static_examples(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure04_static_examples(cfg), config)
+    assert result.data["makespans"] == {
+        "OOSIM": 15.0,
+        "IOCMS": 16.0,
+        "DOCPS": 14.0,
+        "IOCCS": 16.0,
+        "DOCCS": 17.0,
+    }

@@ -1,0 +1,12 @@
+"""Figure 5 — dynamic heuristic schedules on the Table 4 task set."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure05_dynamic_examples
+
+
+@pytest.mark.benchmark(group="figure05")
+def test_figure05_dynamic_examples(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure05_dynamic_examples(cfg), config)
+    assert result.data["makespans"] == {"LCMR": 23.0, "SCMR": 25.0, "MAMR": 24.0}

@@ -1,0 +1,12 @@
+"""Figure 6 — static-order-with-dynamic-corrections schedules on the Table 5 task set."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure06_corrected_examples
+
+
+@pytest.mark.benchmark(group="figure06")
+def test_figure06_corrected_examples(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure06_corrected_examples(cfg), config)
+    assert result.data["makespans"] == {"OOLCMR": 33.0, "OOSCMR": 35.0, "OOMAMR": 33.0}

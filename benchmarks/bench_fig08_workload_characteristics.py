@@ -1,0 +1,18 @@
+"""Figure 8 — HF and CCSD workload characteristics (ratios to OMIM)."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure08_workload_characteristics
+
+
+@pytest.mark.benchmark(group="figure08")
+def test_figure08_workload_characteristics(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure08_workload_characteristics(cfg), config)
+    hf, ccsd = result.data["HF"], result.data["CCSD"]
+    # HF is communication dominated (~20% possible overlap), CCSD is balanced
+    # (~40-50%); CCSD's minimum capacity dwarfs HF's (1.8 GB vs 176 KB).
+    assert hf["overlap"].median < 0.35
+    assert ccsd["overlap"].median > hf["overlap"].median
+    assert hf["mc"].median < 1e6 < ccsd["mc"].median
+    assert hf["groups"]["sum comm"].median > hf["groups"]["sum comp"].median

@@ -1,0 +1,21 @@
+"""Figure 9 — all heuristics on the HF traces across capacities mc..2mc."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure09_hf_heuristics
+from repro.experiments.aggregate import summaries_by_capacity
+
+
+@pytest.mark.benchmark(group="figure09")
+def test_figure09_hf_heuristics(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure09_hf_heuristics(cfg), config)
+    summaries = summaries_by_capacity(result.records)
+    tight = summaries[min(summaries)]
+    relaxed = summaries[max(summaries)]
+    # HF ratios stay modest (the paper reports at most ~1.12) and improve as
+    # the capacity grows towards 2 mc.
+    assert all(summary.median < 1.25 for summary in tight.values())
+    assert min(s.median for s in relaxed.values()) <= min(s.median for s in tight.values()) + 1e-9
+    # Every heuristic respects the OMIM lower bound.
+    assert all(record.ratio_to_optimal >= 1.0 - 1e-9 for record in result.records)

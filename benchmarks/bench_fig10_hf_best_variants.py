@@ -1,0 +1,18 @@
+"""Figure 10 — best variant of each heuristic category on the HF traces."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import best_variant_series, figure10_hf_best_variants
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_hf_best_variants(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure10_hf_best_variants(cfg), config)
+    series = best_variant_series(result.records)
+    assert set(series) == {"submission", "static", "dynamic", "corrected"}
+    for category, points in series.items():
+        first, last = points[0][1], points[-1][1]
+        # Medians improve (or stay flat) from mc to 2 mc for every category.
+        assert last <= first + 1e-6, category
+        assert all(value >= 1.0 - 1e-9 for _, value in points)

@@ -1,0 +1,20 @@
+"""Figure 11 — all heuristics on the CCSD traces across capacities mc..2mc."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import figure11_ccsd_heuristics
+from repro.experiments.aggregate import summaries_by_capacity
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_ccsd_heuristics(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: figure11_ccsd_heuristics(cfg), config)
+    summaries = summaries_by_capacity(result.records)
+    tight = summaries[min(summaries)]
+    relaxed = summaries[max(summaries)]
+    # CCSD is far more sensitive to the memory capacity than HF: at mc the
+    # ratios are well above 1.1 and they shrink substantially by 2 mc.
+    assert max(summary.median for summary in tight.values()) > 1.10
+    assert min(s.median for s in relaxed.values()) < min(s.median for s in tight.values())
+    assert all(record.ratio_to_optimal >= 1.0 - 1e-9 for record in result.records)

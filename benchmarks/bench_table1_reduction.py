@@ -1,0 +1,52 @@
+"""Table 1 / Theorem 2 — the 3-Partition reduction round trip.
+
+Regenerates the NP-completeness construction: reduce a 3-Partition instance to
+Problem DT, build the block schedule of Figure 2 from a partition, check it is
+feasible with makespan exactly L, and recover the partition back from the
+schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import validate_schedule
+from repro.flowshop import (
+    ThreePartitionInstance,
+    partition_from_schedule,
+    reduce_three_partition,
+    schedule_from_partition,
+    solve_three_partition,
+)
+
+
+def _random_yes_instance(rng: np.random.Generator, m: int = 5) -> ThreePartitionInstance:
+    """Build a 3-Partition yes-instance by sampling m triplets with equal sums."""
+    b = 60
+    values = []
+    for _ in range(m):
+        a = int(rng.integers(10, 30))
+        c = int(rng.integers(10, min(45, b - a - 5)))
+        values.extend([a, c, b - a - c])
+    order = rng.permutation(len(values))
+    return ThreePartitionInstance(tuple(int(values[i]) for i in order))
+
+
+def _round_trip(m: int) -> float:
+    rng = np.random.default_rng(42 + m)
+    source = _random_yes_instance(rng, m=m)
+    reduction = reduce_three_partition(source)
+    triplets = solve_three_partition(source)
+    assert triplets is not None, "generated instance should be a yes-instance"
+    schedule = schedule_from_partition(reduction, triplets)
+    assert validate_schedule(schedule, reduction.instance).is_feasible
+    assert schedule.makespan == pytest.approx(reduction.target_makespan)
+    recovered = partition_from_schedule(reduction, schedule)
+    assert len(recovered) == source.m
+    return schedule.makespan
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("m", [3, 5, 8])
+def test_table1_reduction_round_trip(benchmark, m):
+    makespan = benchmark.pedantic(_round_trip, args=(m,), rounds=1, iterations=1)
+    print(f"\nTable 1 reduction, m={m}: target makespan reached = {makespan:g}")

@@ -1,0 +1,13 @@
+"""Table 2 / Proposition 1 / Figure 3 — same-order vs free-order optima."""
+
+import pytest
+
+from conftest import run_figure
+from repro.experiments import table02_proposition1
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_proposition1(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: table02_proposition1(cfg), config)
+    assert result.data["free_makespan"] < result.data["permutation_makespan"]
+    assert result.data["free_makespan"] == pytest.approx(22.0)

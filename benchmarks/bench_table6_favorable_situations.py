@@ -1,0 +1,53 @@
+"""Table 6 — heuristics and their favorable situations.
+
+Besides printing the table, this benchmark checks two of its qualitative rows
+on synthetic regime workloads: IOCMS is optimal for compute-intensive tasks
+with unconstrained memory, DOCPS for communication-intensive ones.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.core import omim
+from repro.experiments import table06_favorable_situations
+from repro.heuristics import get_heuristic
+from repro.traces import regime_trace
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_listing(benchmark, config):
+    result = run_figure(benchmark, lambda cfg: table06_favorable_situations(cfg), config)
+    assert "OOSIM" in result.text
+
+
+@pytest.mark.benchmark(group="table6")
+@pytest.mark.parametrize(
+    "regime, heuristic, keep_compute_intensive",
+    [("compute-heavy", "IOCMS", True), ("communication-heavy", "DOCPS", False)],
+)
+def test_table6_optimality_rows(benchmark, regime, heuristic, keep_compute_intensive):
+    """With no memory restriction the matching sort order reaches the optimum.
+
+    Table 6 states IOCMS is optimal when every task is compute intensive and
+    DOCPS when every task is communication intensive; the workloads are
+    filtered accordingly before the check.
+    """
+    trace = regime_trace(regime, tasks=120, seed=17)
+    instance = trace.to_instance()  # infinite capacity
+    names = [
+        task.name
+        for task in instance
+        if (task.comp >= task.comm) == keep_compute_intensive
+    ]
+    instance = instance.subset(names)
+
+    def run():
+        return get_heuristic(heuristic).schedule(instance).makespan
+
+    makespan = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = omim(instance)
+    print(
+        f"\n{heuristic} on {regime} ({len(instance)} tasks): "
+        f"makespan {makespan:.6f} vs OMIM {reference:.6f}"
+    )
+    assert makespan == pytest.approx(reference, rel=1e-9)

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at the scale
+selected by the ``REPRO_SCALE`` environment variable (``ci`` by default, see
+:mod:`repro.experiments.config`), times the regeneration with
+pytest-benchmark, and prints the figure's text rendering so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section of the paper in one run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, scaled_config
+
+#: Directory where every regenerated figure/table rendering is written, so the
+#: results survive pytest's output capturing.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Experiment scale shared by every benchmark (env: REPRO_SCALE)."""
+    return scaled_config()
+
+
+def run_figure(benchmark, driver, config):
+    """Run a figure driver exactly once under pytest-benchmark.
+
+    The figure's text rendering is printed (visible with ``-s``) and also
+    written to ``benchmarks/results/<figure>.txt``.
+    """
+    result = benchmark.pedantic(driver, args=(config,), rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{result.name}.txt").write_text(str(result))
+    return result

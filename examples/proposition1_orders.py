@@ -1,0 +1,61 @@
+"""Proposition 1 walk-through: when the two resources should disagree.
+
+The paper proves that with a limited memory capacity, the optimal schedule may
+need *different* task orders on the communication link and on the processing
+unit (Proposition 1, Table 2, Figure 3).  This example reproduces that
+phenomenon end to end on the paper's six-task instance:
+
+* exhaustive search over same-order (permutation) schedules,
+* exhaustive search over pairs of orders,
+* the exact mixed-integer programme as an independent witness,
+
+and prints the two Gantt charts side by side.
+
+Run with::
+
+    python examples/proposition1_orders.py [--skip-milp]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import omim, proposition1_instance, validate_schedule
+from repro.flowshop import best_permutation_schedule, best_schedule_allowing_reordering
+from repro.milp import solve_exact
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-milp", action="store_true", help="skip the exact MILP witness")
+    args = parser.parse_args()
+
+    instance = proposition1_instance()
+    print(f"instance {instance.name}: {len(instance)} tasks, capacity {instance.capacity:g}")
+    print(f"OMIM (no memory constraint): {omim(instance):g}\n")
+
+    same_order_schedule, same_order = best_permutation_schedule(instance)
+    free_schedule, free = best_schedule_allowing_reordering(instance)
+
+    print(f"best schedule with identical orders on both resources: {same_order:g}")
+    print(render_gantt(same_order_schedule))
+    print()
+    print(f"best schedule when the orders may differ: {free:g}")
+    print(render_gantt(free_schedule))
+    print()
+    print(f"communication order: {free_schedule.communication_order()}")
+    print(f"computation order:   {free_schedule.computation_order()}")
+    assert validate_schedule(free_schedule, instance).is_feasible
+
+    if not args.skip_milp:
+        result = solve_exact(instance, time_limit=120)
+        print(f"\nexact MILP optimum (independent witness): {result.makespan:g} "
+              f"(optimal={result.optimal})")
+
+    gain = (same_order - free) / same_order
+    print(f"\nallowing the orders to differ improves the makespan by {gain:.1%}.")
+
+
+if __name__ == "__main__":
+    main()

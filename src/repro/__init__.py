@@ -1,0 +1,70 @@
+"""repro — data-transfer ordering for communication/computation overlap.
+
+Reproduction of *"Performance Models for Data Transfers: A Case Study with
+Molecular Chemistry Kernels"* (Kumar, Eyraud-Dubois, Krishnamoorthy, ICPP
+2019).  The package provides:
+
+* :mod:`repro.core` — tasks, instances, schedules, bounds and metrics for the
+  data-transfer ordering problem (Problem DT);
+* :mod:`repro.flowshop` — Johnson's rule, the exchange lemma, Gilmore–Gomory
+  no-wait sequencing and the 3-Partition NP-completeness reduction;
+* :mod:`repro.heuristics` — the paper's static, dynamic and corrected
+  ordering strategies plus the GG/BP baselines;
+* :mod:`repro.simulator` — memory-aware executors turning orders into
+  feasible schedules;
+* :mod:`repro.milp` — the mixed-integer formulation and the windowed lp.k solver;
+* :mod:`repro.chemistry` — simulated NWChem Hartree–Fock and CCSD workloads;
+* :mod:`repro.traces` — trace model, IO, generators and workload statistics;
+* :mod:`repro.experiments` — the capacity sweeps regenerating every figure;
+* :mod:`repro.viz` — ASCII Gantt charts and text boxplots.
+
+Quickstart
+----------
+>>> from repro import Instance, Task, all_heuristics, omim
+>>> tasks = [Task.from_times("A", comm=3, comp=2), Task.from_times("B", comm=1, comp=3),
+...          Task.from_times("C", comm=4, comp=4), Task.from_times("D", comm=2, comp=1)]
+>>> instance = Instance(tasks, capacity=6)
+>>> schedules = {name: h.schedule(instance) for name, h in all_heuristics().items()}
+>>> round(min(s.makespan for s in schedules.values()), 1) >= round(omim(instance), 1)
+True
+"""
+
+from .core import (
+    Instance,
+    Schedule,
+    ScheduledTask,
+    ScheduleMetrics,
+    Task,
+    bounds,
+    check_schedule,
+    evaluate,
+    omim,
+    ratio_to_optimal,
+    validate_schedule,
+)
+from .heuristics import Category, Heuristic, all_heuristics, get_heuristic
+from .simulator import execute_fixed_order, execute_in_batches, execute_with_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "Instance",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduleMetrics",
+    "Category",
+    "Heuristic",
+    "all_heuristics",
+    "get_heuristic",
+    "bounds",
+    "check_schedule",
+    "evaluate",
+    "execute_fixed_order",
+    "execute_in_batches",
+    "execute_with_policy",
+    "omim",
+    "ratio_to_optimal",
+    "validate_schedule",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Simulated NWChem molecular-chemistry workloads (HF and CCSD)."""
+
+from .ccsd import CCSDSimulator, ContractionDiagram
+from .global_arrays import BlockRequest, DistributedTensor
+from .hartree_fock import HF_TILE_SIZE, HartreeFockSimulator
+from .kernels import KernelSimulator, TaskBlueprint
+from .machine import CASCADE, DOUBLE_BYTES, MachineModel
+from .molecules import PERIODIC_SNIPPET, SIOSI, URACIL, Element, Molecule
+from .tiling import Tiling, adaptive_tiling, fixed_tiling
+from .workload import (
+    CCSD_SPEC,
+    HF_SPEC,
+    WorkloadSpec,
+    ccsd_ensemble,
+    ccsd_trace,
+    hf_ensemble,
+    hf_trace,
+)
+
+__all__ = [
+    "BlockRequest",
+    "CASCADE",
+    "CCSDSimulator",
+    "CCSD_SPEC",
+    "ContractionDiagram",
+    "DOUBLE_BYTES",
+    "DistributedTensor",
+    "Element",
+    "HF_SPEC",
+    "HF_TILE_SIZE",
+    "HartreeFockSimulator",
+    "KernelSimulator",
+    "MachineModel",
+    "Molecule",
+    "PERIODIC_SNIPPET",
+    "SIOSI",
+    "Tiling",
+    "TaskBlueprint",
+    "URACIL",
+    "WorkloadSpec",
+    "adaptive_tiling",
+    "ccsd_ensemble",
+    "ccsd_trace",
+    "fixed_tiling",
+    "hf_ensemble",
+    "hf_trace",
+]

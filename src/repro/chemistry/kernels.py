@@ -1,0 +1,128 @@
+"""Common infrastructure for the simulated NWChem kernels.
+
+Both simulated kernels (Hartree–Fock and CCSD) produce the same thing: for
+each MPI process, an ordered stream of tasks, where each task fetches a set of
+tile blocks from Global Arrays (the communication) and then runs a tensor
+kernel on them (the computation).  This module holds the shared pieces:
+
+* :class:`TaskBlueprint` — a kernel-level task description (blocks fetched +
+  flop count) before it is turned into a timed :class:`~repro.traces.model.TraceTask`;
+* :class:`KernelSimulator` — the base class that distributes blueprints over
+  processes round-robin (mimicking Global Arrays' shared task counter) and
+  converts them to timed trace tasks with a :class:`~repro.chemistry.machine.MachineModel`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..traces.model import Trace, TraceEnsemble, TraceTask
+from .global_arrays import BlockRequest
+from .machine import CASCADE, MachineModel
+
+__all__ = ["TaskBlueprint", "KernelSimulator"]
+
+
+@dataclass(frozen=True)
+class TaskBlueprint:
+    """A kernel task before timing: what it fetches and how much it computes."""
+
+    name: str
+    kind: str
+    requests: tuple[BlockRequest, ...]
+    flops: float
+    #: Extra bytes fetched besides tensor blocks (index buffers, screening data...).
+    overhead_bytes: float = 0.0
+    #: Kernel efficiency relative to the machine's nominal compute efficiency
+    #: (tensor transposes are memory bound and run far below peak).
+    efficiency_factor: float = 1.0
+
+    @property
+    def transferred_bytes(self) -> float:
+        """Bytes moved over the network for this task."""
+        return sum(r.transferred_bytes for r in self.requests) + self.overhead_bytes
+
+
+class KernelSimulator(abc.ABC):
+    """Base class for the simulated molecular-chemistry kernels.
+
+    Subclasses implement :meth:`blueprints`, the global ordered list of kernel
+    tasks of one run.  The simulator then mimics Global Arrays' dynamic
+    load-balancing counter by dealing blueprints to processes round-robin, and
+    converts every blueprint into a timed trace task with the machine model.
+    """
+
+    #: Application label stored in the generated traces.
+    application: str = "kernel"
+
+    def __init__(
+        self,
+        *,
+        processes: int = 150,
+        machine: MachineModel = CASCADE,
+        seed: int = 2019,
+    ) -> None:
+        if processes <= 0:
+            raise ValueError("process count must be positive")
+        self.processes = processes
+        self.machine = machine
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def blueprints(self, rng: np.random.Generator) -> Iterator[TaskBlueprint]:
+        """Yield every kernel task of the run, in global submission order."""
+
+    # ------------------------------------------------------------------ #
+    def timed_task(self, blueprint: TaskBlueprint, index: int) -> TraceTask:
+        """Convert a blueprint into a timed trace task."""
+        volume = blueprint.transferred_bytes
+        comm = self.machine.transfer_seconds(volume) if volume > 0 else 0.0
+        efficiency = min(1.0, self.machine.compute_efficiency * blueprint.efficiency_factor)
+        comp = (
+            self.machine.compute_seconds(blueprint.flops, efficiency=efficiency)
+            if blueprint.flops > 0
+            else 0.0
+        )
+        return TraceTask(
+            name=f"{blueprint.name}#{index}",
+            volume_bytes=volume,
+            comm_seconds=comm,
+            comp_seconds=comp,
+            kind=blueprint.kind,
+        )
+
+    def generate(self) -> TraceEnsemble:
+        """Simulate the run and return one trace per process."""
+        rng = np.random.default_rng(self.seed)
+        streams: list[list[TraceTask]] = [[] for _ in range(self.processes)]
+        for index, blueprint in enumerate(self.blueprints(rng)):
+            rank = index % self.processes
+            streams[rank].append(self.timed_task(blueprint, index))
+        traces = [
+            Trace(
+                application=self.application,
+                process=rank,
+                tasks=stream,
+                metadata=self.metadata(),
+            )
+            for rank, stream in enumerate(streams)
+        ]
+        return TraceEnsemble(application=self.application, traces=traces, metadata=self.metadata())
+
+    def generate_trace(self, process: int = 0) -> Trace:
+        """Single-process convenience wrapper around :meth:`generate`."""
+        ensemble = self.generate()
+        return ensemble[process]
+
+    # ------------------------------------------------------------------ #
+    def metadata(self) -> dict[str, str]:
+        return {
+            "machine": self.machine.name,
+            "processes": str(self.processes),
+            "seed": str(self.seed),
+        }

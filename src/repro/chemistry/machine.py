@@ -1,0 +1,97 @@
+"""Machine model used to convert data volumes and flop counts into times.
+
+The paper's traces were collected on PNNL's Cascade machine: nodes with
+16 Intel Xeon E5-2670 cores, one core per node dedicated to servicing Global
+Arrays communication (so 15 worker cores), connected by an InfiniBand FDR
+fabric.  Since the real machine is not available, this module models the two
+quantities that matter for the data-transfer ordering problem:
+
+* the time to move a block of bytes between the Global Arrays space and a
+  process's local memory (latency + volume / bandwidth);
+* the time to execute a kernel of a given flop count on one worker core
+  (flops / (peak rate x efficiency)).
+
+Only ratios of times matter to the scheduling heuristics (the evaluation
+metric is normalised by OMIM), so moderate inaccuracies in the absolute
+constants do not change the qualitative results; what the constants control is
+the communication/computation balance, which is calibrated per kernel in
+:mod:`repro.chemistry.hartree_fock` and :mod:`repro.chemistry.ccsd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "CASCADE", "DOUBLE_BYTES"]
+
+#: Size of a double-precision floating point number, in bytes.
+DOUBLE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-node performance model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name.
+    cores_per_node:
+        Physical cores per node.
+    service_cores_per_node:
+        Cores dedicated to the Global Arrays progress engine (not workers).
+    network_bandwidth:
+        Sustained bandwidth seen by *one process* when fetching from the
+        remote Global Arrays memory, in bytes/second.  This is well below the
+        NIC's peak because the 15 worker processes of a node share the fabric
+        and the Global Arrays progress core.
+    network_latency:
+        Per-transfer startup latency in seconds (GA get/put + interconnect).
+    flops_per_core:
+        Peak double-precision rate of one core, in flop/s.
+    compute_efficiency:
+        Fraction of peak a tensor kernel typically sustains (tensor transposes
+        and small contractions are far from peak).
+    """
+
+    name: str
+    cores_per_node: int = 16
+    service_cores_per_node: int = 1
+    network_bandwidth: float = 1.2e9
+    network_latency: float = 1.0e-5
+    flops_per_core: float = 20.8e9
+    compute_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= self.service_cores_per_node:
+            raise ValueError("a node needs at least one worker core")
+        if min(self.network_bandwidth, self.flops_per_core) <= 0:
+            raise ValueError("bandwidth and flop rate must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute efficiency must lie in (0, 1]")
+
+    @property
+    def worker_cores_per_node(self) -> int:
+        """Cores that actually execute tasks (15 on Cascade)."""
+        return self.cores_per_node - self.service_cores_per_node
+
+    def transfer_seconds(self, volume_bytes: float) -> float:
+        """Time to fetch ``volume_bytes`` from the remote memory node."""
+        if volume_bytes < 0:
+            raise ValueError("volume must be non-negative")
+        if volume_bytes == 0:
+            return 0.0
+        return self.network_latency + volume_bytes / self.network_bandwidth
+
+    def compute_seconds(self, flops: float, *, efficiency: float | None = None) -> float:
+        """Time to execute ``flops`` double-precision operations on one core."""
+        if flops < 0:
+            raise ValueError("flop count must be non-negative")
+        eff = self.compute_efficiency if efficiency is None else efficiency
+        if not 0 < eff <= 1:
+            raise ValueError("efficiency must lie in (0, 1]")
+        return flops / (self.flops_per_core * eff)
+
+
+#: Default model of the PNNL Cascade nodes used in the paper.
+CASCADE = MachineModel(name="cascade")

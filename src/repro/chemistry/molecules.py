@@ -1,0 +1,118 @@
+"""Molecular systems and orbital-space sizes for the simulated NWChem runs.
+
+The paper runs Hartree–Fock on a SiOSi (silica fragment) input and CCSD on
+Uracil.  What the data-transfer simulator needs from a molecule is the size of
+its orbital spaces: the number of atomic-orbital basis functions (which fixes
+the dimensions of the Fock/density matrices manipulated by HF) and the split
+between occupied and virtual molecular orbitals (which fixes the dimensions of
+the CCSD amplitude tensors).  These are derived here from simple per-element
+electron and basis-function counts for a double-zeta-quality basis set — the
+precision of these counts only shifts absolute task sizes, not the statistical
+structure the evaluation depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["Element", "Molecule", "SIOSI", "URACIL", "PERIODIC_SNIPPET"]
+
+
+@dataclass(frozen=True)
+class Element:
+    """Per-element data: nuclear charge and basis functions in a DZ-quality basis."""
+
+    symbol: str
+    atomic_number: int
+    basis_functions: int
+
+
+#: The handful of elements appearing in the paper's inputs.
+PERIODIC_SNIPPET: Mapping[str, Element] = {
+    "H": Element("H", 1, 5),
+    "C": Element("C", 6, 14),
+    "N": Element("N", 7, 14),
+    "O": Element("O", 8, 14),
+    "Si": Element("Si", 14, 18),
+}
+
+
+@dataclass(frozen=True)
+class Molecule:
+    """A molecular system described by its chemical formula.
+
+    ``composition`` maps element symbols to atom counts.  Orbital-space sizes
+    are derived assuming a closed-shell system: the number of occupied spatial
+    orbitals is half the electron count, everything else is virtual.
+    """
+
+    name: str
+    composition: Mapping[str, int]
+    charge: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.composition) - set(PERIODIC_SNIPPET))
+        if unknown:
+            raise ValueError(f"unknown elements {unknown}; extend PERIODIC_SNIPPET")
+        if any(count <= 0 for count in self.composition.values()):
+            raise ValueError("atom counts must be positive")
+
+    @property
+    def atom_count(self) -> int:
+        return sum(self.composition.values())
+
+    @property
+    def electron_count(self) -> int:
+        electrons = sum(
+            PERIODIC_SNIPPET[symbol].atomic_number * count
+            for symbol, count in self.composition.items()
+        )
+        return electrons - self.charge
+
+    @property
+    def basis_functions(self) -> int:
+        """Number of atomic-orbital basis functions (HF matrix dimension)."""
+        return sum(
+            PERIODIC_SNIPPET[symbol].basis_functions * count
+            for symbol, count in self.composition.items()
+        )
+
+    @property
+    def occupied_orbitals(self) -> int:
+        """Occupied spatial orbitals of the closed-shell reference."""
+        electrons = self.electron_count
+        if electrons % 2:
+            raise ValueError(f"{self.name} is open-shell; the simulator assumes closed shells")
+        return electrons // 2
+
+    @property
+    def virtual_orbitals(self) -> int:
+        """Virtual (unoccupied) orbitals in the chosen basis."""
+        return self.basis_functions - self.occupied_orbitals
+
+    def frozen_core_occupied(self, frozen: int | None = None) -> int:
+        """Occupied orbitals after freezing core orbitals (CCSD convention)."""
+        if frozen is None:
+            # One frozen core orbital per non-hydrogen first-row atom, five per Si.
+            frozen = 0
+            for symbol, count in self.composition.items():
+                if symbol in ("C", "N", "O"):
+                    frozen += count
+                elif symbol == "Si":
+                    frozen += 5 * count
+        occupied = self.occupied_orbitals - frozen
+        if occupied <= 0:
+            raise ValueError("freezing removed every occupied orbital")
+        return occupied
+
+
+#: SiOSi zeolite fragment used for the paper's HF runs.  The published SiOSi
+#: benchmark family (siosi3..siosi7) ranges from hundreds to tens of thousands
+#: of basis functions; this member has 2300 basis functions, which with the
+#: paper's tile size of 100 yields exactly 23 homogeneous tiles and per-process
+#: task counts in the 300-800 range reported in Section 5.
+SIOSI = Molecule(name="SiOSi", composition={"Si": 60, "O": 80, "H": 20})
+
+#: Uracil (C4H4N2O2), the CCSD input of the paper.
+URACIL = Molecule(name="Uracil", composition={"C": 4, "H": 4, "N": 2, "O": 2})

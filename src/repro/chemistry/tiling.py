@@ -1,0 +1,126 @@
+"""Tilings of orbital dimensions.
+
+NWChem's tensor algebra operates on *tiles*: each dimension of a tensor is
+split into contiguous blocks and tasks operate on one block per dimension.
+Two tiling styles matter for the paper:
+
+* HF takes an explicit ``tilesize`` parameter (the paper uses 100), producing
+  nearly homogeneous tiles over the atomic-orbital dimension;
+* CCSD derives its tile sizes automatically from the molecular structure
+  (spin/spatial symmetry blocks), producing heterogeneous tiles over the
+  occupied and virtual dimensions.
+
+A :class:`Tiling` is just the list of tile lengths of one dimension, plus
+helpers to look up tile extents and to iterate over tile indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Tiling", "fixed_tiling", "adaptive_tiling"]
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """Partition of a dimension of length ``sum(sizes)`` into contiguous tiles."""
+
+    sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("a tiling needs at least one tile")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("tile sizes must be positive")
+
+    @property
+    def dimension(self) -> int:
+        """Total length of the tiled dimension."""
+        return sum(self.sizes)
+
+    @property
+    def tile_count(self) -> int:
+        return len(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sizes)
+
+    def __getitem__(self, index: int) -> int:
+        return self.sizes[index]
+
+    def offsets(self) -> tuple[int, ...]:
+        """Start offset of each tile within the dimension."""
+        out = []
+        cursor = 0
+        for size in self.sizes:
+            out.append(cursor)
+            cursor += size
+        return tuple(out)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all tiles (except possibly the last remainder) are equal."""
+        if len(self.sizes) <= 1:
+            return True
+        head = self.sizes[:-1]
+        return len(set(head)) == 1 and self.sizes[-1] <= head[0]
+
+    def heterogeneity(self) -> float:
+        """Coefficient of variation of the tile sizes (0 = fully homogeneous)."""
+        sizes = np.asarray(self.sizes, dtype=float)
+        if sizes.mean() == 0:
+            return 0.0
+        return float(sizes.std() / sizes.mean())
+
+
+def fixed_tiling(dimension: int, tile_size: int) -> Tiling:
+    """Split ``dimension`` into tiles of ``tile_size`` (last tile holds the rest)."""
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    if tile_size <= 0:
+        raise ValueError("tile size must be positive")
+    full, rest = divmod(dimension, tile_size)
+    sizes = [tile_size] * full
+    if rest:
+        sizes.append(rest)
+    if not sizes:
+        sizes = [dimension]
+    return Tiling(tuple(sizes))
+
+
+def adaptive_tiling(
+    dimension: int,
+    *,
+    target_tiles: int,
+    rng: np.random.Generator,
+    spread: float = 0.6,
+    minimum: int = 1,
+) -> Tiling:
+    """Heterogeneous tiling mimicking NWChem's symmetry-driven blocking.
+
+    The dimension is split into ``target_tiles`` parts whose sizes follow a
+    Dirichlet distribution; ``spread`` controls how uneven the parts are
+    (smaller concentration → more heterogeneous).  Each part is at least
+    ``minimum`` long.
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    target_tiles = max(1, min(target_tiles, dimension // max(minimum, 1)))
+    if target_tiles == 1:
+        return Tiling((dimension,))
+    concentration = max(1e-3, 1.0 / spread)
+    weights = rng.dirichlet(np.full(target_tiles, concentration))
+    budget = dimension - minimum * target_tiles
+    sizes = (np.floor(weights * budget)).astype(int) + minimum
+    # Distribute the rounding remainder over the largest tiles.
+    remainder = dimension - int(sizes.sum())
+    order = np.argsort(-weights)
+    for i in range(remainder):
+        sizes[order[i % target_tiles]] += 1
+    return Tiling(tuple(int(s) for s in sizes))

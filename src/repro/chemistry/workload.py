@@ -1,0 +1,117 @@
+"""High-level entry points: generate the HF and CCSD trace ensembles.
+
+These wrappers bundle the kernel simulators with the scaling knobs the
+experiment harness needs (how many processes, how many traces to actually
+keep, random seed), and provide the per-application calibration targets the
+tests check against the paper:
+
+* HF: nearly homogeneous tasks, communication dominated (roughly 20% possible
+  overlap), ``mc`` around 176 KB;
+* CCSD: heterogeneous tasks, balanced communication/computation (around 50%
+  possible overlap), ``mc`` around 1.8 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..traces.model import Trace, TraceEnsemble
+from .ccsd import CCSDSimulator
+from .hartree_fock import HartreeFockSimulator
+from .machine import CASCADE, MachineModel
+from .molecules import SIOSI, URACIL
+
+__all__ = [
+    "WorkloadSpec",
+    "HF_SPEC",
+    "CCSD_SPEC",
+    "hf_ensemble",
+    "ccsd_ensemble",
+    "hf_trace",
+    "ccsd_trace",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Calibration targets for one application (used by tests and reports)."""
+
+    application: str
+    min_capacity_bytes: float
+    min_capacity_tolerance: float
+    max_overlap_fraction_range: tuple[float, float]
+    tasks_per_process_range: tuple[int, int]
+
+
+#: Paper-reported characteristics of the HF traces.
+HF_SPEC = WorkloadSpec(
+    application="HF",
+    min_capacity_bytes=176e3,
+    min_capacity_tolerance=0.25,
+    max_overlap_fraction_range=(0.10, 0.30),
+    tasks_per_process_range=(300, 800),
+)
+
+#: Paper-reported characteristics of the CCSD traces.
+CCSD_SPEC = WorkloadSpec(
+    application="CCSD",
+    min_capacity_bytes=1.8e9,
+    min_capacity_tolerance=0.35,
+    max_overlap_fraction_range=(0.35, 0.55),
+    tasks_per_process_range=(300, 800),
+)
+
+
+def hf_ensemble(
+    *,
+    processes: int = 150,
+    traces: int | None = None,
+    machine: MachineModel = CASCADE,
+    seed: int = 2019,
+    scf_iterations: int = 1,
+) -> TraceEnsemble:
+    """Simulated HF (SiOSi, tile size 100) trace ensemble.
+
+    ``processes`` is the size of the simulated run (which fixes how the global
+    task list is dealt out); ``traces`` optionally keeps only the first few
+    per-process traces, which is how the experiment harness scales a run down.
+    """
+    simulator = HartreeFockSimulator(
+        SIOSI,
+        processes=processes,
+        machine=machine,
+        seed=seed,
+        scf_iterations=scf_iterations,
+    )
+    ensemble = simulator.generate()
+    return ensemble if traces is None else ensemble.subset(traces)
+
+
+def ccsd_ensemble(
+    *,
+    processes: int = 150,
+    traces: int | None = None,
+    machine: MachineModel = CASCADE,
+    seed: int = 2019,
+    cc_iterations: int = 1,
+) -> TraceEnsemble:
+    """Simulated CCSD (Uracil) trace ensemble."""
+    simulator = CCSDSimulator(
+        URACIL,
+        processes=processes,
+        machine=machine,
+        seed=seed,
+        cc_iterations=cc_iterations,
+    )
+    ensemble = simulator.generate()
+    return ensemble if traces is None else ensemble.subset(traces)
+
+
+def hf_trace(process: int = 0, **kwargs) -> Trace:
+    """One HF per-process trace (see :func:`hf_ensemble` for the knobs)."""
+    return hf_ensemble(**kwargs)[process]
+
+
+def ccsd_trace(process: int = 0, **kwargs) -> Trace:
+    """One CCSD per-process trace (see :func:`ccsd_ensemble` for the knobs)."""
+    return ccsd_ensemble(**kwargs)[process]

@@ -1,0 +1,56 @@
+"""Core problem model: tasks, instances, schedules, bounds and metrics."""
+
+from .bounds import BoundSet, area_lower_bound, bounds, omim, sequential_upper_bound
+from .instance import Instance
+from .metrics import ScheduleMetrics, evaluate, idle_fractions, overlap_fraction, ratio_to_optimal
+from .paper_instances import (
+    PAPER_INSTANCES,
+    corrected_example_instance,
+    dynamic_example_instance,
+    proposition1_instance,
+    static_example_instance,
+)
+from .schedule import MemoryEvent, Schedule, ScheduledTask
+from .task import Task, TaskKind, max_memory, tasks_from_pairs, total_comm, total_comp
+from .validation import (
+    TOLERANCE,
+    InfeasibleScheduleError,
+    ValidationReport,
+    Violation,
+    check_schedule,
+    validate_schedule,
+)
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "Instance",
+    "Schedule",
+    "ScheduledTask",
+    "MemoryEvent",
+    "BoundSet",
+    "ScheduleMetrics",
+    "ValidationReport",
+    "Violation",
+    "InfeasibleScheduleError",
+    "TOLERANCE",
+    "PAPER_INSTANCES",
+    "area_lower_bound",
+    "bounds",
+    "check_schedule",
+    "corrected_example_instance",
+    "dynamic_example_instance",
+    "evaluate",
+    "idle_fractions",
+    "max_memory",
+    "omim",
+    "overlap_fraction",
+    "proposition1_instance",
+    "ratio_to_optimal",
+    "sequential_upper_bound",
+    "static_example_instance",
+    "tasks_from_pairs",
+    "total_comm",
+    "total_comp",
+    "validate_schedule",
+]

@@ -1,0 +1,90 @@
+"""Makespan bounds for Problem DT.
+
+The paper uses the makespan of Johnson's schedule with infinite memory —
+called **OMIM** (Optimal Makespan Infinite Memory) — as the reference lower
+bound for every experiment: the performance metric of Figures 7–13 is the
+ratio of a heuristic's makespan to OMIM.
+
+Besides OMIM, this module exposes the two trivial bounds of Figure 8:
+
+* ``max(sum comm, sum comp)`` — no schedule can finish before either resource
+  has processed all its work (area bound);
+* ``sum comm + sum comp`` — the fully sequential schedule with zero overlap
+  is always feasible whenever the instance is feasible at all, so it is an
+  upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .instance import Instance
+
+__all__ = ["BoundSet", "omim", "area_lower_bound", "sequential_upper_bound", "bounds"]
+
+
+def area_lower_bound(instance: Instance) -> float:
+    """``max(sum comm, sum comp)``: the resource-occupation lower bound."""
+    return instance.resource_lower_bound
+
+
+def sequential_upper_bound(instance: Instance) -> float:
+    """``sum comm + sum comp``: makespan of the zero-overlap schedule."""
+    return instance.sequential_makespan
+
+
+def omim(instance: Instance) -> float:
+    """Optimal makespan with infinite memory (Johnson's algorithm, Alg. 1).
+
+    This is the paper's lower bound for the memory-constrained problem.
+    """
+    # Imported lazily to avoid a circular import (flowshop uses core types).
+    from ..flowshop.johnson import johnson_schedule
+
+    return johnson_schedule(instance.without_memory_constraint()).makespan
+
+
+@dataclass(frozen=True, slots=True)
+class BoundSet:
+    """All the bounds the paper reports for one instance (Figure 8)."""
+
+    total_comm: float
+    total_comp: float
+    area_lower_bound: float
+    omim: float
+    sequential_upper_bound: float
+
+    @property
+    def max_possible_overlap_fraction(self) -> float:
+        """Largest fraction of the sequential makespan that overlap can hide.
+
+        For HF the paper observes this is about 20%; for CCSD it approaches 50%.
+        """
+        if self.sequential_upper_bound == 0:
+            return 0.0
+        return 1.0 - self.area_lower_bound / self.sequential_upper_bound
+
+    def normalised(self) -> "BoundSet":
+        """Bounds divided by OMIM, matching the y-axis of Figure 8."""
+        ref = self.omim
+        if ref == 0:
+            return self
+        return BoundSet(
+            total_comm=self.total_comm / ref,
+            total_comp=self.total_comp / ref,
+            area_lower_bound=self.area_lower_bound / ref,
+            omim=1.0,
+            sequential_upper_bound=self.sequential_upper_bound / ref,
+        )
+
+
+def bounds(instance: Instance) -> BoundSet:
+    """Compute every bound of interest for ``instance``."""
+    return BoundSet(
+        total_comm=instance.total_comm,
+        total_comp=instance.total_comp,
+        area_lower_bound=area_lower_bound(instance),
+        omim=omim(instance),
+        sequential_upper_bound=sequential_upper_bound(instance),
+    )

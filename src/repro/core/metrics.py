@@ -1,0 +1,101 @@
+"""Performance metrics used in the paper's evaluation.
+
+The headline metric (Figures 7, 9–13) is the **ratio to optimal**
+
+    r(H) = makespan(H) / OMIM
+
+where OMIM is the optimal makespan without memory constraint.  The ratio is
+always at least 1 for feasible schedules; values close to 1 indicate the
+heuristic achieves (near-)maximal communication/computation overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .bounds import omim as _omim
+from .instance import Instance
+from .schedule import Schedule
+
+__all__ = ["ratio_to_optimal", "overlap_fraction", "idle_fractions", "ScheduleMetrics", "evaluate"]
+
+
+def ratio_to_optimal(schedule: Schedule, instance: Instance, *, reference: float | None = None) -> float:
+    """Makespan of ``schedule`` divided by OMIM of ``instance``.
+
+    ``reference`` short-circuits the OMIM computation when the caller already
+    knows it (the experiment harness computes it once per instance).
+    """
+    ref = _omim(instance) if reference is None else reference
+    makespan = schedule.makespan
+    if ref == 0:
+        return 1.0 if makespan == 0 else math.inf
+    return makespan / ref
+
+
+def overlap_fraction(schedule: Schedule) -> float:
+    """Overlapped time divided by the makespan (0 = sequential, →1 = perfect)."""
+    makespan = schedule.makespan
+    if makespan == 0:
+        return 0.0
+    return schedule.overlap_time() / makespan
+
+
+def idle_fractions(schedule: Schedule) -> tuple[float, float]:
+    """``(communication idle fraction, computation idle fraction)`` of the makespan."""
+    makespan = schedule.makespan
+    if makespan == 0:
+        return (0.0, 0.0)
+    return (
+        schedule.communication_idle_time() / makespan,
+        schedule.computation_idle_time() / makespan,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleMetrics:
+    """All per-schedule metrics reported by the experiment harness."""
+
+    heuristic: str
+    instance: str
+    capacity: float
+    makespan: float
+    omim: float
+    ratio_to_optimal: float
+    peak_memory: float
+    overlap_time: float
+    communication_idle: float
+    computation_idle: float
+    task_count: int
+
+    @property
+    def overlap_fraction(self) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.overlap_time / self.makespan
+
+
+def evaluate(
+    schedule: Schedule,
+    instance: Instance,
+    *,
+    heuristic: str = "",
+    reference: float | None = None,
+) -> ScheduleMetrics:
+    """Bundle every metric for one (heuristic, instance) run."""
+    ref = _omim(instance) if reference is None else reference
+    makespan = schedule.makespan
+    return ScheduleMetrics(
+        heuristic=heuristic,
+        instance=instance.name,
+        capacity=instance.capacity,
+        makespan=makespan,
+        omim=ref,
+        ratio_to_optimal=(makespan / ref) if ref > 0 else (1.0 if makespan == 0 else math.inf),
+        peak_memory=schedule.peak_memory(),
+        overlap_time=schedule.overlap_time(),
+        communication_idle=schedule.communication_idle_time(),
+        computation_idle=schedule.computation_idle_time(),
+        task_count=len(schedule),
+    )

@@ -1,0 +1,84 @@
+"""The worked-example instances of the paper (Tables 2–5).
+
+These tiny instances are used throughout Sections 3 and 4 of the paper to
+illustrate the behaviour of the heuristic families; the corresponding figures
+(Figs. 3–6) are regenerated from them by the example scripts and benchmark
+targets.  All of them follow the paper convention that the memory requirement
+of a task equals its communication time.
+"""
+
+from __future__ import annotations
+
+from .instance import Instance
+from .task import Task
+
+__all__ = [
+    "proposition1_instance",
+    "static_example_instance",
+    "dynamic_example_instance",
+    "corrected_example_instance",
+    "PAPER_INSTANCES",
+]
+
+
+def proposition1_instance() -> Instance:
+    """Table 2 — instance where optimal comm and comp orders must differ.
+
+    Memory capacity is 10.  The best permutation schedule has makespan 23
+    (Fig. 3a) while allowing different orders achieves 22 (Fig. 3b).
+    """
+    tasks = [
+        Task.from_times("A", comm=0, comp=5),
+        Task.from_times("B", comm=4, comp=3),
+        Task.from_times("C", comm=1, comp=6),
+        Task.from_times("D", comm=3, comp=7),
+        Task.from_times("E", comm=6, comp=0.5),
+        Task.from_times("F", comm=7, comp=0.5),
+    ]
+    return Instance(tasks, capacity=10, name="paper/table2-proposition1")
+
+
+def static_example_instance(capacity: float = 6) -> Instance:
+    """Table 3 — task set used to illustrate the static heuristics (Fig. 4)."""
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=3),
+        Task.from_times("C", comm=4, comp=4),
+        Task.from_times("D", comm=2, comp=1),
+    ]
+    return Instance(tasks, capacity=capacity, name="paper/table3-static")
+
+
+def dynamic_example_instance(capacity: float = 6) -> Instance:
+    """Table 4 — task set used to illustrate the dynamic heuristics (Fig. 5)."""
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=6),
+        Task.from_times("C", comm=4, comp=6),
+        Task.from_times("D", comm=5, comp=1),
+    ]
+    return Instance(tasks, capacity=capacity, name="paper/table4-dynamic")
+
+
+def corrected_example_instance(capacity: float = 9) -> Instance:
+    """Table 5 — task set for the static-order-with-dynamic-corrections heuristics (Fig. 6).
+
+    The OMIM order of this instance is B, C, D, A, E.
+    """
+    tasks = [
+        Task.from_times("A", comm=4, comp=1),
+        Task.from_times("B", comm=2, comp=6),
+        Task.from_times("C", comm=8, comp=8),
+        Task.from_times("D", comm=5, comp=4),
+        Task.from_times("E", comm=3, comp=2),
+    ]
+    return Instance(tasks, capacity=capacity, name="paper/table5-corrected")
+
+
+#: Name → factory mapping for all worked examples (used by tests and examples).
+PAPER_INSTANCES = {
+    "table2": proposition1_instance,
+    "table3": static_example_instance,
+    "table4": dynamic_example_instance,
+    "table5": corrected_example_instance,
+}

@@ -1,0 +1,171 @@
+"""Task model for the data-transfer ordering problem (Problem DT).
+
+A task is characterised by three non-negative quantities:
+
+* ``comm`` — the time needed to transfer its input data from the remote memory
+  node ``M'`` to the local memory ``M`` over the (single) communication link.
+* ``comp`` — the time needed to execute the task on the processing unit ``P``
+  once its input data resides in ``M``.
+* ``memory`` — the amount of local memory occupied by the task, held from the
+  *start of its communication* until the *end of its computation*.
+
+The paper assumes, for all worked examples and for the NWChem traces, that the
+memory requirement equals the communication volume and therefore (with unit
+bandwidth) the communication time.  :func:`Task.from_times` captures that
+convention; an explicit ``memory`` can always be supplied for the more general
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "total_comm",
+    "total_comp",
+    "max_memory",
+    "tasks_from_pairs",
+]
+
+
+class TaskKind:
+    """Intensity classification used throughout the paper.
+
+    A task is *compute intensive* when ``comp >= comm`` and *communication
+    intensive* otherwise (Section 3 of the paper).
+    """
+
+    COMPUTE_INTENSIVE = "compute-intensive"
+    COMMUNICATION_INTENSIVE = "communication-intensive"
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One independent task of a Problem DT instance.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the task; unique within an :class:`~repro.core.instance.Instance`.
+    comm:
+        Communication (input-transfer) time, ``CM_i`` in the paper.
+    comp:
+        Computation time, ``CP_i`` in the paper.
+    memory:
+        Memory footprint held from the start of the communication to the end of
+        the computation.  Defaults to ``comm`` (the paper's convention of
+        memory-proportional-to-communication).
+    tag:
+        Optional free-form label (e.g. ``"tensor_contraction"``) carried along
+        from trace generators; never interpreted by the schedulers.
+    """
+
+    name: str
+    comm: float
+    comp: float
+    memory: float = field(default=math.nan)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.comm < 0:
+            raise ValueError(f"task {self.name!r}: negative communication time {self.comm}")
+        if self.comp < 0:
+            raise ValueError(f"task {self.name!r}: negative computation time {self.comp}")
+        if math.isnan(self.memory):
+            object.__setattr__(self, "memory", float(self.comm))
+        if self.memory < 0:
+            raise ValueError(f"task {self.name!r}: negative memory requirement {self.memory}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_times(cls, name: str, comm: float, comp: float, *, tag: str = "") -> "Task":
+        """Build a task whose memory requirement equals its communication time."""
+        return cls(name=name, comm=float(comm), comp=float(comp), tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        """Paper classification: compute vs. communication intensive."""
+        if self.comp >= self.comm:
+            return TaskKind.COMPUTE_INTENSIVE
+        return TaskKind.COMMUNICATION_INTENSIVE
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return self.comp >= self.comm
+
+    @property
+    def is_communication_intensive(self) -> bool:
+        return self.comp < self.comm
+
+    @property
+    def total_time(self) -> float:
+        """Sum of communication and computation times (used by IOCCS/DOCCS)."""
+        return self.comm + self.comp
+
+    @property
+    def acceleration(self) -> float:
+        """Ratio comp/comm used by the MAMR selection rule.
+
+        A zero communication time yields ``inf`` (such a task is always the
+        most "accelerated" choice, which matches the intent of the rule: it
+        occupies the link for no time at all).
+        """
+        if self.comm == 0:
+            return math.inf if self.comp > 0 else 0.0
+        return self.comp / self.comm
+
+    def scaled(self, *, comm: float = 1.0, comp: float = 1.0, memory: float = 1.0) -> "Task":
+        """Return a copy with the three quantities multiplied by the given factors."""
+        return replace(
+            self,
+            comm=self.comm * comm,
+            comp=self.comp * comp,
+            memory=self.memory * memory,
+        )
+
+    def renamed(self, name: str) -> "Task":
+        return replace(self, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# Aggregate helpers
+# ---------------------------------------------------------------------- #
+def total_comm(tasks: Iterable[Task]) -> float:
+    """Sum of communication times of ``tasks``."""
+    return float(sum(t.comm for t in tasks))
+
+
+def total_comp(tasks: Iterable[Task]) -> float:
+    """Sum of computation times of ``tasks``."""
+    return float(sum(t.comp for t in tasks))
+
+
+def max_memory(tasks: Iterable[Task]) -> float:
+    """Largest single-task memory footprint (the minimum feasible capacity)."""
+    tasks = list(tasks)
+    if not tasks:
+        return 0.0
+    return float(max(t.memory for t in tasks))
+
+
+def tasks_from_pairs(
+    pairs: Sequence[tuple[float, float]] | Iterator[tuple[float, float]],
+    *,
+    prefix: str = "T",
+) -> list[Task]:
+    """Build tasks ``prefix0, prefix1, ...`` from ``(comm, comp)`` pairs.
+
+    Memory requirements follow the paper convention (equal to communication
+    time).  Convenient in tests and property-based generators.
+    """
+    return [Task.from_times(f"{prefix}{i}", comm, comp) for i, (comm, comp) in enumerate(pairs)]

@@ -1,0 +1,177 @@
+"""Feasibility validation for Problem DT schedules.
+
+A schedule is feasible for an instance with capacity ``C`` when
+
+1. every task of the instance appears exactly once,
+2. the communication link carries at most one transfer at a time,
+3. the processing unit executes at most one task at a time,
+4. every task starts computing no earlier than its transfer completes, and
+5. at every instant the memory held by tasks whose interval
+   ``[comm_start, comp_end)`` covers that instant does not exceed ``C``.
+
+The checks report *all* violations (not just the first) so tests and the
+experiment harness can produce actionable diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .instance import Instance
+from .schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "Violation",
+    "ValidationReport",
+    "validate_schedule",
+    "check_schedule",
+    "InfeasibleScheduleError",
+    "TOLERANCE",
+]
+
+#: Absolute tolerance used for all floating-point feasibility comparisons.
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A single feasibility violation."""
+
+    kind: str
+    message: str
+    tasks: tuple[str, ...] = ()
+    time: float = math.nan
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_schedule`."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, message: str, tasks: Sequence[str] = (), time: float = math.nan) -> None:
+        self.violations.append(Violation(kind=kind, message=message, tasks=tuple(tasks), time=time))
+
+    def kinds(self) -> set[str]:
+        return {v.kind for v in self.violations}
+
+    def summary(self) -> str:
+        if self.is_feasible:
+            return "feasible"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  - [{v.kind}] {v.message}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class InfeasibleScheduleError(ValueError):
+    """Raised by :func:`check_schedule` when a schedule is infeasible."""
+
+    def __init__(self, report: ValidationReport):
+        super().__init__(report.summary())
+        self.report = report
+
+
+def _check_resource_exclusivity(
+    report: ValidationReport,
+    entries: Sequence[ScheduledTask],
+    resource: str,
+) -> None:
+    """Check that intervals on one resource do not overlap pairwise."""
+    if resource == "communication":
+        intervals = [(e.comm_start, e.comm_end, e.name) for e in entries if e.task.comm > 0]
+    else:
+        intervals = [(e.comp_start, e.comp_end, e.name) for e in entries if e.task.comp > 0]
+    intervals.sort()
+    for (s1, e1, n1), (s2, e2, n2) in zip(intervals, intervals[1:]):
+        if s2 < e1 - TOLERANCE:
+            report.add(
+                kind=f"{resource}-overlap",
+                message=(
+                    f"tasks {n1!r} and {n2!r} overlap on the {resource} resource: "
+                    f"[{s1:g}, {e1:g}) and [{s2:g}, {e2:g})"
+                ),
+                tasks=(n1, n2),
+                time=s2,
+            )
+
+
+def validate_schedule(schedule: Schedule, instance: Instance) -> ValidationReport:
+    """Validate ``schedule`` against ``instance`` and return a full report."""
+    report = ValidationReport()
+
+    scheduled_names = {e.name for e in schedule}
+    instance_names = set(instance.task_names)
+    missing = sorted(instance_names - scheduled_names)
+    extra = sorted(scheduled_names - instance_names)
+    if missing:
+        report.add("missing-task", f"tasks not scheduled: {missing}", tasks=missing)
+    if extra:
+        report.add("unknown-task", f"scheduled tasks not in instance: {extra}", tasks=extra)
+
+    lookup = instance.by_name()
+    for entry in schedule:
+        reference = lookup.get(entry.name)
+        if reference is not None and (
+            not math.isclose(reference.comm, entry.task.comm, abs_tol=TOLERANCE)
+            or not math.isclose(reference.comp, entry.task.comp, abs_tol=TOLERANCE)
+            or not math.isclose(reference.memory, entry.task.memory, abs_tol=TOLERANCE)
+        ):
+            report.add(
+                "task-mismatch",
+                f"task {entry.name!r} has different characteristics in the schedule "
+                f"(comm={entry.task.comm}, comp={entry.task.comp}, mem={entry.task.memory}) "
+                f"and the instance (comm={reference.comm}, comp={reference.comp}, "
+                f"mem={reference.memory})",
+                tasks=(entry.name,),
+            )
+
+    # Precedence (transfer before computation) is enforced by the ScheduledTask
+    # constructor, but re-check here in case entries were built via subclassing.
+    for entry in schedule:
+        if entry.comp_start + TOLERANCE < entry.comm_end:
+            report.add(
+                "precedence",
+                f"task {entry.name!r} computes at {entry.comp_start:g} before its "
+                f"transfer completes at {entry.comm_end:g}",
+                tasks=(entry.name,),
+                time=entry.comp_start,
+            )
+
+    _check_resource_exclusivity(report, schedule.entries, "communication")
+    _check_resource_exclusivity(report, schedule.entries, "computation")
+
+    if instance.has_memory_constraint:
+        capacity = instance.capacity
+        # Absolute tolerance for small (unit-free) instances, relative tolerance
+        # for byte-sized capacities where float accumulation noise is larger.
+        memory_tolerance = max(TOLERANCE, 1e-9 * capacity)
+        for event in schedule.memory_profile():
+            if event.usage > capacity + memory_tolerance:
+                active = sorted(
+                    e.name
+                    for e in schedule
+                    if e.comm_start <= event.time < e.comp_end
+                )
+                report.add(
+                    "memory",
+                    f"memory usage {event.usage:g} exceeds capacity {capacity:g} "
+                    f"at time {event.time:g} (active: {active})",
+                    tasks=active,
+                    time=event.time,
+                )
+
+    return report
+
+
+def check_schedule(schedule: Schedule, instance: Instance) -> Schedule:
+    """Validate and return ``schedule``; raise :class:`InfeasibleScheduleError` otherwise."""
+    report = validate_schedule(schedule, instance)
+    if not report.is_feasible:
+        raise InfeasibleScheduleError(report)
+    return schedule

@@ -1,0 +1,56 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .aggregate import (
+    CategoryPick,
+    best_variant_per_category,
+    best_variant_series,
+    group_by_capacity_and_heuristic,
+    summaries_by_capacity,
+)
+from .config import PAPER_CAPACITY_FACTORS, ExperimentConfig, scaled_config
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure04_static_examples,
+    figure05_dynamic_examples,
+    figure06_corrected_examples,
+    figure07_milp_comparison,
+    figure08_workload_characteristics,
+    figure09_hf_heuristics,
+    figure10_hf_best_variants,
+    figure11_ccsd_heuristics,
+    figure12_ccsd_best_variants,
+    figure13_batches,
+    table02_proposition1,
+    table06_favorable_situations,
+)
+from .runner import RunRecord, run_on_instance, sweep_ensemble, sweep_trace
+
+__all__ = [
+    "ALL_FIGURES",
+    "CategoryPick",
+    "ExperimentConfig",
+    "FigureResult",
+    "PAPER_CAPACITY_FACTORS",
+    "RunRecord",
+    "best_variant_per_category",
+    "best_variant_series",
+    "figure04_static_examples",
+    "figure05_dynamic_examples",
+    "figure06_corrected_examples",
+    "figure07_milp_comparison",
+    "figure08_workload_characteristics",
+    "figure09_hf_heuristics",
+    "figure10_hf_best_variants",
+    "figure11_ccsd_heuristics",
+    "figure12_ccsd_best_variants",
+    "figure13_batches",
+    "group_by_capacity_and_heuristic",
+    "run_on_instance",
+    "scaled_config",
+    "summaries_by_capacity",
+    "sweep_ensemble",
+    "sweep_trace",
+    "table02_proposition1",
+    "table06_favorable_situations",
+]

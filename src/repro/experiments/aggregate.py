@@ -1,0 +1,125 @@
+"""Aggregation of run records into the distributions the figures report.
+
+Figures 9/11 show, for each memory capacity, the distribution of the
+ratio-to-optimal of every heuristic across the trace ensemble; Figures 10/12/13
+show, per capacity, only the *best variant of each category* (the variant with
+the lowest median ratio).  This module turns flat lists of
+:class:`~repro.experiments.runner.RunRecord` into exactly those structures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..heuristics.base import Category
+from ..traces.stats import DistributionSummary, summarise
+from .runner import RunRecord
+
+__all__ = [
+    "group_by_capacity_and_heuristic",
+    "summaries_by_capacity",
+    "best_variant_per_category",
+    "best_variant_series",
+    "CategoryPick",
+]
+
+
+def group_by_capacity_and_heuristic(
+    records: Iterable[RunRecord],
+) -> dict[float, dict[str, list[RunRecord]]]:
+    """``{capacity factor: {heuristic: [records]}}`` preserving insertion order."""
+    grouped: dict[float, dict[str, list[RunRecord]]] = defaultdict(lambda: defaultdict(list))
+    for record in records:
+        grouped[record.capacity_factor][record.heuristic].append(record)
+    return {factor: dict(inner) for factor, inner in grouped.items()}
+
+
+def summaries_by_capacity(
+    records: Iterable[RunRecord],
+) -> dict[float, dict[str, DistributionSummary]]:
+    """Ratio-to-optimal five-number summaries, per capacity factor and heuristic."""
+    grouped = group_by_capacity_and_heuristic(records)
+    return {
+        factor: {
+            heuristic: summarise(r.ratio_to_optimal for r in runs)
+            for heuristic, runs in inner.items()
+        }
+        for factor, inner in grouped.items()
+    }
+
+
+@dataclass(frozen=True)
+class CategoryPick:
+    """The best heuristic of one category at one capacity."""
+
+    category: str
+    heuristic: str
+    capacity_factor: float
+    summary: DistributionSummary
+
+
+def best_variant_per_category(
+    records: Iterable[RunRecord],
+    *,
+    categories: Sequence[Category | str] = (
+        Category.SUBMISSION,
+        Category.STATIC,
+        Category.DYNAMIC,
+        Category.CORRECTED,
+    ),
+) -> dict[float, list[CategoryPick]]:
+    """Best (lowest median ratio) heuristic per category, per capacity factor."""
+    wanted = [str(Category(c)) for c in categories]
+    by_capacity: dict[float, dict[tuple[str, str], list[RunRecord]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for record in records:
+        by_capacity[record.capacity_factor][(record.category, record.heuristic)].append(record)
+
+    result: dict[float, list[CategoryPick]] = {}
+    for factor, groups in by_capacity.items():
+        picks: list[CategoryPick] = []
+        for category in wanted:
+            candidates = {
+                heuristic: summarise(r.ratio_to_optimal for r in runs)
+                for (cat, heuristic), runs in groups.items()
+                if cat == category
+            }
+            if not candidates:
+                continue
+            best_name = min(candidates, key=lambda name: candidates[name].median)
+            picks.append(
+                CategoryPick(
+                    category=category,
+                    heuristic=best_name,
+                    capacity_factor=factor,
+                    summary=candidates[best_name],
+                )
+            )
+        result[factor] = picks
+    return result
+
+
+def best_variant_series(
+    records: Iterable[RunRecord],
+    *,
+    categories: Sequence[Category | str] = (
+        Category.SUBMISSION,
+        Category.STATIC,
+        Category.DYNAMIC,
+        Category.CORRECTED,
+    ),
+    label_with_heuristic: bool = False,
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 10/12/13 series: per category, (capacity factor, median ratio) points."""
+    picks = best_variant_per_category(records, categories=categories)
+    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for factor in sorted(picks):
+        for pick in picks[factor]:
+            label = (
+                f"{pick.category}:{pick.heuristic}" if label_with_heuristic else pick.category
+            )
+            series[label].append((factor, pick.summary.median))
+    return dict(series)

@@ -1,0 +1,396 @@
+"""Drivers regenerating every evaluation table and figure of the paper.
+
+Each ``figureNN`` function runs the corresponding experiment at the requested
+scale and returns a :class:`FigureResult` carrying both the raw records and a
+plain-text rendering that mirrors the paper's figure (boxplot statistics or
+per-capacity series).  The benchmark suite calls these drivers once per
+figure and prints the rendering, so ``pytest benchmarks/ --benchmark-only``
+regenerates the whole evaluation section.
+
+Figure index (see DESIGN.md for the full mapping):
+
+* Figure 4/5/6 — worked-example schedules of the three heuristic families;
+* Figure 7 — all heuristics + lp.k on one HF trace across capacities;
+* Figure 8 — workload characteristics of the HF and CCSD ensembles;
+* Figure 9/10 — HF: all heuristics / best variant per category;
+* Figure 11/12 — CCSD: all heuristics / best variant per category;
+* Figure 13 — batched scheduling, best variant per category, both kernels;
+* Table 2/Proposition 1 — permutation vs. free-order optimum;
+* Table 6 — favorable situations (qualitative check on regime workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..chemistry.workload import ccsd_ensemble, hf_ensemble
+from ..core.paper_instances import (
+    corrected_example_instance,
+    dynamic_example_instance,
+    proposition1_instance,
+    static_example_instance,
+)
+from ..flowshop.bruteforce import best_permutation_schedule, best_schedule_allowing_reordering
+from ..flowshop.johnson import johnson_schedule, omim_makespan
+from ..heuristics.registry import all_heuristics, paper_figure_lineup, table6_rows
+from ..milp.iterative import IterativeMilpHeuristic
+from ..traces.model import Trace, TraceEnsemble
+from ..traces.stats import characterise_ensemble, summarise
+from ..viz.boxplot import render_series_table, render_summary_table
+from ..viz.gantt import render_gantt
+from .aggregate import best_variant_series, summaries_by_capacity
+from .config import ExperimentConfig, scaled_config
+from .runner import RunRecord, sweep_ensemble, sweep_trace
+
+__all__ = [
+    "FigureResult",
+    "figure04_static_examples",
+    "figure05_dynamic_examples",
+    "figure06_corrected_examples",
+    "figure07_milp_comparison",
+    "figure08_workload_characteristics",
+    "figure09_hf_heuristics",
+    "figure10_hf_best_variants",
+    "figure11_ccsd_heuristics",
+    "figure12_ccsd_best_variants",
+    "figure13_batches",
+    "table02_proposition1",
+    "table06_favorable_situations",
+    "ALL_FIGURES",
+]
+
+
+@dataclass
+class FigureResult:
+    """Output of one figure driver: raw data plus a printable rendering."""
+
+    name: str
+    description: str
+    text: str
+    records: list[RunRecord] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.name} ==\n{self.description}\n\n{self.text}\n"
+
+
+# --------------------------------------------------------------------------- #
+# Worked examples (Figures 4-6)
+# --------------------------------------------------------------------------- #
+def _example_figure(name: str, description: str, instance, heuristic_names) -> FigureResult:
+    registry = all_heuristics()
+    blocks = []
+    makespans = {}
+    omim = omim_makespan(instance)
+    blocks.append(f"instance {instance.name}  capacity={instance.capacity:g}  OMIM={omim:g}")
+    blocks.append(render_gantt(johnson_schedule(instance.without_memory_constraint())))
+    blocks[-1] = "OMIM (infinite memory):\n" + blocks[-1]
+    for heuristic_name in heuristic_names:
+        schedule = registry[heuristic_name].schedule(instance)
+        makespans[heuristic_name] = schedule.makespan
+        blocks.append(f"{heuristic_name} (makespan {schedule.makespan:g}):\n" + render_gantt(schedule))
+    return FigureResult(
+        name=name,
+        description=description,
+        text="\n\n".join(blocks),
+        data={"makespans": makespans, "omim": omim},
+    )
+
+
+def figure04_static_examples(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 4 — static heuristics on the Table 3 task set (capacity 6)."""
+    return _example_figure(
+        "figure04",
+        "Static-order heuristic schedules for the Table 3 instance, capacity 6.",
+        static_example_instance(),
+        ("OOSIM", "IOCMS", "DOCPS", "IOCCS", "DOCCS"),
+    )
+
+
+def figure05_dynamic_examples(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 5 — dynamic heuristics on the Table 4 task set (capacity 6)."""
+    return _example_figure(
+        "figure05",
+        "Dynamic heuristic schedules for the Table 4 instance, capacity 6.",
+        dynamic_example_instance(),
+        ("LCMR", "SCMR", "MAMR"),
+    )
+
+
+def figure06_corrected_examples(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 6 — corrected heuristics on the Table 5 task set (capacity 9)."""
+    return _example_figure(
+        "figure06",
+        "Static-order-with-dynamic-corrections schedules for the Table 5 instance, capacity 9.",
+        corrected_example_instance(),
+        ("OOLCMR", "OOSCMR", "OOMAMR"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation figures (7-13)
+# --------------------------------------------------------------------------- #
+def _hf(config: ExperimentConfig) -> TraceEnsemble:
+    return hf_ensemble(processes=config.processes, traces=config.traces, seed=config.seed)
+
+
+def _ccsd(config: ExperimentConfig) -> TraceEnsemble:
+    return ccsd_ensemble(processes=config.processes, traces=config.traces, seed=config.seed)
+
+
+def figure07_milp_comparison(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 7 — every heuristic plus lp.3..lp.6 on a single HF trace."""
+    config = config or scaled_config()
+    trace = hf_ensemble(processes=config.processes, traces=1, seed=config.seed)[0]
+    heuristics = paper_figure_lineup() + [
+        IterativeMilpHeuristic(window=window) for window in config.milp_windows
+    ]
+    records = sweep_trace(
+        trace,
+        capacity_factors=config.capacity_factors,
+        heuristics=heuristics,
+        task_limit=config.milp_task_limit,
+    )
+    summaries = summaries_by_capacity(records)
+    sections = [
+        render_summary_table(
+            summaries[factor],
+            title=f"capacity = {factor:g} mc",
+            value_label="makespan ratio to OMIM (single HF trace)",
+        )
+        for factor in sorted(summaries)
+    ]
+    return FigureResult(
+        name="figure07",
+        description=(
+            "Proposed heuristics versus the windowed MILP heuristic (lp.k) on a single "
+            f"HF trace truncated to {config.milp_task_limit} tasks, capacities mc..2mc."
+        ),
+        text="\n\n".join(sections),
+        records=records,
+        data={"trace": trace.label, "mc_bytes": trace.min_capacity_bytes},
+    )
+
+
+def figure08_workload_characteristics(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 8 — HF and CCSD workload characteristics normalised by OMIM."""
+    config = config or scaled_config()
+    sections = []
+    data = {}
+    for label, ensemble in (("HF", _hf(config)), ("CCSD", _ccsd(config))):
+        characteristics = characterise_ensemble(ensemble)
+        groups = {
+            "sum comm": summarise(c.sum_comm_ratio for c in characteristics),
+            "sum comp": summarise(c.sum_comp_ratio for c in characteristics),
+            "max(sum comm, sum comp)": summarise(c.area_bound_ratio for c in characteristics),
+            "sum comm + sum comp": summarise(c.sequential_ratio for c in characteristics),
+        }
+        overlap = summarise(c.max_overlap_fraction for c in characteristics)
+        mc = summarise(c.min_capacity_bytes for c in characteristics)
+        sections.append(
+            render_summary_table(
+                groups,
+                title=f"{label} workload ({len(ensemble)} traces)",
+                value_label="ratio to OMIM",
+            )
+            + f"\nmax possible overlap fraction: median {overlap.median:.3f}"
+            + f"\nminimum memory capacity mc: median {mc.median:.3g} bytes"
+        )
+        data[label] = {"overlap": overlap, "mc": mc, "groups": groups}
+    return FigureResult(
+        name="figure08",
+        description="Workload characteristics of the simulated HF and CCSD traces (Figure 8).",
+        text="\n\n".join(sections),
+        data=data,
+    )
+
+
+def _heuristic_boxplot_figure(
+    name: str,
+    description: str,
+    ensemble: TraceEnsemble,
+    config: ExperimentConfig,
+) -> FigureResult:
+    records = sweep_ensemble(
+        ensemble,
+        capacity_factors=config.capacity_factors,
+        heuristics=paper_figure_lineup(config.heuristics),
+    )
+    summaries = summaries_by_capacity(records)
+    sections = [
+        render_summary_table(
+            summaries[factor],
+            title=f"capacity = {factor:g} mc",
+            value_label=f"ratio to optimal across {len(ensemble)} traces",
+        )
+        for factor in sorted(summaries)
+    ]
+    return FigureResult(
+        name=name,
+        description=description,
+        text="\n\n".join(sections),
+        records=records,
+    )
+
+
+def figure09_hf_heuristics(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 9 — distribution of every heuristic's ratio on the HF traces."""
+    config = config or scaled_config()
+    return _heuristic_boxplot_figure(
+        "figure09",
+        "Comparison of all heuristics on the HF traces for capacities mc..2mc.",
+        _hf(config),
+        config,
+    )
+
+
+def figure11_ccsd_heuristics(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 11 — distribution of every heuristic's ratio on the CCSD traces."""
+    config = config or scaled_config()
+    return _heuristic_boxplot_figure(
+        "figure11",
+        "Comparison of all heuristics on the CCSD traces for capacities mc..2mc.",
+        _ccsd(config),
+        config,
+    )
+
+
+def _best_variant_figure(
+    name: str,
+    description: str,
+    ensemble: TraceEnsemble,
+    config: ExperimentConfig,
+    *,
+    batch_size: int | None = None,
+) -> FigureResult:
+    records = sweep_ensemble(
+        ensemble,
+        capacity_factors=config.capacity_factors,
+        heuristics=paper_figure_lineup(config.heuristics),
+        batch_size=batch_size,
+    )
+    series = best_variant_series(records)
+    text = render_series_table(
+        series,
+        title=f"{ensemble.application}: best variant of each category",
+        x_label="capacity (x mc)",
+        y_label="median ratio to optimal",
+    )
+    return FigureResult(name=name, description=description, text=text, records=records)
+
+
+def figure10_hf_best_variants(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 10 — best variant of each category on the HF traces."""
+    config = config or scaled_config()
+    return _best_variant_figure(
+        "figure10",
+        "Best variant of each heuristic category (HF traces), median ratio per capacity.",
+        _hf(config),
+        config,
+    )
+
+
+def figure12_ccsd_best_variants(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 12 — best variant of each category on the CCSD traces."""
+    config = config or scaled_config()
+    return _best_variant_figure(
+        "figure12",
+        "Best variant of each heuristic category (CCSD traces), median ratio per capacity.",
+        _ccsd(config),
+        config,
+    )
+
+
+def figure13_batches(config: ExperimentConfig | None = None) -> FigureResult:
+    """Figure 13 — batched scheduling (batches of 100 tasks), both applications."""
+    config = config or scaled_config()
+    sections = []
+    records: list[RunRecord] = []
+    for ensemble in (_hf(config), _ccsd(config)):
+        result = _best_variant_figure(
+            f"figure13-{ensemble.application}",
+            "",
+            ensemble,
+            config,
+            batch_size=config.batch_size,
+        )
+        records.extend(result.records)
+        sections.append(
+            f"Best variants of {ensemble.application} (batches of {config.batch_size} tasks)\n"
+            + result.text
+        )
+    return FigureResult(
+        name="figure13",
+        description=(
+            "Best variant of each category when heuristics are applied to successive "
+            f"batches of {config.batch_size} tasks (Section 6.3)."
+        ),
+        text="\n\n".join(sections),
+        records=records,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------------- #
+def table02_proposition1(config: ExperimentConfig | None = None) -> FigureResult:
+    """Table 2 / Proposition 1 — same-order vs. free-order optimal schedules."""
+    instance = proposition1_instance()
+    permutation_schedule, permutation_makespan = best_permutation_schedule(instance)
+    free_schedule, free_makespan = best_schedule_allowing_reordering(instance)
+    lines = [
+        f"instance {instance.name}, capacity {instance.capacity:g}",
+        f"OMIM (no memory constraint): {omim_makespan(instance):g}",
+        f"best schedule with identical orders on both resources: {permutation_makespan:g}",
+        f"best schedule allowing different orders:              {free_makespan:g}",
+        "",
+        "best same-order schedule:",
+        render_gantt(permutation_schedule),
+        "",
+        "best different-order schedule:",
+        render_gantt(free_schedule),
+    ]
+    return FigureResult(
+        name="table02",
+        description=(
+            "Proposition 1: with limited memory, allowing different communication and "
+            "computation orders strictly improves the optimal makespan."
+        ),
+        text="\n".join(lines),
+        data={
+            "permutation_makespan": permutation_makespan,
+            "free_makespan": free_makespan,
+        },
+    )
+
+
+def table06_favorable_situations(config: ExperimentConfig | None = None) -> FigureResult:
+    """Table 6 — each heuristic with its favorable situation."""
+    rows = table6_rows()
+    width = max(len(r.name) for r in rows) + 1
+    lines = [f"{'heuristic':<{width}} favorable situation"]
+    lines.extend(f"{row.name:<{width}} {row.favorable_situation}" for row in rows)
+    return FigureResult(
+        name="table06",
+        description="Heuristics and the situations in which they are expected to shine (Table 6).",
+        text="\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+#: Every figure/table driver, keyed by its identifier (used by examples and docs).
+ALL_FIGURES: Mapping[str, Callable[[ExperimentConfig | None], FigureResult]] = {
+    "figure04": figure04_static_examples,
+    "figure05": figure05_dynamic_examples,
+    "figure06": figure06_corrected_examples,
+    "figure07": figure07_milp_comparison,
+    "figure08": figure08_workload_characteristics,
+    "figure09": figure09_hf_heuristics,
+    "figure10": figure10_hf_best_variants,
+    "figure11": figure11_ccsd_heuristics,
+    "figure12": figure12_ccsd_best_variants,
+    "figure13": figure13_batches,
+    "table02": table02_proposition1,
+    "table06": table06_favorable_situations,
+}

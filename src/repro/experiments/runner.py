@@ -1,0 +1,147 @@
+"""Running heuristics over traces and memory-capacity sweeps.
+
+This is the engine behind every evaluation figure: take a trace, build the
+instances for a range of capacities (``factor * mc``), run a set of heuristics
+on each, validate the resulting schedules, and record the ratio to OMIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.instance import Instance
+from ..core.metrics import evaluate
+from ..core.validation import check_schedule
+from ..flowshop.johnson import omim_makespan
+from ..heuristics.base import Category, Heuristic
+from ..heuristics.registry import paper_figure_lineup
+from ..simulator.batch import execute_in_batches
+from ..traces.model import Trace, TraceEnsemble
+
+__all__ = ["RunRecord", "run_on_instance", "sweep_trace", "sweep_ensemble"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (trace, capacity, heuristic) measurement."""
+
+    application: str
+    trace: str
+    heuristic: str
+    category: str
+    capacity_factor: float
+    capacity: float
+    makespan: float
+    omim: float
+    ratio_to_optimal: float
+    task_count: int
+
+    @property
+    def key(self) -> tuple[str, float]:
+        return (self.heuristic, self.capacity_factor)
+
+
+def run_on_instance(
+    instance: Instance,
+    heuristics: Sequence[Heuristic],
+    *,
+    reference: float | None = None,
+    validate: bool = True,
+    application: str = "",
+    capacity_factor: float = float("nan"),
+    batch_size: int | None = None,
+) -> list[RunRecord]:
+    """Run every heuristic on one instance and return the measurements.
+
+    ``batch_size`` switches to the Section 6.3 batched execution mode, where a
+    heuristic is applied to successive windows of the submission order.
+    """
+    reference = omim_makespan(instance) if reference is None else reference
+    records = []
+    for heuristic in heuristics:
+        if batch_size is None:
+            schedule = heuristic.schedule(instance)
+        else:
+            schedule = execute_in_batches(instance, heuristic.schedule, batch_size=batch_size)
+        if validate:
+            check_schedule(schedule, instance)
+        metrics = evaluate(schedule, instance, heuristic=heuristic.name, reference=reference)
+        records.append(
+            RunRecord(
+                application=application or instance.name.split("/")[0],
+                trace=instance.name,
+                heuristic=heuristic.name,
+                category=str(heuristic.category),
+                capacity_factor=capacity_factor,
+                capacity=instance.capacity,
+                makespan=metrics.makespan,
+                omim=metrics.omim,
+                ratio_to_optimal=metrics.ratio_to_optimal,
+                task_count=len(instance),
+            )
+        )
+    return records
+
+
+def sweep_trace(
+    trace: Trace,
+    *,
+    capacity_factors: Sequence[float],
+    heuristics: Sequence[Heuristic] | None = None,
+    validate: bool = True,
+    batch_size: int | None = None,
+    task_limit: int | None = None,
+) -> list[RunRecord]:
+    """Capacity sweep (mc .. 2mc) of every heuristic on one trace."""
+    heuristics = list(heuristics) if heuristics is not None else paper_figure_lineup()
+    if task_limit is not None and task_limit < len(trace):
+        trace = Trace(
+            application=trace.application,
+            process=trace.process,
+            tasks=trace.tasks[:task_limit],
+            metadata={**trace.metadata, "task_limit": str(task_limit)},
+        )
+    base_instance = trace.to_instance()
+    reference = omim_makespan(base_instance)
+    mc = trace.min_capacity_bytes
+    records: list[RunRecord] = []
+    for factor in capacity_factors:
+        instance = trace.to_instance(mc * factor)
+        records.extend(
+            run_on_instance(
+                instance,
+                heuristics,
+                reference=reference,
+                validate=validate,
+                application=trace.application,
+                capacity_factor=factor,
+                batch_size=batch_size,
+            )
+        )
+    return records
+
+
+def sweep_ensemble(
+    ensemble: TraceEnsemble,
+    *,
+    capacity_factors: Sequence[float],
+    heuristics: Sequence[Heuristic] | None = None,
+    validate: bool = True,
+    batch_size: int | None = None,
+    task_limit: int | None = None,
+) -> list[RunRecord]:
+    """Capacity sweep over every trace of an ensemble."""
+    records: list[RunRecord] = []
+    for trace in ensemble:
+        records.extend(
+            sweep_trace(
+                trace,
+                capacity_factors=capacity_factors,
+                heuristics=heuristics,
+                validate=validate,
+                batch_size=batch_size,
+                task_limit=task_limit,
+            )
+        )
+    return records

@@ -1,0 +1,56 @@
+"""Flowshop substrate: Johnson's rule, exchange lemma, no-wait sequencing,
+exhaustive search and the 3-Partition NP-completeness reduction."""
+
+from .bruteforce import (
+    best_permutation_schedule,
+    best_schedule_allowing_reordering,
+    enumerate_permutation_makespans,
+)
+from .exchange import SwapOutcome, evaluate_swap, lemma1_applies, lemma1_case
+from .gilmore_gomory import GilmoreGomoryResult, gilmore_gomory_order
+from .johnson import (
+    johnson_order,
+    johnson_schedule,
+    omim_makespan,
+    sequence_schedule_infinite_memory,
+)
+from .nowait import (
+    brute_force_nowait_order,
+    held_karp_nowait_order,
+    nowait_makespan,
+    nowait_transition_cost,
+)
+from .npcomplete import (
+    DTReduction,
+    ThreePartitionInstance,
+    partition_from_schedule,
+    reduce_three_partition,
+    schedule_from_partition,
+    solve_three_partition,
+)
+
+__all__ = [
+    "DTReduction",
+    "GilmoreGomoryResult",
+    "SwapOutcome",
+    "ThreePartitionInstance",
+    "best_permutation_schedule",
+    "best_schedule_allowing_reordering",
+    "brute_force_nowait_order",
+    "enumerate_permutation_makespans",
+    "evaluate_swap",
+    "gilmore_gomory_order",
+    "held_karp_nowait_order",
+    "johnson_order",
+    "johnson_schedule",
+    "lemma1_applies",
+    "lemma1_case",
+    "nowait_makespan",
+    "nowait_transition_cost",
+    "omim_makespan",
+    "partition_from_schedule",
+    "reduce_three_partition",
+    "schedule_from_partition",
+    "sequence_schedule_infinite_memory",
+    "solve_three_partition",
+]

@@ -1,0 +1,115 @@
+"""No-wait two-machine flowshop utilities.
+
+The Gilmore–Gomory heuristic of the paper (Section 4.4) sequences tasks as if
+they were jobs of a *no-wait* 2-machine flowshop: a job must start on the
+second machine immediately when it leaves the first one (in Problem DT terms,
+a task would start computing the instant its transfer completes).  The
+makespan of a no-wait sequence ``j1, ..., jn`` is
+
+    comm(j1) + sum_i comp(ji) + sum_{i>=2} max(comm(ji) - comp(j(i-1)), 0)
+
+This module provides the makespan evaluation, an exact Held–Karp dynamic
+program and a brute-force search (both for small instances, used to validate
+the Gilmore–Gomory implementation), expressed on :class:`~repro.core.task.Task`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Sequence
+
+from ..core.task import Task
+
+__all__ = [
+    "nowait_makespan",
+    "nowait_transition_cost",
+    "brute_force_nowait_order",
+    "held_karp_nowait_order",
+]
+
+
+def nowait_transition_cost(previous: Task | None, nxt: Task) -> float:
+    """Idle time forced on the communication link when ``nxt`` follows ``previous``.
+
+    With no predecessor the cost is the full communication time of ``nxt``
+    (the processing unit always waits for the first transfer).
+    """
+    if previous is None:
+        return nxt.comm
+    return max(nxt.comm - previous.comp, 0.0)
+
+
+def nowait_makespan(sequence: Sequence[Task]) -> float:
+    """Makespan of ``sequence`` under the no-wait policy."""
+    if not sequence:
+        return 0.0
+    total = sum(t.comp for t in sequence)
+    previous: Task | None = None
+    for task in sequence:
+        total += nowait_transition_cost(previous, task)
+        previous = task
+    return total
+
+
+def brute_force_nowait_order(tasks: Iterable[Task]) -> tuple[list[Task], float]:
+    """Exhaustively find an optimal no-wait order (factorial time, tests only)."""
+    tasks = list(tasks)
+    if len(tasks) > 9:
+        raise ValueError("brute force restricted to at most 9 tasks")
+    best_order = list(tasks)
+    best_value = nowait_makespan(tasks)
+    for perm in itertools.permutations(tasks):
+        value = nowait_makespan(perm)
+        if value < best_value - 1e-12:
+            best_value = value
+            best_order = list(perm)
+    return best_order, best_value
+
+
+def held_karp_nowait_order(tasks: Iterable[Task]) -> tuple[list[Task], float]:
+    """Exact no-wait sequencing via Held–Karp (O(2^n n^2), n <= ~16)."""
+    tasks = list(tasks)
+    n = len(tasks)
+    if n == 0:
+        return [], 0.0
+    if n > 16:
+        raise ValueError("Held-Karp restricted to at most 16 tasks")
+    total_comp = sum(t.comp for t in tasks)
+
+    # dp[(mask, last)] = minimal accumulated transition cost over the tasks in
+    # ``mask`` ending with ``last``.
+    dp: dict[tuple[int, int], float] = {}
+    parent: dict[tuple[int, int], int | None] = {}
+    for i, task in enumerate(tasks):
+        dp[(1 << i, i)] = task.comm
+        parent[(1 << i, i)] = None
+
+    for mask in range(1, 1 << n):
+        for last in range(n):
+            key = (mask, last)
+            if key not in dp:
+                continue
+            base = dp[key]
+            for nxt in range(n):
+                if mask & (1 << nxt):
+                    continue
+                new_mask = mask | (1 << nxt)
+                cost = base + nowait_transition_cost(tasks[last], tasks[nxt])
+                new_key = (new_mask, nxt)
+                if cost < dp.get(new_key, math.inf) - 1e-15:
+                    dp[new_key] = cost
+                    parent[new_key] = last
+
+    full = (1 << n) - 1
+    best_last = min(range(n), key=lambda last: dp[(full, last)])
+    order_indices: list[int] = []
+    mask, last = full, best_last
+    while last is not None:
+        order_indices.append(last)
+        prev = parent[(mask, last)]
+        mask ^= 1 << last
+        last = prev  # type: ignore[assignment]
+    order_indices.reverse()
+    order = [tasks[i] for i in order_indices]
+    return order, dp[(full, best_last)] + total_comp

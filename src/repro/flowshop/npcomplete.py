@@ -1,0 +1,251 @@
+"""NP-completeness machinery: the 3-Partition reduction of Theorem 2 (Table 1).
+
+The paper proves Problem DT NP-complete by reducing 3-Partition to it.  Given
+``3m`` integers ``a_1..a_3m`` summing to ``m * b``, the reduction builds the
+``4m + 1`` tasks of Table 1:
+
+===========================  ===================  =================
+Task                          Communication time   Computation time
+===========================  ===================  =================
+``K_0``                       0                     3
+``K_1 .. K_{m-1}``            ``b' = b + 6x``       3
+``K_m``                       ``b'``                0
+``A_i`` (``1 <= i <= 3m``)    1                     ``a_i + 2x``
+===========================  ===================  =================
+
+with ``x = max(a_i)``, memory capacity ``C = b' + 3`` and target makespan
+``L = m (b' + 3)``.  A feasible schedule of makespan ``L`` exists iff the
+3-Partition instance is a yes-instance, and the correspondence is
+constructive: the triplet executed while ``K_i`` communicates is the ``i``-th
+part of the partition.
+
+This module provides the forward construction, the two directions of the
+correspondence (partition → schedule of makespan ``L`` and feasible schedule →
+partition), and a small exact 3-Partition solver used by tests and the
+Table 1 benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule, ScheduledTask
+from ..core.task import Task
+from ..core.validation import TOLERANCE, check_schedule
+
+__all__ = [
+    "ThreePartitionInstance",
+    "DTReduction",
+    "reduce_three_partition",
+    "schedule_from_partition",
+    "partition_from_schedule",
+    "solve_three_partition",
+]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-Partition instance: ``3m`` positive integers summing to ``m * b``."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) % 3 != 0 or not self.values:
+            raise ValueError("3-Partition requires a positive multiple of 3 values")
+        if any(v <= 0 for v in self.values):
+            raise ValueError("3-Partition values must be positive")
+        if sum(self.values) % self.m != 0:
+            raise ValueError("sum of values must be divisible by m")
+
+    @property
+    def m(self) -> int:
+        return len(self.values) // 3
+
+    @property
+    def target(self) -> int:
+        """The per-triplet sum ``b``."""
+        return sum(self.values) // self.m
+
+    @property
+    def max_value(self) -> int:
+        return max(self.values)
+
+
+@dataclass(frozen=True)
+class DTReduction:
+    """Problem DT instance produced from a 3-Partition instance."""
+
+    source: ThreePartitionInstance
+    instance: Instance
+    target_makespan: float
+    scaled_target: float  # b' = b + 6x
+    padding: int  # x = max(a_i)
+
+    @property
+    def capacity(self) -> float:
+        return self.instance.capacity
+
+    def separator_tasks(self) -> list[Task]:
+        """The ``K_0 .. K_m`` tasks, in index order."""
+        return [self.instance[f"K{i}"] for i in range(self.source.m + 1)]
+
+    def item_tasks(self) -> list[Task]:
+        """The ``A_1 .. A_3m`` tasks, in index order."""
+        return [self.instance[f"A{i}"] for i in range(1, 3 * self.source.m + 1)]
+
+
+def reduce_three_partition(values: Sequence[int] | ThreePartitionInstance) -> DTReduction:
+    """Build the Table 1 instance for a 3-Partition input."""
+    source = values if isinstance(values, ThreePartitionInstance) else ThreePartitionInstance(tuple(values))
+    m = source.m
+    b = source.target
+    x = source.max_value
+    b_prime = b + 6 * x
+
+    tasks: list[Task] = [Task.from_times("K0", comm=0, comp=3)]
+    for i in range(1, m):
+        tasks.append(Task.from_times(f"K{i}", comm=b_prime, comp=3))
+    tasks.append(Task.from_times(f"K{m}", comm=b_prime, comp=0))
+    for i, value in enumerate(source.values, start=1):
+        tasks.append(Task.from_times(f"A{i}", comm=1, comp=value + 2 * x))
+
+    capacity = b_prime + 3
+    instance = Instance(tasks, capacity=capacity, name=f"3par/m={m}/b={b}")
+    target = m * (b_prime + 3)
+    return DTReduction(
+        source=source,
+        instance=instance,
+        target_makespan=float(target),
+        scaled_target=float(b_prime),
+        padding=x,
+    )
+
+
+def schedule_from_partition(
+    reduction: DTReduction, triplets: Sequence[Sequence[int]]
+) -> Schedule:
+    """Build the Figure 2 schedule from a valid partition.
+
+    ``triplets`` contains ``m`` index triplets into ``source.values`` (0-based),
+    each summing to ``b``.  The returned schedule is feasible for the reduced
+    instance and has makespan exactly ``L``.
+    """
+    source = reduction.source
+    m = source.m
+    b = source.target
+    if len(triplets) != m:
+        raise ValueError(f"expected {m} triplets, got {len(triplets)}")
+    used = sorted(i for triplet in triplets for i in triplet)
+    if used != list(range(3 * m)):
+        raise ValueError("triplets must partition the value indices exactly")
+    for triplet in triplets:
+        if len(triplet) != 3:
+            raise ValueError("every part must contain exactly three values")
+        if sum(source.values[i] for i in triplet) != b:
+            raise ValueError(
+                f"triplet {tuple(triplet)} sums to "
+                f"{sum(source.values[i] for i in triplet)}, expected {b}"
+            )
+
+    instance = reduction.instance
+    segment = reduction.scaled_target + 3.0  # b' + 3, duration of one block
+    entries: list[ScheduledTask] = []
+
+    # Separator tasks: K_i communicates during [i*segment + 3 - 3, ...]; more
+    # precisely K_0 communicates (0 time) and computes over [0, 3]; K_i
+    # (1 <= i <= m) communicates over [(i-1)*segment + 3, i*segment] and
+    # computes over [i*segment, i*segment + 3] (K_m has zero computation).
+    k_tasks = reduction.separator_tasks()
+    entries.append(ScheduledTask(task=k_tasks[0], comm_start=0.0, comp_start=0.0))
+    for i in range(1, m + 1):
+        comm_start = (i - 1) * segment + 3.0
+        comp_start = comm_start + reduction.scaled_target
+        entries.append(ScheduledTask(task=k_tasks[i], comm_start=comm_start, comp_start=comp_start))
+
+    # Item tasks of triplet i: their unit communications run back to back during
+    # K_{i-1}'s computation, their computations run back to back during K_i's
+    # communication.
+    for block, triplet in enumerate(triplets):
+        comm_cursor = block * segment
+        comp_cursor = block * segment + 3.0
+        for position, index in enumerate(triplet):
+            task = instance[f"A{index + 1}"]
+            comm_start = comm_cursor + position  # unit communication times
+            comp_start = comp_cursor
+            entries.append(ScheduledTask(task=task, comm_start=comm_start, comp_start=comp_start))
+            comp_cursor += task.comp
+
+    schedule = Schedule(entries)
+    return check_schedule(schedule, instance)
+
+
+def partition_from_schedule(reduction: DTReduction, schedule: Schedule) -> list[list[int]]:
+    """Extract the 3-Partition solution encoded by a feasible makespan-``L`` schedule.
+
+    The ``i``-th part collects the items whose computation runs during the
+    communication of ``K_i`` (Theorem 2's argument).  Raises ``ValueError``
+    when the schedule does not have the required block structure, which (per
+    the theorem) only happens if its makespan exceeds ``L``.
+    """
+    source = reduction.source
+    m = source.m
+    b = source.target
+    parts: list[list[int]] = []
+    for i in range(1, m + 1):
+        separator = schedule.entry(f"K{i}")
+        window = (separator.comm_start, separator.comm_end)
+        members = []
+        for index in range(1, 3 * m + 1):
+            item = schedule.entry(f"A{index}")
+            if window[0] - TOLERANCE <= item.comp_start and item.comp_end <= window[1] + TOLERANCE:
+                members.append(index - 1)
+        if len(members) != 3:
+            raise ValueError(
+                f"communication window of K{i} covers {len(members)} item computations, expected 3"
+            )
+        total = sum(source.values[j] for j in members)
+        if total != b:
+            raise ValueError(f"items under K{i} sum to {total}, expected {b}")
+        parts.append(members)
+    return parts
+
+
+def solve_three_partition(instance: ThreePartitionInstance) -> list[list[int]] | None:
+    """Exact backtracking solver for small 3-Partition instances (tests only).
+
+    Returns ``m`` index triplets or ``None`` when no partition exists.  The
+    search enumerates triplets containing the smallest unassigned index, which
+    keeps the branching factor manageable for the instance sizes used in the
+    test-suite and benchmarks (up to a few dozen values).
+    """
+    values = instance.values
+    m = instance.m
+    b = instance.target
+    remaining = set(range(len(values)))
+    solution: list[list[int]] = []
+
+    def backtrack() -> bool:
+        if not remaining:
+            return True
+        anchor = min(remaining)
+        rest = sorted(remaining - {anchor})
+        for second, third in itertools.combinations(rest, 2):
+            if values[anchor] + values[second] + values[third] != b:
+                continue
+            triplet = [anchor, second, third]
+            for idx in triplet:
+                remaining.discard(idx)
+            solution.append(triplet)
+            if backtrack():
+                return True
+            solution.pop()
+            for idx in triplet:
+                remaining.add(idx)
+        return False
+
+    if backtrack():
+        return solution
+    return None

@@ -1,0 +1,67 @@
+"""Data-transfer ordering heuristics (Sections 4.1-4.4 of the paper)."""
+
+from .base import Category, Heuristic, HeuristicInfo
+from .baselines import BinPackingFirstFit, GilmoreGomory, first_fit_bins
+from .corrected import (
+    CorrectedHeuristic,
+    CorrectedLargestCommunication,
+    CorrectedMaximumAcceleration,
+    CorrectedSmallestCommunication,
+)
+from .dynamic import (
+    DynamicHeuristic,
+    LargestCommunicationFirst,
+    MaximumAccelerationFirst,
+    SmallestCommunicationFirst,
+)
+from .registry import (
+    PAPER_FIGURE_ORDER,
+    all_heuristics,
+    category_members,
+    get_heuristic,
+    heuristic_names,
+    heuristics_by_category,
+    paper_figure_lineup,
+    table6_rows,
+)
+from .static import (
+    DecreasingCommPlusComp,
+    DecreasingComputation,
+    IncreasingCommPlusComp,
+    IncreasingCommunication,
+    OptimalOrderInfiniteMemory,
+    OrderOfSubmission,
+    StaticOrderHeuristic,
+)
+
+__all__ = [
+    "Category",
+    "Heuristic",
+    "HeuristicInfo",
+    "StaticOrderHeuristic",
+    "DynamicHeuristic",
+    "CorrectedHeuristic",
+    "OrderOfSubmission",
+    "OptimalOrderInfiniteMemory",
+    "IncreasingCommunication",
+    "DecreasingComputation",
+    "IncreasingCommPlusComp",
+    "DecreasingCommPlusComp",
+    "GilmoreGomory",
+    "BinPackingFirstFit",
+    "LargestCommunicationFirst",
+    "SmallestCommunicationFirst",
+    "MaximumAccelerationFirst",
+    "CorrectedLargestCommunication",
+    "CorrectedSmallestCommunication",
+    "CorrectedMaximumAcceleration",
+    "PAPER_FIGURE_ORDER",
+    "all_heuristics",
+    "category_members",
+    "first_fit_bins",
+    "get_heuristic",
+    "heuristic_names",
+    "heuristics_by_category",
+    "paper_figure_lineup",
+    "table6_rows",
+]

@@ -1,0 +1,83 @@
+"""Common heuristic interface and category metadata.
+
+Every heuristic of the paper maps a Problem DT instance to a feasible
+schedule.  They are grouped into the four categories compared in Figures 10,
+12 and 13:
+
+* ``submission`` — the trivial *order of submission* baseline (OS);
+* ``static`` — order computed up front (Section 4.1 + the Gilmore-Gomory and
+  bin-packing baselines of Section 4.4);
+* ``dynamic`` — task picked on the fly when the link is idle (Section 4.2);
+* ``corrected`` — static order with dynamic corrections (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+__all__ = ["Category", "Heuristic", "HeuristicInfo"]
+
+
+class Category(str, Enum):
+    """Heuristic families used for the per-category comparisons of the paper."""
+
+    SUBMISSION = "submission"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    CORRECTED = "corrected"
+    MILP = "milp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class HeuristicInfo:
+    """Descriptive metadata attached to each heuristic (Table 6)."""
+
+    name: str
+    category: Category
+    description: str
+    favorable_situation: str = ""
+
+
+class Heuristic(abc.ABC):
+    """A strategy that orders the data transfers of an instance.
+
+    Subclasses implement :meth:`schedule`; the instance's memory capacity is
+    always respected by construction (the executors enforce it), so the result
+    is feasible whenever every task individually fits in memory.
+    """
+
+    #: Short identifier used in reports and figures (e.g. ``"IOCMS"``).
+    name: str = "heuristic"
+    #: Category for the best-variant-per-category comparisons.
+    category: Category = Category.STATIC
+    #: One-line description.
+    description: str = ""
+    #: Favorable scenario quoted from Table 6 of the paper.
+    favorable_situation: str = ""
+
+    @abc.abstractmethod
+    def schedule(self, instance: Instance) -> Schedule:
+        """Return a feasible schedule of ``instance``."""
+
+    def __call__(self, instance: Instance) -> Schedule:
+        return self.schedule(instance)
+
+    @property
+    def info(self) -> HeuristicInfo:
+        return HeuristicInfo(
+            name=self.name,
+            category=self.category,
+            description=self.description,
+            favorable_situation=self.favorable_situation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, category={self.category.value!r})"

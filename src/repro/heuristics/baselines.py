@@ -1,0 +1,81 @@
+"""Baseline static heuristics from previous work (Section 4.4).
+
+* **GG** — the Gilmore–Gomory order for the 2-machine *no-wait* flowshop.
+  The order is computed as if no extra memory were available (the no-wait
+  assumption) and then executed under the actual memory capacity, exactly as
+  in the paper; that mismatch explains why GG underperforms.
+* **BP** — a First-Fit bin-packing pass groups tasks whose memory footprints
+  fit together under the capacity; the execution order is bin 0's tasks, then
+  bin 1's, and so on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.instance import Instance
+from ..core.task import Task
+from ..flowshop.gilmore_gomory import gilmore_gomory_order
+from .base import Category
+from .static import StaticOrderHeuristic
+
+__all__ = ["GilmoreGomory", "BinPackingFirstFit", "first_fit_bins"]
+
+
+class GilmoreGomory(StaticOrderHeuristic):
+    """GG — Gilmore–Gomory no-wait sequence under the memory constraint."""
+
+    name = "GG"
+    category = Category.STATIC
+    description = (
+        "Order from the Gilmore-Gomory no-wait two-machine flowshop algorithm, "
+        "executed under the memory capacity."
+    )
+    favorable_situation = (
+        "No extra memory beyond a single task in flight (the no-wait assumption it optimises for)."
+    )
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        return gilmore_gomory_order(instance.tasks).order
+
+
+def first_fit_bins(tasks: Sequence[Task], capacity: float) -> list[list[Task]]:
+    """First-Fit bin packing of ``tasks`` by memory footprint.
+
+    Tasks are considered in the given (submission) order; each is placed in the
+    first bin whose residual capacity accommodates its memory, a new bin being
+    opened when none does.  With an infinite capacity a single bin is returned.
+    """
+    if not math.isfinite(capacity):
+        return [list(tasks)] if tasks else []
+    bins: list[list[Task]] = []
+    residual: list[float] = []
+    for task in tasks:
+        if task.memory > capacity + 1e-12:
+            raise ValueError(
+                f"task {task.name!r} needs {task.memory:g} memory but bins have capacity {capacity:g}"
+            )
+        for index, space in enumerate(residual):
+            if task.memory <= space + 1e-12:
+                bins[index].append(task)
+                residual[index] = space - task.memory
+                break
+        else:
+            bins.append([task])
+            residual.append(capacity - task.memory)
+    return bins
+
+
+class BinPackingFirstFit(StaticOrderHeuristic):
+    """BP — First-Fit bins by memory footprint, executed bin after bin."""
+
+    name = "BP"
+    category = Category.STATIC
+    description = "First-Fit bin packing by memory footprint; bins are processed in creation order."
+    favorable_situation = "Very tight memory capacities where grouping by footprint avoids blocking."
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        bins = first_fit_bins(instance.tasks, instance.capacity)
+        return [task for bucket in bins for task in bucket]

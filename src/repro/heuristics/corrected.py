@@ -1,0 +1,78 @@
+"""Static order with dynamic corrections (Section 4.3).
+
+These heuristics precompute the OMIM order (Johnson's rule) and follow it as
+long as the next task fits in memory.  When it does not fit — i.e. the link
+would sit idle because of the memory constraint — a task is picked dynamically
+among the fitting, minimum-idle candidates, the static order is updated, and
+execution continues.  The dynamic tie-breaking criterion gives the three
+variants OOLCMR, OOSCMR and OOMAMR.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..flowshop.johnson import johnson_order
+from ..simulator.dynamic_executor import (
+    CorrectedOrderPolicy,
+    execute_with_policy,
+    largest_communication,
+    maximum_acceleration,
+    smallest_communication,
+)
+from .base import Category, Heuristic
+
+__all__ = [
+    "CorrectedHeuristic",
+    "CorrectedLargestCommunication",
+    "CorrectedSmallestCommunication",
+    "CorrectedMaximumAcceleration",
+]
+
+
+class CorrectedHeuristic(Heuristic):
+    """Base class: OMIM static order + dynamic correction criterion."""
+
+    category = Category.CORRECTED
+    criterion = staticmethod(smallest_communication)
+
+    def schedule(self, instance: Instance) -> Schedule:
+        order = [task.name for task in johnson_order(instance.tasks)]
+        policy = CorrectedOrderPolicy(order=order, criterion=type(self).criterion, name=self.name)
+        return execute_with_policy(instance, policy)
+
+
+class CorrectedLargestCommunication(CorrectedHeuristic):
+    """OOLCMR — OMIM order, corrected with the largest-communication rule."""
+
+    name = "OOLCMR"
+    description = "Johnson order; on memory blockage pick the largest-communication fitting task."
+    favorable_situation = (
+        "Moderate memory capacity and a significant percentage of communication-intensive tasks."
+    )
+    criterion = staticmethod(largest_communication)
+
+
+class CorrectedSmallestCommunication(CorrectedHeuristic):
+    """OOSCMR — OMIM order, corrected with the smallest-communication rule."""
+
+    name = "OOSCMR"
+    description = "Johnson order; on memory blockage pick the smallest-communication fitting task."
+    favorable_situation = (
+        "Moderate memory capacity and a significant percentage of compute-intensive tasks."
+    )
+    criterion = staticmethod(smallest_communication)
+
+
+class CorrectedMaximumAcceleration(CorrectedHeuristic):
+    """OOMAMR — OMIM order, corrected with the maximum-acceleration rule."""
+
+    name = "OOMAMR"
+    description = (
+        "Johnson order; on memory blockage pick the fitting task with the largest comp/comm ratio."
+    )
+    favorable_situation = (
+        "Moderate memory capacity and a significant percentage of highly compute and "
+        "communication intensive tasks."
+    )
+    criterion = staticmethod(maximum_acceleration)

@@ -1,0 +1,80 @@
+"""Dynamic-selection heuristics (Section 4.2).
+
+Whenever the communication link is idle, a task is picked among those that
+fit in the currently-available memory and induce the minimum idle time on the
+computation resource; the tie between those candidates is broken by the
+heuristic's criterion:
+
+* **LCMR** — largest communication time;
+* **SCMR** — smallest communication time;
+* **MAMR** — maximum computation/communication ratio (most "accelerated").
+
+If nothing fits, the link stays idle until the next computation completes and
+frees memory.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..simulator.dynamic_executor import (
+    CriterionPolicy,
+    execute_with_policy,
+    largest_communication,
+    maximum_acceleration,
+    smallest_communication,
+)
+from .base import Category, Heuristic
+
+__all__ = [
+    "DynamicHeuristic",
+    "LargestCommunicationFirst",
+    "SmallestCommunicationFirst",
+    "MaximumAccelerationFirst",
+]
+
+
+class DynamicHeuristic(Heuristic):
+    """Base class wiring a selection criterion into the event-driven executor."""
+
+    category = Category.DYNAMIC
+    criterion = staticmethod(smallest_communication)
+
+    def schedule(self, instance: Instance) -> Schedule:
+        policy = CriterionPolicy(criterion=type(self).criterion, name=self.name)
+        return execute_with_policy(instance, policy)
+
+
+class LargestCommunicationFirst(DynamicHeuristic):
+    """LCMR — largest communication task respecting the memory restriction."""
+
+    name = "LCMR"
+    description = "Pick the fitting, minimum-idle task with the largest communication time."
+    favorable_situation = (
+        "Limited memory capacity and a significant share of tasks with large "
+        "communication times are compute intensive."
+    )
+    criterion = staticmethod(largest_communication)
+
+
+class SmallestCommunicationFirst(DynamicHeuristic):
+    """SCMR — smallest communication task respecting the memory restriction."""
+
+    name = "SCMR"
+    description = "Pick the fitting, minimum-idle task with the smallest communication time."
+    favorable_situation = (
+        "Limited memory capacity and a significant share of tasks with small "
+        "communication times are compute intensive."
+    )
+    criterion = staticmethod(smallest_communication)
+
+
+class MaximumAccelerationFirst(DynamicHeuristic):
+    """MAMR — maximum computation-to-communication ratio."""
+
+    name = "MAMR"
+    description = (
+        "Pick the fitting, minimum-idle task with the largest computation/communication ratio."
+    )
+    favorable_situation = "Limited memory capacity and a significant percentage of tasks of both types."
+    criterion = staticmethod(maximum_acceleration)

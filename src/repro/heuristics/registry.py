@@ -1,0 +1,139 @@
+"""Registry of every heuristic evaluated in the paper.
+
+The registry is the single source of truth used by the experiment harness,
+the benchmarks and the examples: it exposes the heuristics by name, by
+category, and as the exact line-ups of Figures 9/11 (all heuristics) and
+Figures 10/12/13 (one best variant per category).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .base import Category, Heuristic, HeuristicInfo
+from .baselines import BinPackingFirstFit, GilmoreGomory
+from .corrected import (
+    CorrectedLargestCommunication,
+    CorrectedMaximumAcceleration,
+    CorrectedSmallestCommunication,
+)
+from .dynamic import (
+    LargestCommunicationFirst,
+    MaximumAccelerationFirst,
+    SmallestCommunicationFirst,
+)
+from .static import (
+    DecreasingCommPlusComp,
+    DecreasingComputation,
+    IncreasingCommPlusComp,
+    IncreasingCommunication,
+    OptimalOrderInfiniteMemory,
+    OrderOfSubmission,
+)
+
+__all__ = [
+    "all_heuristics",
+    "get_heuristic",
+    "heuristics_by_category",
+    "heuristic_names",
+    "paper_figure_lineup",
+    "category_members",
+    "table6_rows",
+]
+
+_HEURISTIC_CLASSES = (
+    OrderOfSubmission,
+    GilmoreGomory,
+    BinPackingFirstFit,
+    OptimalOrderInfiniteMemory,
+    IncreasingCommunication,
+    DecreasingComputation,
+    IncreasingCommPlusComp,
+    DecreasingCommPlusComp,
+    LargestCommunicationFirst,
+    SmallestCommunicationFirst,
+    MaximumAccelerationFirst,
+    CorrectedLargestCommunication,
+    CorrectedSmallestCommunication,
+    CorrectedMaximumAcceleration,
+)
+
+#: Order of heuristics on the x-axis of Figures 9 and 11.
+PAPER_FIGURE_ORDER = (
+    "OS",
+    "GG",
+    "BP",
+    "OOSIM",
+    "IOCMS",
+    "DOCPS",
+    "IOCCS",
+    "DOCCS",
+    "LCMR",
+    "SCMR",
+    "MAMR",
+    "OOLCMR",
+    "OOSCMR",
+    "OOMAMR",
+)
+
+
+def all_heuristics() -> dict[str, Heuristic]:
+    """Fresh instances of every heuristic, keyed by name, in figure order."""
+    instances = {cls.name: cls() for cls in _HEURISTIC_CLASSES}
+    return {name: instances[name] for name in PAPER_FIGURE_ORDER}
+
+
+def heuristic_names() -> tuple[str, ...]:
+    return PAPER_FIGURE_ORDER
+
+
+def get_heuristic(name: str) -> Heuristic:
+    """Instantiate a heuristic by its paper acronym (case-insensitive)."""
+    lookup = {cls.name.upper(): cls for cls in _HEURISTIC_CLASSES}
+    try:
+        return lookup[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown heuristic {name!r}; known names: {sorted(lookup)}"
+        ) from None
+
+
+def heuristics_by_category() -> dict[Category, list[Heuristic]]:
+    """Heuristics grouped into the paper's categories."""
+    groups: dict[Category, list[Heuristic]] = {}
+    for heuristic in all_heuristics().values():
+        groups.setdefault(heuristic.category, []).append(heuristic)
+    return groups
+
+
+def category_members(category: Category | str) -> list[Heuristic]:
+    """All heuristics of one category (accepts the enum or its value)."""
+    category = Category(category)
+    return heuristics_by_category().get(category, [])
+
+
+def paper_figure_lineup(names: Iterable[str] | None = None) -> list[Heuristic]:
+    """The heuristics of Figures 9/11, optionally restricted to ``names``."""
+    registry = all_heuristics()
+    if names is None:
+        return list(registry.values())
+    return [registry[name] for name in names]
+
+
+def table6_rows() -> list[HeuristicInfo]:
+    """Heuristic / favorable-situation rows reproducing Table 6."""
+    wanted = (
+        "OOSIM",
+        "IOCMS",
+        "DOCPS",
+        "IOCCS",
+        "DOCCS",
+        "LCMR",
+        "SCMR",
+        "MAMR",
+        "OOLCMR",
+        "OOSCMR",
+        "OOMAMR",
+    )
+    registry = all_heuristics()
+    return [registry[name].info for name in wanted]

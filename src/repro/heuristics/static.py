@@ -1,0 +1,132 @@
+"""Static-ordering heuristics (Section 4.1) and the submission-order baseline.
+
+A static heuristic sorts the tasks once, up front, using only their
+communication and computation times, then both resources follow that order
+with the memory-respecting as-early-as-possible executor.
+
+The five orders of Section 4.1 are:
+
+* **OOSIM** — the order of the optimal infinite-memory schedule (Johnson);
+* **IOCMS** — non-decreasing communication time;
+* **DOCPS** — non-increasing computation time;
+* **IOCCS** — non-decreasing communication + computation time;
+* **DOCCS** — non-increasing communication + computation time.
+
+``OS`` (order of submission) simply keeps the arbitrary order in which tasks
+were handed to the runtime; it is the reference "do nothing" strategy of the
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.task import Task
+from ..flowshop.johnson import johnson_order
+from ..simulator.static_executor import execute_fixed_order
+from .base import Category, Heuristic
+
+__all__ = [
+    "StaticOrderHeuristic",
+    "OrderOfSubmission",
+    "OptimalOrderInfiniteMemory",
+    "IncreasingCommunication",
+    "DecreasingComputation",
+    "IncreasingCommPlusComp",
+    "DecreasingCommPlusComp",
+]
+
+
+class StaticOrderHeuristic(Heuristic):
+    """Base class: compute an order, then execute it under the memory constraint."""
+
+    category = Category.STATIC
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        """Return the tasks of ``instance`` in the order to execute them."""
+        raise NotImplementedError
+
+    def schedule(self, instance: Instance) -> Schedule:
+        return execute_fixed_order(instance, self.order(instance))
+
+
+class OrderOfSubmission(StaticOrderHeuristic):
+    """OS — keep the (arbitrary) submission order."""
+
+    name = "OS"
+    category = Category.SUBMISSION
+    description = "Order of submission: tasks are processed in the order they were given."
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        return instance.tasks
+
+
+class _KeySortedHeuristic(StaticOrderHeuristic):
+    """Static order obtained by sorting tasks with a key function."""
+
+    #: Key function; ties are always broken by task name for determinism.
+    key: Callable[[Task], float] = staticmethod(lambda task: 0.0)
+    reverse: bool = False
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        key = type(self).key
+        if self.reverse:
+            return sorted(instance.tasks, key=lambda t: (-key(t), t.name))
+        return sorted(instance.tasks, key=lambda t: (key(t), t.name))
+
+
+class OptimalOrderInfiniteMemory(StaticOrderHeuristic):
+    """OOSIM — Johnson's order executed under the memory constraint."""
+
+    name = "OOSIM"
+    description = "Order of the optimal infinite-memory schedule (Johnson's rule)."
+    favorable_situation = "Memory capacity is not a restriction (optimal in that case)."
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        return johnson_order(instance.tasks)
+
+
+class IncreasingCommunication(_KeySortedHeuristic):
+    """IOCMS — non-decreasing communication time."""
+
+    name = "IOCMS"
+    description = "Tasks sorted by non-decreasing communication time."
+    favorable_situation = (
+        "Memory capacity is not a restriction and tasks are compute intensive (optimal)."
+    )
+    key = staticmethod(lambda task: task.comm)
+
+
+class DecreasingComputation(_KeySortedHeuristic):
+    """DOCPS — non-increasing computation time."""
+
+    name = "DOCPS"
+    description = "Tasks sorted by non-increasing computation time."
+    favorable_situation = (
+        "Memory capacity is not a restriction and tasks are communication intensive (optimal)."
+    )
+    key = staticmethod(lambda task: task.comp)
+    reverse = True
+
+
+class IncreasingCommPlusComp(_KeySortedHeuristic):
+    """IOCCS — non-decreasing communication plus computation time."""
+
+    name = "IOCCS"
+    description = "Tasks sorted by non-decreasing communication + computation time."
+    favorable_situation = "Moderate memory capacity and most tasks are highly compute intensive."
+    key = staticmethod(lambda task: task.total_time)
+
+
+class DecreasingCommPlusComp(_KeySortedHeuristic):
+    """DOCCS — non-increasing communication plus computation time."""
+
+    name = "DOCCS"
+    description = "Tasks sorted by non-increasing communication + computation time."
+    favorable_situation = (
+        "Moderate memory capacity and most tasks are highly communication intensive."
+    )
+    key = staticmethod(lambda task: task.total_time)
+    reverse = True

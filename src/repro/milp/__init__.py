@@ -1,0 +1,12 @@
+"""Mixed-integer programming formulation and the windowed lp.k heuristic."""
+
+from .formulation import DataTransferMilp, MilpResult, solve_exact
+from .iterative import IterativeMilpHeuristic, iterative_milp_schedule
+
+__all__ = [
+    "DataTransferMilp",
+    "MilpResult",
+    "IterativeMilpHeuristic",
+    "iterative_milp_schedule",
+    "solve_exact",
+]

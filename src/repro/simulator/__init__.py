@@ -1,0 +1,30 @@
+"""Schedule executors: static fixed-order, event-driven dynamic, and batched."""
+
+from .batch import DEFAULT_BATCH_SIZE, execute_in_batches
+from .dynamic_executor import (
+    CorrectedOrderPolicy,
+    CriterionPolicy,
+    ExecutionState,
+    SelectionPolicy,
+    execute_with_policy,
+    largest_communication,
+    maximum_acceleration,
+    smallest_communication,
+)
+from .static_executor import InfeasibleOrderError, execute_fixed_order, execute_two_orders
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "CorrectedOrderPolicy",
+    "CriterionPolicy",
+    "ExecutionState",
+    "InfeasibleOrderError",
+    "SelectionPolicy",
+    "execute_fixed_order",
+    "execute_in_batches",
+    "execute_two_orders",
+    "execute_with_policy",
+    "largest_communication",
+    "maximum_acceleration",
+    "smallest_communication",
+]

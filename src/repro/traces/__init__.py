@@ -1,0 +1,38 @@
+"""Trace layer: per-process task streams, IO, synthetic generators and statistics."""
+
+from .generator import (
+    REGIMES,
+    WorkloadRegime,
+    regime_trace,
+    synthetic_ensemble,
+    synthetic_trace,
+)
+from .io import read_ensemble_json, read_trace_csv, write_ensemble_json, write_trace_csv
+from .model import Trace, TraceEnsemble, TraceTask
+from .stats import (
+    DistributionSummary,
+    WorkloadCharacteristics,
+    characterise_ensemble,
+    characterise_trace,
+    summarise,
+)
+
+__all__ = [
+    "REGIMES",
+    "DistributionSummary",
+    "Trace",
+    "TraceEnsemble",
+    "TraceTask",
+    "WorkloadCharacteristics",
+    "WorkloadRegime",
+    "characterise_ensemble",
+    "characterise_trace",
+    "read_ensemble_json",
+    "read_trace_csv",
+    "regime_trace",
+    "summarise",
+    "synthetic_ensemble",
+    "synthetic_trace",
+    "write_ensemble_json",
+    "write_trace_csv",
+]

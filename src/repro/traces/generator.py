@@ -1,0 +1,158 @@
+"""Synthetic trace generators.
+
+Besides the molecular-chemistry simulator (:mod:`repro.chemistry`), the
+test-suite and the Table 6 ablation benches need workloads with controlled
+statistical regimes: mostly compute-intensive, mostly communication-intensive,
+mixed, homogeneous, heterogeneous...  These generators produce such traces
+from a seeded :class:`numpy.random.Generator`, in the same physical units as
+real traces (bytes / seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .model import Trace, TraceEnsemble, TraceTask
+
+__all__ = [
+    "WorkloadRegime",
+    "REGIMES",
+    "synthetic_trace",
+    "synthetic_ensemble",
+    "regime_trace",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadRegime:
+    """Statistical description of a synthetic workload.
+
+    ``comm_seconds`` and ``intensity`` are sampled per task: the communication
+    time comes from a log-normal distribution with the given median and
+    spread, the computation time is ``comm * intensity`` where ``intensity``
+    is itself log-normally distributed around ``intensity_median``.
+    A ``bandwidth`` (bytes/second) converts communication times to volumes so
+    that memory requirements follow the paper's proportionality convention.
+    """
+
+    name: str
+    comm_median: float = 1e-3
+    comm_sigma: float = 0.5
+    intensity_median: float = 1.0
+    intensity_sigma: float = 0.5
+    bandwidth: float = 3e9
+    description: str = ""
+
+    def sample(self, rng: np.random.Generator, count: int) -> list[TraceTask]:
+        comm = self.comm_median * np.exp(rng.normal(0.0, self.comm_sigma, size=count))
+        intensity = self.intensity_median * np.exp(
+            rng.normal(0.0, self.intensity_sigma, size=count)
+        )
+        comp = comm * intensity
+        volume = comm * self.bandwidth
+        return [
+            TraceTask(
+                name=f"t{i:05d}",
+                volume_bytes=float(volume[i]),
+                comm_seconds=float(comm[i]),
+                comp_seconds=float(comp[i]),
+                kind=self.name,
+            )
+            for i in range(count)
+        ]
+
+
+#: Named regimes matching the favorable situations discussed around Table 6.
+REGIMES: dict[str, WorkloadRegime] = {
+    "balanced": WorkloadRegime(
+        name="balanced",
+        intensity_median=1.0,
+        description="Communication and computation evenly matched, moderate heterogeneity.",
+    ),
+    "compute-heavy": WorkloadRegime(
+        name="compute-heavy",
+        intensity_median=4.0,
+        description="Most tasks compute intensive (comp >> comm).",
+    ),
+    "communication-heavy": WorkloadRegime(
+        name="communication-heavy",
+        intensity_median=0.25,
+        description="Most tasks communication intensive (comm >> comp).",
+    ),
+    "homogeneous": WorkloadRegime(
+        name="homogeneous",
+        comm_sigma=0.05,
+        intensity_sigma=0.05,
+        description="Near-identical tasks (HF-like tiling).",
+    ),
+    "heterogeneous": WorkloadRegime(
+        name="heterogeneous",
+        comm_sigma=1.2,
+        intensity_sigma=0.9,
+        description="Wildly varying task sizes (CCSD-like tiling).",
+    ),
+    "mixed-intensity": WorkloadRegime(
+        name="mixed-intensity",
+        comm_sigma=0.8,
+        intensity_sigma=1.5,
+        description="Significant share of both compute- and communication-intensive tasks.",
+    ),
+}
+
+
+def synthetic_trace(
+    regime: WorkloadRegime | str,
+    *,
+    tasks: int = 300,
+    process: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """One synthetic trace drawn from ``regime`` with ``tasks`` tasks."""
+    if isinstance(regime, str):
+        regime = REGIMES[regime]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, process]))
+    return Trace(
+        application=f"synthetic-{regime.name}",
+        process=process,
+        tasks=regime.sample(rng, tasks),
+        metadata={"regime": regime.name, "seed": str(seed)},
+    )
+
+
+def regime_trace(name: str, *, tasks: int = 300, seed: int = 0) -> Trace:
+    """Convenience wrapper: trace for a named regime."""
+    return synthetic_trace(REGIMES[name], tasks=tasks, seed=seed)
+
+
+def synthetic_ensemble(
+    regime: WorkloadRegime | str,
+    *,
+    processes: int = 16,
+    tasks_per_process: int | tuple[int, int] = (300, 800),
+    seed: int = 0,
+) -> TraceEnsemble:
+    """An ensemble of synthetic traces, one per simulated process.
+
+    ``tasks_per_process`` is either a fixed count or an inclusive range from
+    which per-process counts are drawn (the paper reports 300–800 tasks per
+    process).
+    """
+    if isinstance(regime, str):
+        regime = REGIMES[regime]
+    rng = np.random.default_rng(seed)
+    traces = []
+    for rank in range(processes):
+        if isinstance(tasks_per_process, tuple):
+            low, high = tasks_per_process
+            count = int(rng.integers(low, high + 1))
+        else:
+            count = int(tasks_per_process)
+        traces.append(synthetic_trace(regime, tasks=count, process=rank, seed=seed))
+    return TraceEnsemble(
+        application=f"synthetic-{regime.name}",
+        traces=traces,
+        metadata={"regime": regime.name, "seed": str(seed)},
+    )

@@ -1,0 +1,139 @@
+"""Reading and writing trace files.
+
+Two formats are supported:
+
+* a flat CSV with one task per row (``name,volume_bytes,comm_seconds,
+  comp_seconds,kind``) plus ``# key: value`` header comments — convenient for
+  feeding externally-collected traces into the library;
+* a JSON document holding a whole :class:`~repro.traces.model.TraceEnsemble`
+  (all processes of a run), used by the experiment harness to cache generated
+  workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .model import Trace, TraceEnsemble, TraceTask
+
+__all__ = [
+    "write_trace_csv",
+    "read_trace_csv",
+    "write_ensemble_json",
+    "read_ensemble_json",
+]
+
+_CSV_FIELDS = ("name", "volume_bytes", "comm_seconds", "comp_seconds", "kind")
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> Path:
+    """Write one trace to ``path`` in CSV form; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# application: {trace.application}\n")
+        handle.write(f"# process: {trace.process}\n")
+        for key, value in sorted(trace.metadata.items()):
+            handle.write(f"# {key}: {value}\n")
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for task in trace.tasks:
+            writer.writerow(
+                [task.name, repr(task.volume_bytes), repr(task.comm_seconds), repr(task.comp_seconds), task.kind]
+            )
+    return path
+
+
+def read_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-crafted)."""
+    path = Path(path)
+    application = path.stem
+    process = 0
+    metadata: dict[str, str] = {}
+    tasks: list[TraceTask] = []
+    with path.open(newline="") as handle:
+        rows = []
+        for line in handle:
+            if line.startswith("#"):
+                key, _, value = line[1:].partition(":")
+                key, value = key.strip(), value.strip()
+                if key == "application":
+                    application = value
+                elif key == "process":
+                    process = int(value)
+                else:
+                    metadata[key] = value
+            else:
+                rows.append(line)
+        reader = csv.DictReader(rows)
+        for row in reader:
+            tasks.append(
+                TraceTask(
+                    name=row["name"],
+                    volume_bytes=float(row["volume_bytes"]),
+                    comm_seconds=float(row["comm_seconds"]),
+                    comp_seconds=float(row["comp_seconds"]),
+                    kind=row.get("kind", "") or "",
+                )
+            )
+    return Trace(application=application, process=process, tasks=tasks, metadata=metadata)
+
+
+def write_ensemble_json(ensemble: TraceEnsemble, path: str | Path) -> Path:
+    """Serialise a whole ensemble (all processes) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "application": ensemble.application,
+        "metadata": ensemble.metadata,
+        "traces": [
+            {
+                "process": trace.process,
+                "metadata": trace.metadata,
+                "tasks": [
+                    {
+                        "name": task.name,
+                        "volume_bytes": task.volume_bytes,
+                        "comm_seconds": task.comm_seconds,
+                        "comp_seconds": task.comp_seconds,
+                        "kind": task.kind,
+                    }
+                    for task in trace.tasks
+                ],
+            }
+            for trace in ensemble.traces
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def read_ensemble_json(path: str | Path) -> TraceEnsemble:
+    """Load an ensemble written by :func:`write_ensemble_json`."""
+    payload = json.loads(Path(path).read_text())
+    traces = [
+        Trace(
+            application=payload["application"],
+            process=entry["process"],
+            metadata=dict(entry.get("metadata", {})),
+            tasks=[
+                TraceTask(
+                    name=item["name"],
+                    volume_bytes=float(item["volume_bytes"]),
+                    comm_seconds=float(item["comm_seconds"]),
+                    comp_seconds=float(item["comp_seconds"]),
+                    kind=item.get("kind", ""),
+                )
+                for item in entry["tasks"]
+            ],
+        )
+        for entry in payload["traces"]
+    ]
+    return TraceEnsemble(
+        application=payload["application"],
+        traces=traces,
+        metadata=dict(payload.get("metadata", {})),
+    )

@@ -1,0 +1,173 @@
+"""Trace model: the per-process task streams the heuristics are evaluated on.
+
+A *trace* is what one MPI process of the instrumented application (NWChem in
+the paper) recorded: an ordered stream of independent tasks, each with the
+volume of input data it fetched from the Global Arrays memory, the time that
+transfer took, and the time the computation took.  The order of the stream is
+the submission order (the ``OS`` baseline).
+
+The trace layer works in physical units (bytes, seconds); conversion to
+Problem DT instances normalises nothing — the paper's memory capacities are
+expressed in bytes (``mc`` = 176 KB for HF, 1.8 GB for CCSD), and the memory
+requirement of a task is its communication volume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..core.instance import Instance
+from ..core.task import Task
+
+__all__ = ["TraceTask", "Trace", "TraceEnsemble"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceTask:
+    """One recorded task of a trace.
+
+    ``volume_bytes`` is the amount of remote data fetched before execution; it
+    is also the memory the task pins locally from the start of its transfer to
+    the end of its computation (the paper's model).
+    """
+
+    name: str
+    volume_bytes: float
+    comm_seconds: float
+    comp_seconds: float
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.volume_bytes < 0 or self.comm_seconds < 0 or self.comp_seconds < 0:
+            raise ValueError(f"trace task {self.name!r} has negative fields")
+
+    def to_task(self) -> Task:
+        """Convert to the scheduling-layer :class:`~repro.core.task.Task`.
+
+        Times are kept in seconds; the memory requirement is the transferred
+        volume in bytes.
+        """
+        return Task(
+            name=self.name,
+            comm=self.comm_seconds,
+            comp=self.comp_seconds,
+            memory=self.volume_bytes,
+            tag=self.kind,
+        )
+
+
+@dataclass
+class Trace:
+    """The task stream recorded by one process."""
+
+    application: str
+    process: int
+    tasks: list[TraceTask] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names in trace {self.label}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        return f"{self.application}/p{self.process:03d}"
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[TraceTask]:
+        return iter(self.tasks)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_volume_bytes(self) -> float:
+        return float(sum(t.volume_bytes for t in self.tasks))
+
+    @property
+    def total_comm_seconds(self) -> float:
+        return float(sum(t.comm_seconds for t in self.tasks))
+
+    @property
+    def total_comp_seconds(self) -> float:
+        return float(sum(t.comp_seconds for t in self.tasks))
+
+    @property
+    def min_capacity_bytes(self) -> float:
+        """``mc``: largest single-task volume — the smallest workable capacity."""
+        if not self.tasks:
+            return 0.0
+        return float(max(t.volume_bytes for t in self.tasks))
+
+    # ------------------------------------------------------------------ #
+    def to_instance(self, capacity_bytes: float = math.inf) -> Instance:
+        """Build a Problem DT instance with memory capacity ``capacity_bytes``."""
+        return Instance(
+            (t.to_task() for t in self.tasks),
+            capacity=capacity_bytes,
+            name=self.label,
+        )
+
+    def to_instance_with_factor(self, factor: float) -> Instance:
+        """Instance whose capacity is ``factor * mc`` (the paper sweeps 1.0–2.0)."""
+        if factor <= 0:
+            raise ValueError("capacity factor must be positive")
+        return self.to_instance(self.min_capacity_bytes * factor)
+
+    def batched(self, batch_size: int) -> list["Trace"]:
+        """Split the stream into successive batches of ``batch_size`` tasks."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        out = []
+        for index, start in enumerate(range(0, len(self.tasks), batch_size)):
+            out.append(
+                Trace(
+                    application=self.application,
+                    process=self.process,
+                    tasks=self.tasks[start : start + batch_size],
+                    metadata={**self.metadata, "batch": str(index)},
+                )
+            )
+        return out
+
+
+@dataclass
+class TraceEnsemble:
+    """A collection of traces from one application run (one per process)."""
+
+    application: str
+    traces: list[Trace] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for trace in self.traces:
+            if trace.application != self.application:
+                raise ValueError(
+                    f"trace {trace.label} belongs to {trace.application!r}, "
+                    f"ensemble is {self.application!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def __getitem__(self, index: int) -> Trace:
+        return self.traces[index]
+
+    @property
+    def task_counts(self) -> list[int]:
+        return [len(t) for t in self.traces]
+
+    def subset(self, count: int) -> "TraceEnsemble":
+        """First ``count`` traces (used to scale experiments down)."""
+        return TraceEnsemble(
+            application=self.application,
+            traces=self.traces[:count],
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,112 @@
+"""Workload characterisation (Figure 8 of the paper).
+
+For each trace, the paper reports four quantities normalised by the trace's
+OMIM (optimal makespan with infinite memory):
+
+* ``sum comm`` — total communication time;
+* ``sum comp`` — total computation time;
+* ``max(sum comm, sum comp)`` — the area lower bound;
+* ``sum comm + sum comp`` — the sequential (zero overlap) upper bound.
+
+The spread of those ratios across the 150 traces is what Figure 8 plots for HF
+and CCSD: HF is communication-dominated (at most ~20% of the sequential time
+can be hidden), while CCSD has balanced resources and much more potential
+overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.bounds import omim
+from .model import Trace, TraceEnsemble
+
+__all__ = [
+    "WorkloadCharacteristics",
+    "characterise_trace",
+    "characterise_ensemble",
+    "DistributionSummary",
+    "summarise",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Figure 8 quantities for a single trace, normalised by its OMIM."""
+
+    trace: str
+    task_count: int
+    omim_seconds: float
+    sum_comm_ratio: float
+    sum_comp_ratio: float
+    area_bound_ratio: float
+    sequential_ratio: float
+    compute_intensive_fraction: float
+    min_capacity_bytes: float
+
+    @property
+    def max_overlap_fraction(self) -> float:
+        """Largest fraction of the sequential makespan that overlap can hide."""
+        if self.sequential_ratio == 0:
+            return 0.0
+        return 1.0 - self.area_bound_ratio / self.sequential_ratio
+
+
+def characterise_trace(trace: Trace) -> WorkloadCharacteristics:
+    """Compute the Figure 8 quantities for ``trace``."""
+    instance = trace.to_instance()
+    reference = omim(instance)
+    denom = reference if reference > 0 else 1.0
+    return WorkloadCharacteristics(
+        trace=trace.label,
+        task_count=len(trace),
+        omim_seconds=reference,
+        sum_comm_ratio=instance.total_comm / denom,
+        sum_comp_ratio=instance.total_comp / denom,
+        area_bound_ratio=instance.resource_lower_bound / denom,
+        sequential_ratio=instance.sequential_makespan / denom,
+        compute_intensive_fraction=instance.compute_intensive_fraction(),
+        min_capacity_bytes=trace.min_capacity_bytes,
+    )
+
+
+def characterise_ensemble(ensemble: TraceEnsemble) -> list[WorkloadCharacteristics]:
+    """Characteristics of every trace in ``ensemble``."""
+    return [characterise_trace(trace) for trace in ensemble]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Boxplot-style five-number summary plus mean (used by figure reports)."""
+
+    minimum: float
+    first_quartile: float
+    median: float
+    third_quartile: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def empty(cls) -> "DistributionSummary":
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+
+
+def summarise(values: Iterable[float]) -> DistributionSummary:
+    """Five-number summary of ``values`` (matching the paper's boxplots)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return DistributionSummary.empty()
+    q1, med, q3 = np.percentile(data, [25.0, 50.0, 75.0])
+    return DistributionSummary(
+        minimum=float(data.min()),
+        first_quartile=float(q1),
+        median=float(med),
+        third_quartile=float(q3),
+        maximum=float(data.max()),
+        mean=float(data.mean()),
+        count=int(data.size),
+    )

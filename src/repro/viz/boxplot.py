@@ -1,0 +1,122 @@
+"""Text boxplots and result tables for the evaluation figures.
+
+The paper's Figures 7, 9 and 11 are ratio-to-optimal boxplots, one box per
+heuristic and one facet per memory capacity; Figures 10, 12 and 13 are line
+plots of the best variant per category.  The experiment harness produces
+distribution summaries; this module renders them as aligned text tables and
+one-line horizontal boxplots so the benchmark output mirrors the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..traces.stats import DistributionSummary
+
+__all__ = ["render_box_line", "render_summary_table", "render_series_table"]
+
+
+def render_box_line(
+    summary: DistributionSummary,
+    *,
+    low: float,
+    high: float,
+    width: int = 40,
+) -> str:
+    """One-line ASCII boxplot of ``summary`` scaled to the range [low, high]."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    if high <= low:
+        return "·" * width
+    span = high - low
+
+    def col(value: float) -> int:
+        clamped = min(max(value, low), high)
+        return int(round((clamped - low) / span * (width - 1)))
+
+    cells = [" "] * width
+    lo, q1, med, q3, hi = (
+        col(summary.minimum),
+        col(summary.first_quartile),
+        col(summary.median),
+        col(summary.third_quartile),
+        col(summary.maximum),
+    )
+    for position in range(lo, hi + 1):
+        cells[position] = "-"
+    for position in range(q1, q3 + 1):
+        cells[position] = "="
+    cells[lo] = "|"
+    cells[hi] = "|"
+    cells[med] = "#"
+    return "".join(cells)
+
+
+def render_summary_table(
+    groups: Mapping[str, DistributionSummary],
+    *,
+    title: str = "",
+    value_label: str = "ratio to optimal",
+    boxes: bool = True,
+) -> str:
+    """Table of five-number summaries (one row per heuristic), with ASCII boxes."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not groups:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    low = min(summary.minimum for summary in groups.values())
+    high = max(summary.maximum for summary in groups.values())
+    name_width = max(len(name) for name in groups) + 1
+    header = (
+        f"{'heuristic':<{name_width}} {'min':>8} {'q1':>8} {'median':>8} "
+        f"{'q3':>8} {'max':>8} {'mean':>8} {'n':>5}"
+    )
+    if boxes:
+        header += "  distribution"
+    lines.append(f"[{value_label}]")
+    lines.append(header)
+    for name, summary in groups.items():
+        row = (
+            f"{name:<{name_width}} {summary.minimum:>8.4f} {summary.first_quartile:>8.4f} "
+            f"{summary.median:>8.4f} {summary.third_quartile:>8.4f} {summary.maximum:>8.4f} "
+            f"{summary.mean:>8.4f} {summary.count:>5d}"
+        )
+        if boxes:
+            row += "  " + render_box_line(summary, low=low, high=high)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    x_label: str = "capacity",
+    y_label: str = "median ratio to optimal",
+    x_format: str = "{:.3g}",
+) -> str:
+    """Table of per-capacity series (Figures 10/12/13 style): one column per series."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    names = list(series)
+    lines.append(f"[{y_label}]")
+    header = f"{x_label:>14} " + " ".join(f"{name:>12}" for name in names)
+    lines.append(header)
+    lookup = {name: dict(points) for name, points in series.items()}
+    for x in xs:
+        cells = []
+        for name in names:
+            value = lookup[name].get(x)
+            cells.append(f"{value:>12.4f}" if value is not None else f"{'-':>12}")
+        lines.append(f"{x_format.format(x):>14} " + " ".join(cells))
+    return "\n".join(lines)

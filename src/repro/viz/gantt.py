@@ -1,0 +1,98 @@
+"""ASCII Gantt charts for schedules (Figures 2-6 of the paper).
+
+The paper illustrates every heuristic family with small two-row Gantt charts:
+one row for the communication link, one for the processing unit.  This module
+renders the same view in plain text so the examples and benchmark logs can
+show schedules without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.schedule import Schedule
+
+__all__ = ["render_gantt", "GanttOptions"]
+
+
+@dataclass(frozen=True)
+class GanttOptions:
+    """Rendering options for :func:`render_gantt`."""
+
+    width: int = 78
+    show_memory: bool = True
+    label_width: int = 14
+
+    def __post_init__(self) -> None:
+        if self.width < 20:
+            raise ValueError("width must be at least 20 columns")
+        if self.label_width < 4:
+            raise ValueError("label width must be at least 4 columns")
+
+
+def _lane(
+    segments: list[tuple[float, float, str]],
+    makespan: float,
+    columns: int,
+) -> str:
+    """Render one resource lane: segments are (start, end, label)."""
+    lane = [" "] * columns
+    for start, end, label in segments:
+        if end <= start:
+            continue
+        left = int(round(start / makespan * (columns - 1)))
+        right = max(left + 1, int(round(end / makespan * (columns - 1))))
+        width = right - left
+        text = (label[: width - 1] + "|") if width > 1 else "|"
+        fill = (label * width)[:width] if width >= len(label) else text
+        body = label.center(width, "·") if width > len(label) + 1 else fill
+        for offset, char in enumerate(body):
+            if left + offset < columns:
+                lane[left + offset] = char
+    return "".join(lane)
+
+
+def render_gantt(schedule: Schedule, *, options: GanttOptions | None = None) -> str:
+    """Render ``schedule`` as a two-lane (plus optional memory) text chart."""
+    options = options or GanttOptions()
+    if len(schedule) == 0:
+        return "(empty schedule)"
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    columns = options.width - options.label_width - 2
+
+    comm_segments = [(e.comm_start, e.comm_end, e.name) for e in schedule if e.task.comm > 0]
+    comp_segments = [(e.comp_start, e.comp_end, e.name) for e in schedule if e.task.comp > 0]
+
+    lines = []
+    header = f"{'makespan':<{options.label_width}}| {makespan:g}"
+    lines.append(header)
+    lines.append(
+        f"{'communication':<{options.label_width}}| {_lane(comm_segments, makespan, columns)}"
+    )
+    lines.append(
+        f"{'computation':<{options.label_width}}| {_lane(comp_segments, makespan, columns)}"
+    )
+
+    if options.show_memory:
+        profile = schedule.memory_profile()
+        peak = max((event.usage for event in profile), default=0.0)
+        if peak > 0:
+            levels = " .:-=+*#%@"
+            cells = []
+            for column in range(columns):
+                time = column / (columns - 1) * makespan
+                usage = schedule.memory_usage_at(min(time, makespan - 1e-12))
+                index = int(round(usage / peak * (len(levels) - 1)))
+                cells.append(levels[index])
+            lines.append(f"{'memory':<{options.label_width}}| {''.join(cells)}")
+            lines.append(f"{'peak memory':<{options.label_width}}| {peak:g}")
+
+    # Time axis with a handful of tick marks.
+    ticks = 5
+    tick_times = [makespan * i / (ticks - 1) for i in range(ticks)]
+    axis = " ".join(f"{t:g}" for t in tick_times)
+    lines.append(f"{'time ticks':<{options.label_width}}| {axis}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Tests for the Global-Arrays-like distributed tensor model."""
+
+import pytest
+
+from repro.chemistry import DistributedTensor, Tiling
+
+
+@pytest.fixture
+def tensor():
+    return DistributedTensor(
+        name="t2",
+        tilings=(Tiling((2, 3)), Tiling((4,))),
+        processes=3,
+        element_bytes=8,
+    )
+
+
+class TestDistributedTensor:
+    def test_shape_and_grid(self, tensor):
+        assert tensor.rank == 2
+        assert tensor.shape == (5, 4)
+        assert tensor.block_grid == (2, 1)
+        assert tensor.total_bytes == 5 * 4 * 8
+
+    def test_block_sizes(self, tensor):
+        assert tensor.block_shape((0, 0)) == (2, 4)
+        assert tensor.block_bytes((1, 0)) == 3 * 4 * 8
+
+    def test_blocks_enumeration(self, tensor):
+        assert list(tensor.blocks()) == [(0, 0), (1, 0)]
+
+    def test_owner_is_block_cyclic_and_stable(self, tensor):
+        owners = [tensor.owner(block) for block in tensor.blocks()]
+        assert owners == [0, 1]
+        assert all(0 <= owner < tensor.processes for owner in owners)
+
+    def test_request_marks_local_blocks(self, tensor):
+        local = tensor.request((0, 0), from_rank=0)
+        remote = tensor.request((0, 0), from_rank=2)
+        assert local.local and local.transferred_bytes == 0
+        assert not remote.local and remote.transferred_bytes == local.bytes
+
+    def test_invalid_blocks(self, tensor):
+        with pytest.raises(ValueError):
+            tensor.block_bytes((0,))
+        with pytest.raises(IndexError):
+            tensor.block_bytes((5, 0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DistributedTensor(name="x", tilings=(), processes=2)
+        with pytest.raises(ValueError):
+            DistributedTensor(name="x", tilings=(Tiling((1,)),), processes=0)

@@ -1,0 +1,103 @@
+"""Tests for the machine model, molecules and tilings."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    CASCADE,
+    DOUBLE_BYTES,
+    SIOSI,
+    URACIL,
+    MachineModel,
+    Molecule,
+    Tiling,
+    adaptive_tiling,
+    fixed_tiling,
+)
+
+
+class TestMachineModel:
+    def test_cascade_defaults(self):
+        assert CASCADE.worker_cores_per_node == 15
+        assert CASCADE.cores_per_node == 16
+
+    def test_transfer_time_has_latency_and_bandwidth_terms(self):
+        machine = MachineModel(name="m", network_bandwidth=1e9, network_latency=1e-5)
+        assert machine.transfer_seconds(0) == 0.0
+        assert machine.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_compute_time_scales_with_efficiency(self):
+        machine = MachineModel(name="m", flops_per_core=1e10, compute_efficiency=0.5)
+        assert machine.compute_seconds(1e10) == pytest.approx(2.0)
+        assert machine.compute_seconds(1e10, efficiency=1.0) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MachineModel(name="m", cores_per_node=1, service_cores_per_node=1)
+        with pytest.raises(ValueError):
+            MachineModel(name="m", compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CASCADE.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            CASCADE.compute_seconds(-1)
+        with pytest.raises(ValueError):
+            CASCADE.compute_seconds(1.0, efficiency=2.0)
+
+
+class TestMolecules:
+    def test_uracil_composition(self):
+        assert URACIL.atom_count == 12
+        assert URACIL.electron_count == 58
+        assert URACIL.occupied_orbitals == 29
+        assert URACIL.basis_functions == 132
+        assert URACIL.virtual_orbitals == 103
+        assert URACIL.frozen_core_occupied() == 21
+
+    def test_siosi_has_homogeneous_hundred_tiling(self):
+        assert SIOSI.basis_functions == 2300
+        tiling = fixed_tiling(SIOSI.basis_functions, 100)
+        assert tiling.tile_count == 23
+        assert tiling.is_homogeneous
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(name="bad", composition={"Xx": 1})
+
+    def test_open_shell_rejected(self):
+        radical = Molecule(name="radical", composition={"H": 1})
+        with pytest.raises(ValueError):
+            radical.occupied_orbitals
+
+
+class TestTiling:
+    def test_fixed_tiling_with_remainder(self):
+        tiling = fixed_tiling(352, 100)
+        assert tiling.sizes == (100, 100, 100, 52)
+        assert tiling.dimension == 352
+        assert tiling.offsets() == (0, 100, 200, 300)
+        assert tiling.is_homogeneous
+
+    def test_invalid_tilings(self):
+        with pytest.raises(ValueError):
+            fixed_tiling(0, 10)
+        with pytest.raises(ValueError):
+            fixed_tiling(10, 0)
+        with pytest.raises(ValueError):
+            Tiling(())
+        with pytest.raises(ValueError):
+            Tiling((3, 0))
+
+    def test_adaptive_tiling_covers_dimension(self):
+        rng = np.random.default_rng(0)
+        tiling = adaptive_tiling(499, target_tiles=7, rng=rng, spread=0.6)
+        assert tiling.dimension == 499
+        assert tiling.tile_count == 7
+        assert all(size >= 1 for size in tiling)
+        assert tiling.heterogeneity() > 0.05
+
+    def test_adaptive_tiling_single_tile(self):
+        rng = np.random.default_rng(0)
+        assert adaptive_tiling(5, target_tiles=1, rng=rng).sizes == (5,)
+
+    def test_heterogeneity_of_uniform_tiling(self):
+        assert Tiling((10, 10, 10)).heterogeneity() == pytest.approx(0.0)

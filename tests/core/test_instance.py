@@ -1,0 +1,107 @@
+"""Unit tests for Problem DT instances."""
+
+import math
+
+import pytest
+
+from repro.core import Instance, Task, tasks_from_pairs
+
+
+def make_instance(capacity=math.inf):
+    return Instance(tasks_from_pairs([(3, 2), (1, 3), (4, 4), (2, 1)], prefix=""), capacity=capacity)
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        tasks = [Task.from_times("A", 1, 1), Task.from_times("A", 2, 2)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Instance(tasks)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Instance([Task.from_times("A", 1, 1)], capacity=0)
+
+    def test_empty_instance_is_fine(self):
+        instance = Instance([])
+        assert len(instance) == 0
+        assert instance.min_capacity == 0.0
+
+    def test_lookup_by_name_and_index(self):
+        instance = make_instance()
+        assert instance["1"].comm == 1
+        assert instance[0].name == "0"
+        assert "2" in instance
+        assert "missing" not in instance
+        with pytest.raises(KeyError):
+            instance["missing"]
+
+
+class TestAggregates:
+    def test_totals_and_bounds(self):
+        instance = make_instance()
+        assert instance.total_comm == 10
+        assert instance.total_comp == 10
+        assert instance.sequential_makespan == 20
+        assert instance.resource_lower_bound == 10
+        assert instance.min_capacity == 4
+
+    def test_compute_intensive_fraction(self):
+        instance = make_instance()
+        # tasks (1,3) and (4,4) are compute intensive.
+        assert instance.compute_intensive_fraction() == pytest.approx(0.5)
+
+    def test_compute_intensive_fraction_empty(self):
+        assert Instance([]).compute_intensive_fraction() == 0.0
+
+    def test_memory_constraint_flags(self):
+        assert not make_instance().has_memory_constraint
+        constrained = make_instance(capacity=6)
+        assert constrained.has_memory_constraint
+        assert constrained.is_trivially_feasible
+        assert not make_instance(capacity=3).is_trivially_feasible
+
+
+class TestDerivations:
+    def test_with_capacity_factor(self):
+        instance = make_instance(capacity=100)
+        scaled = instance.with_capacity_factor(1.5)
+        assert scaled.capacity == pytest.approx(6.0)  # mc = 4
+        with pytest.raises(ValueError):
+            instance.with_capacity_factor(0)
+
+    def test_without_memory_constraint(self):
+        assert not make_instance(capacity=5).without_memory_constraint().has_memory_constraint
+
+    def test_subset_preserves_order_and_capacity(self):
+        instance = make_instance(capacity=6)
+        subset = instance.subset(["2", "0"])
+        assert subset.task_names == ("2", "0")
+        assert subset.capacity == 6
+
+    def test_sorted(self):
+        instance = make_instance()
+        by_comm = instance.sorted(key=lambda t: t.comm)
+        assert [t.comm for t in by_comm] == [1, 2, 3, 4]
+        descending = instance.sorted(key=lambda t: t.comm, reverse=True)
+        assert [t.comm for t in descending] == [4, 3, 2, 1]
+
+    def test_batches(self):
+        instance = make_instance(capacity=6)
+        batches = instance.batches(3)
+        assert [len(b) for b in batches] == [3, 1]
+        assert all(b.capacity == 6 for b in batches)
+        with pytest.raises(ValueError):
+            instance.batches(0)
+
+    def test_scaled(self):
+        instance = make_instance(capacity=8)
+        scaled = instance.scaled(comm=2, memory=3)
+        assert scaled.capacity == 24
+        assert scaled["0"].comm == 6
+        assert scaled["0"].memory == 9
+        # Infinite capacities stay infinite.
+        assert math.isinf(make_instance().scaled(memory=5).capacity)
+
+    def test_iteration_matches_submission_order(self):
+        instance = make_instance()
+        assert [t.name for t in instance] == ["0", "1", "2", "3"]

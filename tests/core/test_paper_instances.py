@@ -1,0 +1,52 @@
+"""The worked-example instances must match the paper's tables exactly."""
+
+import pytest
+
+from repro.core import PAPER_INSTANCES
+from repro.core.paper_instances import (
+    corrected_example_instance,
+    dynamic_example_instance,
+    proposition1_instance,
+    static_example_instance,
+)
+
+
+def test_table2_instance_matches_paper():
+    instance = proposition1_instance()
+    assert instance.capacity == 10
+    expected = {"A": (0, 5), "B": (4, 3), "C": (1, 6), "D": (3, 7), "E": (6, 0.5), "F": (7, 0.5)}
+    assert {t.name: (t.comm, t.comp) for t in instance} == expected
+    assert all(t.memory == t.comm for t in instance)
+
+
+def test_table3_instance_matches_paper():
+    instance = static_example_instance()
+    assert instance.capacity == 6
+    expected = {"A": (3, 2), "B": (1, 3), "C": (4, 4), "D": (2, 1)}
+    assert {t.name: (t.comm, t.comp) for t in instance} == expected
+
+
+def test_table4_instance_matches_paper():
+    instance = dynamic_example_instance()
+    assert instance.capacity == 6
+    expected = {"A": (3, 2), "B": (1, 6), "C": (4, 6), "D": (5, 1)}
+    assert {t.name: (t.comm, t.comp) for t in instance} == expected
+
+
+def test_table5_instance_matches_paper():
+    instance = corrected_example_instance()
+    assert instance.capacity == 9
+    expected = {"A": (4, 1), "B": (2, 6), "C": (8, 8), "D": (5, 4), "E": (3, 2)}
+    assert {t.name: (t.comm, t.comp) for t in instance} == expected
+
+
+def test_registry_contains_all_tables():
+    assert set(PAPER_INSTANCES) == {"table2", "table3", "table4", "table5"}
+    for factory in PAPER_INSTANCES.values():
+        instance = factory()
+        assert len(instance) >= 4
+
+
+@pytest.mark.parametrize("factory", [static_example_instance, dynamic_example_instance])
+def test_capacity_override(factory):
+    assert factory(capacity=42).capacity == 42

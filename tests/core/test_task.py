@@ -1,0 +1,95 @@
+"""Unit tests for the task model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskKind, max_memory, tasks_from_pairs, total_comm, total_comp
+
+
+class TestTaskConstruction:
+    def test_memory_defaults_to_communication_time(self):
+        task = Task(name="A", comm=3.0, comp=2.0)
+        assert task.memory == 3.0
+
+    def test_explicit_memory_is_kept(self):
+        task = Task(name="A", comm=3.0, comp=2.0, memory=7.5)
+        assert task.memory == 7.5
+
+    def test_from_times_uses_paper_convention(self):
+        task = Task.from_times("B", comm=4, comp=1)
+        assert task.memory == task.comm == 4.0
+
+    @pytest.mark.parametrize("field", ["comm", "comp", "memory"])
+    def test_negative_fields_rejected(self, field):
+        kwargs = {"comm": 1.0, "comp": 1.0, "memory": 1.0}
+        kwargs[field] = -0.1
+        with pytest.raises(ValueError):
+            Task(name="bad", **kwargs)
+
+    def test_zero_times_are_allowed(self):
+        task = Task.from_times("Z", comm=0, comp=0)
+        assert task.total_time == 0.0
+
+
+class TestTaskClassification:
+    def test_compute_intensive_when_comp_at_least_comm(self):
+        assert Task.from_times("A", 2, 5).kind == TaskKind.COMPUTE_INTENSIVE
+        assert Task.from_times("B", 2, 2).is_compute_intensive
+
+    def test_communication_intensive_when_comm_larger(self):
+        task = Task.from_times("C", 5, 2)
+        assert task.kind == TaskKind.COMMUNICATION_INTENSIVE
+        assert task.is_communication_intensive
+
+    def test_acceleration_ratio(self):
+        assert Task.from_times("A", 2, 5).acceleration == pytest.approx(2.5)
+
+    def test_acceleration_with_zero_communication(self):
+        assert Task.from_times("A", 0, 5).acceleration == math.inf
+        assert Task.from_times("B", 0, 0).acceleration == 0.0
+
+    def test_total_time(self):
+        assert Task.from_times("A", 2, 5).total_time == 7.0
+
+
+class TestTaskTransforms:
+    def test_scaled_multiplies_each_field(self):
+        task = Task(name="A", comm=2, comp=4, memory=6)
+        scaled = task.scaled(comm=2, comp=0.5, memory=3)
+        assert (scaled.comm, scaled.comp, scaled.memory) == (4, 2, 18)
+        assert scaled.name == "A"
+
+    def test_renamed(self):
+        assert Task.from_times("A", 1, 1).renamed("B").name == "B"
+
+    def test_tasks_are_immutable(self):
+        task = Task.from_times("A", 1, 1)
+        with pytest.raises(AttributeError):
+            task.comm = 5  # type: ignore[misc]
+
+
+class TestAggregates:
+    def test_totals(self):
+        tasks = tasks_from_pairs([(1, 2), (3, 4), (5, 6)])
+        assert total_comm(tasks) == 9
+        assert total_comp(tasks) == 12
+        assert max_memory(tasks) == 5
+
+    def test_max_memory_empty(self):
+        assert max_memory([]) == 0.0
+
+    def test_tasks_from_pairs_names(self):
+        tasks = tasks_from_pairs([(1, 2), (3, 4)], prefix="J")
+        assert [t.name for t in tasks] == ["J0", "J1"]
+
+
+@given(
+    comm=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    comp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+def test_task_is_exactly_one_kind(comm, comp):
+    task = Task.from_times("X", comm, comp)
+    assert task.is_compute_intensive != task.is_communication_intensive

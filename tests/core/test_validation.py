@@ -1,0 +1,98 @@
+"""Unit tests for schedule feasibility validation."""
+
+import pytest
+
+from repro.core import (
+    Instance,
+    InfeasibleScheduleError,
+    Schedule,
+    ScheduledTask,
+    Task,
+    check_schedule,
+    validate_schedule,
+)
+
+
+def build(tasks, placements, capacity):
+    instance = Instance(tasks, capacity=capacity)
+    schedule = Schedule(
+        ScheduledTask(task=instance[name], comm_start=c, comp_start=p)
+        for name, (c, p) in placements.items()
+    )
+    return instance, schedule
+
+
+TASKS = [
+    Task.from_times("A", comm=2, comp=3),
+    Task.from_times("B", comm=3, comp=2),
+]
+
+
+class TestFeasibleSchedules:
+    def test_sequential_schedule_is_feasible(self):
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (2, 5)}, capacity=10)
+        report = validate_schedule(schedule, instance)
+        assert report.is_feasible
+        assert check_schedule(schedule, instance) is schedule
+
+    def test_exact_capacity_is_feasible(self):
+        # A holds 2 over [0, 5), B holds 3 over [2, 7): peak is 5 = capacity.
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (2, 5)}, capacity=5)
+        assert validate_schedule(schedule, instance).is_feasible
+
+
+class TestViolations:
+    def test_missing_task_reported(self):
+        instance = Instance(TASKS, capacity=10)
+        schedule = Schedule(
+            [ScheduledTask(task=instance["A"], comm_start=0, comp_start=2)]
+        )
+        report = validate_schedule(schedule, instance)
+        assert "missing-task" in report.kinds()
+
+    def test_unknown_task_reported(self):
+        instance = Instance(TASKS[:1], capacity=10)
+        schedule = Schedule(
+            [
+                ScheduledTask(task=TASKS[0], comm_start=0, comp_start=2),
+                ScheduledTask(task=Task.from_times("X", 1, 1), comm_start=5, comp_start=6),
+            ]
+        )
+        assert "unknown-task" in validate_schedule(schedule, instance).kinds()
+
+    def test_task_mismatch_reported(self):
+        instance = Instance(TASKS, capacity=10)
+        altered = Task.from_times("A", comm=2, comp=9)
+        schedule = Schedule(
+            [
+                ScheduledTask(task=altered, comm_start=0, comp_start=2),
+                ScheduledTask(task=instance["B"], comm_start=2, comp_start=11),
+            ]
+        )
+        assert "task-mismatch" in validate_schedule(schedule, instance).kinds()
+
+    def test_communication_overlap_reported(self):
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (1, 5)}, capacity=10)
+        assert "communication-overlap" in validate_schedule(schedule, instance).kinds()
+
+    def test_computation_overlap_reported(self):
+        # A computes over [3, 6), B over [5, 7): the processing unit is shared.
+        instance, schedule = build(TASKS, {"A": (0, 3), "B": (2, 5)}, capacity=10)
+        assert "computation-overlap" in validate_schedule(schedule, instance).kinds()
+
+    def test_memory_violation_reported(self):
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (2, 5)}, capacity=4.5)
+        report = validate_schedule(schedule, instance)
+        assert "memory" in report.kinds()
+        assert not report.is_feasible
+        with pytest.raises(InfeasibleScheduleError):
+            check_schedule(schedule, instance)
+
+    def test_summary_mentions_every_violation(self):
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (2, 5)}, capacity=4.5)
+        summary = validate_schedule(schedule, instance).summary()
+        assert "memory" in summary
+
+    def test_feasible_summary(self):
+        instance, schedule = build(TASKS, {"A": (0, 2), "B": (2, 5)}, capacity=10)
+        assert validate_schedule(schedule, instance).summary() == "feasible"

@@ -1,0 +1,78 @@
+"""Tests for the exchange lemma (Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Task
+from repro.flowshop import evaluate_swap, lemma1_applies, lemma1_case
+
+
+def task(comm, comp, name="X"):
+    return Task.from_times(name, comm, comp)
+
+
+class TestCaseDetection:
+    def test_case1(self):
+        assert lemma1_case(task(1, 5), task(2, 6)) == 1
+
+    def test_case2(self):
+        assert lemma1_case(task(5, 3), task(6, 2)) == 2
+
+    def test_case3(self):
+        assert lemma1_case(task(1, 5), task(6, 2)) == 3
+
+    def test_no_case_when_johnson_would_swap(self):
+        # Both compute intensive but first has larger communication time.
+        assert lemma1_case(task(4, 5), task(2, 6)) is None
+        assert not lemma1_applies(task(4, 5), task(2, 6))
+
+
+class TestSwapEvaluation:
+    def test_swap_outcome_structure(self):
+        outcome = evaluate_swap(task(1, 5, "A"), task(2, 6, "B"))
+        assert outcome.original[0] == outcome.swapped[0]  # same final link time
+        assert not outcome.swap_improves
+
+    def test_negative_availability_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_swap(task(1, 1), task(1, 1), t1=-1)
+
+
+float_times = st.floats(min_value=0, max_value=50, allow_nan=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    comm_a=float_times,
+    comp_a=float_times,
+    comm_b=float_times,
+    comp_b=float_times,
+    t1=float_times,
+    t2=float_times,
+)
+def test_lemma1_swaps_never_improve(comm_a, comp_a, comm_b, comp_b, t1, t2):
+    """Whenever one of the Lemma 1 conditions holds, swapping cannot help."""
+    first = Task.from_times("A", comm_a, comp_a)
+    second = Task.from_times("B", comm_b, comp_b)
+    if lemma1_applies(first, second):
+        outcome = evaluate_swap(first, second, t1=t1, t2=t2)
+        assert not outcome.swap_improves
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    comm_a=float_times,
+    comp_a=float_times,
+    comm_b=float_times,
+    comp_b=float_times,
+)
+def test_some_order_is_covered_by_lemma(comm_a, comp_a, comm_b, comp_b):
+    """For any two tasks, at least one of the two orders satisfies Lemma 1.
+
+    This is the property that makes Johnson's rule total: any pair can be put
+    in a non-improvable relative order.
+    """
+    first = Task.from_times("A", comm_a, comp_a)
+    second = Task.from_times("B", comm_b, comp_b)
+    assert lemma1_applies(first, second) or lemma1_applies(second, first)

@@ -1,0 +1,111 @@
+"""Tests for Johnson's algorithm (Algorithm 1) and its optimality."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Task, tasks_from_pairs
+from repro.core.paper_instances import (
+    corrected_example_instance,
+    dynamic_example_instance,
+    static_example_instance,
+)
+from repro.flowshop import (
+    johnson_order,
+    johnson_schedule,
+    omim_makespan,
+    sequence_schedule_infinite_memory,
+)
+
+
+class TestJohnsonOrder:
+    def test_compute_intensive_tasks_come_first_by_increasing_comm(self):
+        tasks = tasks_from_pairs([(5, 1), (1, 5), (3, 3), (2, 1)], prefix="T")
+        order = johnson_order(tasks)
+        names = [t.name for t in order]
+        # Compute intensive: T1 (1,5), T2 (3,3) sorted by comm; then
+        # communication intensive: T0 (5,1), T3 (2,1) sorted by decreasing comp.
+        assert names[:2] == ["T1", "T2"]
+        assert set(names[2:]) == {"T0", "T3"}
+        comps = [t.comp for t in order[2:]]
+        assert comps == sorted(comps, reverse=True)
+
+    def test_order_is_deterministic_under_ties(self):
+        tasks = [Task.from_times(n, 2, 2) for n in "DCBA"]
+        assert [t.name for t in johnson_order(tasks)] == ["A", "B", "C", "D"]
+
+    def test_paper_table3_order(self):
+        order = [t.name for t in johnson_order(static_example_instance().tasks)]
+        assert order == ["B", "C", "A", "D"]
+
+    def test_paper_table5_order(self):
+        order = [t.name for t in johnson_order(corrected_example_instance().tasks)]
+        # Compute intensive B, C by increasing comm; then D, E, A by decreasing comp.
+        assert order == ["B", "C", "D", "E", "A"]
+
+
+class TestScheduleConstruction:
+    def test_infinite_memory_schedule_is_tight(self):
+        tasks = tasks_from_pairs([(2, 3), (1, 1)])
+        schedule = sequence_schedule_infinite_memory(tasks)
+        assert schedule["T0"].comm_start == 0
+        assert schedule["T1"].comm_start == 2
+        assert schedule["T0"].comp_start == 2
+        assert schedule["T1"].comp_start == 5
+        assert schedule.makespan == 6
+
+    def test_omim_values_for_paper_instances(self):
+        assert omim_makespan(static_example_instance()) == pytest.approx(12.0)
+        assert omim_makespan(dynamic_example_instance()) == pytest.approx(16.0)
+
+    def test_schedule_is_permutation_schedule(self):
+        schedule = johnson_schedule(static_example_instance())
+        assert schedule.is_permutation_schedule()
+
+    def test_empty_instance(self):
+        assert omim_makespan(Instance([])) == 0.0
+
+
+class TestOptimality:
+    def test_johnson_beats_all_permutations_small(self):
+        tasks = tasks_from_pairs([(3, 2), (1, 4), (5, 5), (2, 1), (4, 3)])
+        best = min(
+            sequence_schedule_infinite_memory(perm).makespan
+            for perm in itertools.permutations(tasks)
+        )
+        assert johnson_schedule(Instance(tasks)).makespan == pytest.approx(best)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=20, allow_nan=False),
+                st.floats(min_value=0, max_value=20, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_johnson_never_worse_than_random_permutations(self, pairs):
+        tasks = tasks_from_pairs(pairs)
+        johnson = sequence_schedule_infinite_memory(johnson_order(tasks)).makespan
+        for perm in itertools.permutations(tasks):
+            assert johnson <= sequence_schedule_infinite_memory(perm).makespan + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_omim_respects_area_bound(self, pairs):
+        instance = Instance(tasks_from_pairs(pairs))
+        assert omim_makespan(instance) >= instance.resource_lower_bound - 1e-9
+        assert omim_makespan(instance) <= instance.sequential_makespan + 1e-9

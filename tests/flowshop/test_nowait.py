@@ -1,0 +1,79 @@
+"""Tests for no-wait two-machine flowshop utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Task, tasks_from_pairs
+from repro.flowshop import (
+    brute_force_nowait_order,
+    held_karp_nowait_order,
+    nowait_makespan,
+    nowait_transition_cost,
+)
+
+
+class TestMakespanFormula:
+    def test_empty_sequence(self):
+        assert nowait_makespan([]) == 0.0
+
+    def test_single_task(self):
+        assert nowait_makespan([Task.from_times("A", 3, 2)]) == 5.0
+
+    def test_two_tasks_with_and_without_idle(self):
+        a = Task.from_times("A", 2, 5)
+        b = Task.from_times("B", 3, 1)
+        # B's transfer (3) fits inside A's computation (5): no extra idle.
+        assert nowait_makespan([a, b]) == 2 + 5 + 1
+        # Reversed: A's transfer (2) exceeds B's computation (1) by 1.
+        assert nowait_makespan([b, a]) == 3 + 1 + (2 - 1) + 5
+
+    def test_transition_cost(self):
+        a = Task.from_times("A", 2, 5)
+        b = Task.from_times("B", 9, 1)
+        assert nowait_transition_cost(None, a) == 2
+        assert nowait_transition_cost(a, b) == 4
+        assert nowait_transition_cost(b, a) == 1
+
+
+class TestExactSolvers:
+    def test_held_karp_matches_brute_force(self):
+        tasks = tasks_from_pairs([(3, 2), (1, 4), (5, 5), (2, 1), (4, 3), (1, 1)])
+        _, brute = brute_force_nowait_order(tasks)
+        _, held_karp = held_karp_nowait_order(tasks)
+        assert held_karp == pytest.approx(brute)
+
+    def test_returned_orders_achieve_reported_value(self):
+        tasks = tasks_from_pairs([(3, 2), (1, 4), (5, 5), (2, 1)])
+        order, value = held_karp_nowait_order(tasks)
+        assert nowait_makespan(order) == pytest.approx(value)
+        order, value = brute_force_nowait_order(tasks)
+        assert nowait_makespan(order) == pytest.approx(value)
+
+    def test_size_guards(self):
+        too_many = tasks_from_pairs([(1, 1)] * 10)
+        with pytest.raises(ValueError):
+            brute_force_nowait_order(too_many)
+        with pytest.raises(ValueError):
+            held_karp_nowait_order(tasks_from_pairs([(1, 1)] * 17))
+
+    def test_empty_input(self):
+        assert held_karp_nowait_order([]) == ([], 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_held_karp_is_optimal(pairs):
+    tasks = tasks_from_pairs(pairs)
+    _, brute = brute_force_nowait_order(tasks)
+    _, held_karp = held_karp_nowait_order(tasks)
+    assert held_karp == pytest.approx(brute, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the 3-Partition reduction (Theorem 2 / Table 1)."""
+
+import pytest
+
+from repro.core import validate_schedule
+from repro.flowshop import (
+    ThreePartitionInstance,
+    partition_from_schedule,
+    reduce_three_partition,
+    schedule_from_partition,
+    solve_three_partition,
+)
+
+#: A yes-instance: 9 values, m = 3, b = 15.
+YES_VALUES = (4, 5, 6, 7, 5, 3, 4, 4, 7)
+#: A no-instance with the same m and sum divisible by m, but no valid triplets.
+NO_VALUES = (1, 1, 1, 1, 1, 25, 1, 1, 13)
+
+
+class TestThreePartitionInstance:
+    def test_basic_properties(self):
+        instance = ThreePartitionInstance(YES_VALUES)
+        assert instance.m == 3
+        assert instance.target == 15
+        assert instance.max_value == 7
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((1, 2))
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((1, 2, -3))
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((1, 1, 2, 1, 1, 1))  # sum not divisible by m
+
+
+class TestSolver:
+    def test_solves_yes_instance(self):
+        instance = ThreePartitionInstance(YES_VALUES)
+        solution = solve_three_partition(instance)
+        assert solution is not None
+        assert len(solution) == 3
+        for triplet in solution:
+            assert sum(instance.values[i] for i in triplet) == instance.target
+
+    def test_detects_no_instance(self):
+        assert solve_three_partition(ThreePartitionInstance(NO_VALUES)) is None
+
+
+class TestReduction:
+    def test_table1_structure(self):
+        reduction = reduce_three_partition(YES_VALUES)
+        instance = reduction.instance
+        m, b, x = 3, 15, 7
+        b_prime = b + 6 * x
+        assert reduction.scaled_target == b_prime
+        assert instance.capacity == b_prime + 3
+        assert reduction.target_makespan == m * (b_prime + 3)
+        assert len(instance) == 4 * m + 1
+        # K tasks.
+        assert instance["K0"].comm == 0 and instance["K0"].comp == 3
+        for i in range(1, m):
+            assert instance[f"K{i}"].comm == b_prime and instance[f"K{i}"].comp == 3
+        assert instance[f"K{m}"].comm == b_prime and instance[f"K{m}"].comp == 0
+        # A tasks.
+        for index, value in enumerate(YES_VALUES, start=1):
+            assert instance[f"A{index}"].comm == 1
+            assert instance[f"A{index}"].comp == value + 2 * x
+
+    def test_total_times_equal_target(self):
+        """Both resources are exactly saturated by a makespan-L schedule."""
+        reduction = reduce_three_partition(YES_VALUES)
+        assert reduction.instance.total_comm == pytest.approx(reduction.target_makespan)
+        assert reduction.instance.total_comp == pytest.approx(reduction.target_makespan)
+
+
+class TestCorrespondence:
+    def test_partition_to_schedule(self):
+        reduction = reduce_three_partition(YES_VALUES)
+        triplets = solve_three_partition(reduction.source)
+        schedule = schedule_from_partition(reduction, triplets)
+        assert validate_schedule(schedule, reduction.instance).is_feasible
+        assert schedule.makespan == pytest.approx(reduction.target_makespan)
+
+    def test_schedule_back_to_partition(self):
+        reduction = reduce_three_partition(YES_VALUES)
+        triplets = solve_three_partition(reduction.source)
+        schedule = schedule_from_partition(reduction, triplets)
+        recovered = partition_from_schedule(reduction, schedule)
+        b = reduction.source.target
+        assert len(recovered) == reduction.source.m
+        for triplet in recovered:
+            assert sum(reduction.source.values[i] for i in triplet) == b
+
+    def test_invalid_partitions_rejected(self):
+        reduction = reduce_three_partition(YES_VALUES)
+        with pytest.raises(ValueError):
+            schedule_from_partition(reduction, [[0, 1, 2]])  # wrong number of triplets
+        with pytest.raises(ValueError):
+            # Triplet sums are 16 / 14 / 15: not a valid partition.
+            schedule_from_partition(reduction, [[0, 1, 3], [2, 4, 5], [6, 7, 8]])

@@ -1,0 +1,64 @@
+"""Tests for the Gilmore-Gomory and bin-packing baseline heuristics."""
+
+import math
+
+import pytest
+
+from repro.core import Instance, Task, tasks_from_pairs, validate_schedule
+from repro.heuristics import BinPackingFirstFit, GilmoreGomory, first_fit_bins
+
+
+class TestFirstFitBins:
+    def test_single_bin_when_everything_fits(self):
+        tasks = tasks_from_pairs([(1, 1), (2, 1), (3, 1)])
+        bins = first_fit_bins(tasks, capacity=10)
+        assert len(bins) == 1
+        assert [t.name for t in bins[0]] == ["T0", "T1", "T2"]
+
+    def test_first_fit_placement(self):
+        tasks = tasks_from_pairs([(4, 1), (3, 1), (2, 1), (3, 1)])
+        bins = first_fit_bins(tasks, capacity=6)
+        assert [[t.name for t in bucket] for bucket in bins] == [["T0", "T2"], ["T1", "T3"]]
+
+    def test_bin_memory_never_exceeds_capacity(self):
+        tasks = tasks_from_pairs([(4, 1), (3, 1), (2, 1), (5, 1), (1, 1)])
+        for capacity in (5, 6, 8):
+            for bucket in first_fit_bins(tasks, capacity):
+                assert sum(t.memory for t in bucket) <= capacity + 1e-9
+
+    def test_infinite_capacity(self):
+        tasks = tasks_from_pairs([(1, 1), (2, 2)])
+        assert len(first_fit_bins(tasks, math.inf)) == 1
+        assert first_fit_bins([], math.inf) == []
+
+    def test_oversized_task_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_bins([Task.from_times("A", 10, 1)], capacity=5)
+
+
+class TestBinPackingHeuristic:
+    def test_schedule_is_feasible(self, table3_instance):
+        schedule = BinPackingFirstFit().schedule(table3_instance)
+        assert validate_schedule(schedule, table3_instance).is_feasible
+        assert sorted(e.name for e in schedule) == ["A", "B", "C", "D"]
+
+    def test_order_follows_bins(self, table3_instance):
+        # capacity 6: bins are [A(3), B(1), D(2)], [C(4)].
+        order = BinPackingFirstFit().order(table3_instance)
+        assert [t.name for t in order] == ["A", "B", "D", "C"]
+
+
+class TestGilmoreGomoryHeuristic:
+    def test_schedule_is_feasible(self, table3_instance):
+        schedule = GilmoreGomory().schedule(table3_instance)
+        assert validate_schedule(schedule, table3_instance).is_feasible
+
+    def test_order_contains_all_tasks(self, table4_instance):
+        order = GilmoreGomory().order(table4_instance)
+        assert sorted(t.name for t in order) == ["A", "B", "C", "D"]
+
+    def test_never_better_than_omim(self, table3_instance):
+        from repro.core import omim
+
+        schedule = GilmoreGomory().schedule(table3_instance)
+        assert schedule.makespan >= omim(table3_instance) - 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the static-ordering heuristics (Section 4.1)."""
+
+import pytest
+
+from repro.core import validate_schedule
+from repro.heuristics import (
+    Category,
+    DecreasingCommPlusComp,
+    DecreasingComputation,
+    IncreasingCommPlusComp,
+    IncreasingCommunication,
+    OptimalOrderInfiniteMemory,
+    OrderOfSubmission,
+)
+
+EXPECTED_MAKESPANS = {
+    "OOSIM": 15.0,
+    "IOCMS": 16.0,
+    "DOCPS": 14.0,
+    "IOCCS": 16.0,
+    "DOCCS": 17.0,
+}
+
+EXPECTED_ORDERS = {
+    "OOSIM": ["B", "C", "A", "D"],
+    "IOCMS": ["B", "D", "A", "C"],
+    "DOCPS": ["C", "B", "A", "D"],
+    "IOCCS": ["D", "B", "A", "C"],
+    "DOCCS": ["C", "A", "B", "D"],
+}
+
+HEURISTICS = {
+    "OOSIM": OptimalOrderInfiniteMemory,
+    "IOCMS": IncreasingCommunication,
+    "DOCPS": DecreasingComputation,
+    "IOCCS": IncreasingCommPlusComp,
+    "DOCCS": DecreasingCommPlusComp,
+}
+
+
+class TestFigure4Reproduction:
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_makespan_matches_paper(self, name, table3_instance):
+        schedule = HEURISTICS[name]().schedule(table3_instance)
+        assert schedule.makespan == pytest.approx(EXPECTED_MAKESPANS[name])
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_order_matches_paper(self, name, table3_instance):
+        schedule = HEURISTICS[name]().schedule(table3_instance)
+        assert schedule.communication_order() == EXPECTED_ORDERS[name]
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_schedules_feasible(self, name, table3_instance):
+        schedule = HEURISTICS[name]().schedule(table3_instance)
+        assert validate_schedule(schedule, table3_instance).is_feasible
+
+
+class TestOrderOfSubmission:
+    def test_keeps_submission_order(self, table3_instance):
+        schedule = OrderOfSubmission().schedule(table3_instance)
+        assert schedule.communication_order() == ["A", "B", "C", "D"]
+        assert OrderOfSubmission.category == Category.SUBMISSION
+
+
+class TestMetadata:
+    def test_names_and_categories(self):
+        assert OptimalOrderInfiniteMemory.name == "OOSIM"
+        assert IncreasingCommunication().category == Category.STATIC
+        info = DecreasingComputation().info
+        assert info.name == "DOCPS"
+        assert "communication intensive" in info.favorable_situation
+
+    def test_infinite_memory_oosim_matches_omim(self, table3_instance):
+        from repro.core import omim
+
+        unconstrained = table3_instance.without_memory_constraint()
+        schedule = OptimalOrderInfiniteMemory().schedule(unconstrained)
+        assert schedule.makespan == pytest.approx(omim(unconstrained))

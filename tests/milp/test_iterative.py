@@ -1,0 +1,46 @@
+"""Tests for the windowed lp.k heuristic."""
+
+import pytest
+
+from repro.core import omim, validate_schedule
+from repro.core.paper_instances import dynamic_example_instance, static_example_instance
+from repro.milp import IterativeMilpHeuristic, iterative_milp_schedule, solve_exact
+
+
+class TestIterativeMilp:
+    @pytest.mark.parametrize("window", [2, 3, 4])
+    def test_schedules_are_feasible(self, window):
+        instance = dynamic_example_instance()
+        schedule = iterative_milp_schedule(instance, window)
+        assert validate_schedule(schedule, instance).is_feasible
+        assert sorted(e.name for e in schedule) == ["A", "B", "C", "D"]
+
+    def test_window_covering_whole_instance_matches_exact_solution(self):
+        instance = static_example_instance()
+        schedule = iterative_milp_schedule(instance, window=len(instance))
+        exact = solve_exact(instance, time_limit=60)
+        assert schedule.makespan == pytest.approx(exact.makespan, abs=1e-6)
+
+    def test_never_beats_omim(self):
+        instance = dynamic_example_instance()
+        for window in (2, 3):
+            schedule = iterative_milp_schedule(instance, window)
+            assert schedule.makespan >= omim(instance) - 1e-6
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            iterative_milp_schedule(static_example_instance(), 0)
+
+
+class TestHeuristicWrapper:
+    def test_name_and_category(self):
+        heuristic = IterativeMilpHeuristic(window=5)
+        assert heuristic.name == "lp.5"
+        assert str(heuristic.category) == "milp"
+
+    def test_wrapper_matches_function(self):
+        instance = static_example_instance()
+        wrapper = IterativeMilpHeuristic(window=3)
+        assert wrapper.schedule(instance).makespan == pytest.approx(
+            iterative_milp_schedule(instance, 3).makespan
+        )

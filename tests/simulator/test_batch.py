@@ -1,0 +1,48 @@
+"""Tests for batched execution (Section 6.3)."""
+
+import pytest
+
+from repro.core import Instance, tasks_from_pairs, validate_schedule
+from repro.simulator import execute_fixed_order, execute_in_batches
+
+
+@pytest.fixture
+def instance():
+    return Instance(tasks_from_pairs([(2, 3), (1, 1), (4, 2), (3, 3), (2, 2)]), capacity=6)
+
+
+def scheduler(sub_instance):
+    return execute_fixed_order(sub_instance)
+
+
+class TestBatchedExecution:
+    def test_single_batch_equals_direct_execution(self, instance):
+        direct = execute_fixed_order(instance)
+        batched = execute_in_batches(instance, scheduler, batch_size=100)
+        assert batched.makespan == pytest.approx(direct.makespan)
+
+    def test_batches_are_chained_sequentially(self, instance):
+        batched = execute_in_batches(instance, scheduler, batch_size=2)
+        per_batch = [
+            execute_fixed_order(batch) for batch in instance.batches(2)
+        ]
+        expected = sum(schedule.makespan for schedule in per_batch)
+        assert batched.makespan == pytest.approx(expected)
+        assert validate_schedule(batched, instance).is_feasible
+
+    def test_batching_never_improves_makespan(self, instance):
+        direct = execute_fixed_order(instance).makespan
+        batched = execute_in_batches(instance, scheduler, batch_size=2).makespan
+        assert batched + 1e-9 >= direct
+
+    def test_all_tasks_scheduled_once(self, instance):
+        batched = execute_in_batches(instance, scheduler, batch_size=2)
+        assert sorted(e.name for e in batched) == sorted(instance.task_names)
+
+    def test_invalid_batch_size(self, instance):
+        with pytest.raises(ValueError):
+            execute_in_batches(instance, scheduler, batch_size=0)
+
+    def test_empty_instance(self):
+        empty = Instance([])
+        assert execute_in_batches(empty, scheduler).makespan == 0.0

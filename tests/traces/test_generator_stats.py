@@ -1,0 +1,83 @@
+"""Tests for the synthetic generators and workload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import omim
+from repro.traces import (
+    REGIMES,
+    DistributionSummary,
+    characterise_ensemble,
+    characterise_trace,
+    regime_trace,
+    summarise,
+    synthetic_ensemble,
+    synthetic_trace,
+)
+
+
+class TestGenerators:
+    def test_regimes_produce_expected_balance(self):
+        compute_heavy = regime_trace("compute-heavy", tasks=400, seed=1)
+        comm_heavy = regime_trace("communication-heavy", tasks=400, seed=1)
+        assert compute_heavy.total_comp_seconds > compute_heavy.total_comm_seconds
+        assert comm_heavy.total_comm_seconds > comm_heavy.total_comp_seconds
+
+    def test_homogeneous_vs_heterogeneous(self):
+        homogeneous = regime_trace("homogeneous", tasks=300, seed=2)
+        heterogeneous = regime_trace("heterogeneous", tasks=300, seed=2)
+
+        def coefficient_of_variation(trace):
+            volumes = np.array([t.volume_bytes for t in trace.tasks])
+            return volumes.std() / volumes.mean()
+
+        assert coefficient_of_variation(homogeneous) < 0.2
+        assert coefficient_of_variation(heterogeneous) > 0.8
+
+    def test_generation_is_deterministic(self):
+        first = synthetic_trace("balanced", tasks=50, seed=3)
+        second = synthetic_trace("balanced", tasks=50, seed=3)
+        assert [t.comm_seconds for t in first.tasks] == [t.comm_seconds for t in second.tasks]
+
+    def test_memory_proportional_to_communication(self):
+        trace = synthetic_trace("balanced", tasks=20, seed=4)
+        regime = REGIMES["balanced"]
+        for task in trace.tasks:
+            assert task.volume_bytes == pytest.approx(task.comm_seconds * regime.bandwidth)
+
+    def test_ensemble_task_count_range(self):
+        ensemble = synthetic_ensemble("balanced", processes=5, tasks_per_process=(30, 60), seed=6)
+        assert len(ensemble) == 5
+        assert all(30 <= count <= 60 for count in ensemble.task_counts)
+
+    def test_unknown_regime(self):
+        with pytest.raises(KeyError):
+            synthetic_trace("nope", tasks=5)
+
+
+class TestStatistics:
+    def test_characterise_trace_consistency(self):
+        trace = synthetic_trace("balanced", tasks=60, seed=7)
+        characteristics = characterise_trace(trace)
+        instance = trace.to_instance()
+        reference = omim(instance)
+        assert characteristics.omim_seconds == pytest.approx(reference)
+        assert characteristics.sum_comm_ratio == pytest.approx(instance.total_comm / reference)
+        assert characteristics.area_bound_ratio <= characteristics.sequential_ratio
+        assert characteristics.area_bound_ratio <= 1.0 + 1e-9
+        assert 0 <= characteristics.max_overlap_fraction <= 0.5
+
+    def test_characterise_ensemble_length(self):
+        ensemble = synthetic_ensemble("balanced", processes=3, tasks_per_process=20, seed=8)
+        assert len(characterise_ensemble(ensemble)) == 3
+
+    def test_summarise(self):
+        summary = summarise([1.0, 2.0, 3.0, 4.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_summarise_empty(self):
+        assert summarise([]) == DistributionSummary.empty()

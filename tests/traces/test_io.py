@@ -1,0 +1,65 @@
+"""Round-trip tests for trace IO."""
+
+import pytest
+
+from repro.traces import (
+    Trace,
+    TraceEnsemble,
+    TraceTask,
+    read_ensemble_json,
+    read_trace_csv,
+    synthetic_ensemble,
+    write_ensemble_json,
+    write_trace_csv,
+)
+
+
+@pytest.fixture
+def trace():
+    tasks = [
+        TraceTask(name=f"t{i}", volume_bytes=123.5 * (i + 1), comm_seconds=0.25 * i, comp_seconds=0.5, kind="contract")
+        for i in range(6)
+    ]
+    return Trace(application="CCSD", process=7, tasks=tasks, metadata={"molecule": "uracil"})
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, trace, tmp_path):
+        path = write_trace_csv(trace, tmp_path / "trace.csv")
+        loaded = read_trace_csv(path)
+        assert loaded.application == "CCSD"
+        assert loaded.process == 7
+        assert loaded.metadata["molecule"] == "uracil"
+        assert [t.name for t in loaded.tasks] == [t.name for t in trace.tasks]
+        assert [t.volume_bytes for t in loaded.tasks] == pytest.approx(
+            [t.volume_bytes for t in trace.tasks]
+        )
+        assert [t.comm_seconds for t in loaded.tasks] == pytest.approx(
+            [t.comm_seconds for t in trace.tasks]
+        )
+        assert [t.kind for t in loaded.tasks] == [t.kind for t in trace.tasks]
+
+    def test_creates_parent_directories(self, trace, tmp_path):
+        path = write_trace_csv(trace, tmp_path / "deep" / "nested" / "trace.csv")
+        assert path.exists()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_ensemble(self, tmp_path):
+        ensemble = synthetic_ensemble("balanced", processes=3, tasks_per_process=10, seed=5)
+        path = write_ensemble_json(ensemble, tmp_path / "ensemble.json")
+        loaded = read_ensemble_json(path)
+        assert loaded.application == ensemble.application
+        assert len(loaded) == 3
+        for original, restored in zip(ensemble, loaded):
+            assert original.process == restored.process
+            assert [t.name for t in original.tasks] == [t.name for t in restored.tasks]
+            assert [t.comp_seconds for t in original.tasks] == pytest.approx(
+                [t.comp_seconds for t in restored.tasks]
+            )
+
+    def test_metadata_round_trip(self, trace, tmp_path):
+        ensemble = TraceEnsemble(application="CCSD", traces=[trace], metadata={"seed": "9"})
+        loaded = read_ensemble_json(write_ensemble_json(ensemble, tmp_path / "e.json"))
+        assert loaded.metadata == {"seed": "9"}
+        assert loaded[0].metadata == {"molecule": "uracil"}

@@ -1,0 +1,88 @@
+"""Tests for the trace model."""
+
+import math
+
+import pytest
+
+from repro.traces import Trace, TraceEnsemble, TraceTask
+
+
+def make_trace(application="HF", process=0, count=5):
+    tasks = [
+        TraceTask(
+            name=f"t{i}",
+            volume_bytes=1000.0 * (i + 1),
+            comm_seconds=0.1 * (i + 1),
+            comp_seconds=0.05 * (i + 1),
+            kind="k",
+        )
+        for i in range(count)
+    ]
+    return Trace(application=application, process=process, tasks=tasks)
+
+
+class TestTraceTask:
+    def test_to_task_preserves_units(self):
+        trace_task = TraceTask(name="x", volume_bytes=2048, comm_seconds=0.5, comp_seconds=0.25)
+        task = trace_task.to_task()
+        assert task.comm == 0.5
+        assert task.comp == 0.25
+        assert task.memory == 2048
+        assert task.name == "x"
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TraceTask(name="x", volume_bytes=-1, comm_seconds=0, comp_seconds=0)
+
+
+class TestTrace:
+    def test_aggregates(self):
+        trace = make_trace()
+        assert trace.total_volume_bytes == pytest.approx(1000 * 15)
+        assert trace.total_comm_seconds == pytest.approx(0.1 * 15)
+        assert trace.total_comp_seconds == pytest.approx(0.05 * 15)
+        assert trace.min_capacity_bytes == pytest.approx(5000)
+        assert trace.label == "HF/p000"
+
+    def test_duplicate_task_names_rejected(self):
+        task = TraceTask(name="dup", volume_bytes=1, comm_seconds=1, comp_seconds=1)
+        with pytest.raises(ValueError):
+            Trace(application="HF", process=0, tasks=[task, task])
+
+    def test_to_instance(self):
+        trace = make_trace()
+        unconstrained = trace.to_instance()
+        assert math.isinf(unconstrained.capacity)
+        constrained = trace.to_instance_with_factor(1.5)
+        assert constrained.capacity == pytest.approx(7500)
+        assert len(constrained) == 5
+        assert constrained.name == trace.label
+        with pytest.raises(ValueError):
+            trace.to_instance_with_factor(0)
+
+    def test_batched(self):
+        batches = make_trace(count=7).batched(3)
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert batches[1].metadata["batch"] == "1"
+        with pytest.raises(ValueError):
+            make_trace().batched(0)
+
+    def test_empty_trace(self):
+        trace = Trace(application="HF", process=1)
+        assert trace.min_capacity_bytes == 0.0
+        assert len(trace) == 0
+
+
+class TestEnsemble:
+    def test_ensemble_checks_application(self):
+        with pytest.raises(ValueError):
+            TraceEnsemble(application="HF", traces=[make_trace(application="CCSD")])
+
+    def test_subset_and_counts(self):
+        ensemble = TraceEnsemble(
+            application="HF", traces=[make_trace(process=i, count=3 + i) for i in range(4)]
+        )
+        assert ensemble.task_counts == [3, 4, 5, 6]
+        subset = ensemble.subset(2)
+        assert len(subset) == 2
+        assert subset[1].process == 1

@@ -1,0 +1,56 @@
+"""Tests for the text boxplot and series-table renderers."""
+
+import pytest
+
+from repro.traces import summarise
+from repro.viz import render_box_line, render_series_table, render_summary_table
+
+
+@pytest.fixture
+def summary():
+    return summarise([1.0, 1.1, 1.2, 1.4, 2.0])
+
+
+class TestBoxLine:
+    def test_markers_present(self, summary):
+        line = render_box_line(summary, low=1.0, high=2.0, width=40)
+        assert len(line) == 40
+        assert line.count("|") >= 2
+        assert "#" in line
+
+    def test_degenerate_range(self, summary):
+        assert set(render_box_line(summary, low=1.0, high=1.0)) == {"·"}
+
+    def test_width_guard(self, summary):
+        with pytest.raises(ValueError):
+            render_box_line(summary, low=0, high=1, width=5)
+
+
+class TestSummaryTable:
+    def test_contains_all_heuristics_and_stats(self, summary):
+        table = render_summary_table({"SCMR": summary, "LCMR": summary}, title="capacity = mc")
+        assert "capacity = mc" in table
+        assert "SCMR" in table and "LCMR" in table
+        assert "median" in table
+        assert f"{summary.median:.4f}" in table
+
+    def test_empty_groups(self):
+        assert "(no data)" in render_summary_table({}, title="empty")
+
+
+class TestSeriesTable:
+    def test_renders_one_row_per_x(self):
+        table = render_series_table(
+            {"static": [(1.0, 1.2), (2.0, 1.0)], "dynamic": [(1.0, 1.1), (2.0, 1.05)]},
+            title="best variants",
+        )
+        assert "best variants" in table
+        assert "static" in table and "dynamic" in table
+        assert table.count("\n") >= 5
+
+    def test_missing_points_render_dashes(self):
+        table = render_series_table({"a": [(1.0, 1.0)], "b": [(2.0, 1.5)]})
+        assert "-" in table
+
+    def test_empty_series(self):
+        assert "(no data)" in render_series_table({})
