@@ -19,7 +19,7 @@ import pytest
 
 from repro.chemistry import ccsd_ensemble
 from repro.core import omim
-from repro.heuristics import get_heuristic
+from repro import get_solver
 from repro.simulator import (
     CriterionPolicy,
     execute_in_batches,
@@ -65,7 +65,7 @@ def test_ablation_minimum_idle_filter(benchmark, ccsd_instance):
 def test_ablation_dynamic_corrections(benchmark, ccsd_instance):
     def run():
         return {
-            name: get_heuristic(name).schedule(ccsd_instance).makespan
+            name: get_solver(name).schedule(ccsd_instance).makespan
             for name in ("OOSIM", "OOLCMR", "OOSCMR", "OOMAMR")
         }
 
@@ -79,7 +79,7 @@ def test_ablation_dynamic_corrections(benchmark, ccsd_instance):
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_batch_size(benchmark, ccsd_instance):
-    heuristic = get_heuristic("OOLCMR")
+    heuristic = get_solver("OOLCMR")
     sizes = (25, 50, 100, 200)
 
     def run():

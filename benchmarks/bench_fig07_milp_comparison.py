@@ -9,14 +9,14 @@ from repro.experiments import figure07_milp_comparison
 @pytest.mark.benchmark(group="figure07")
 def test_figure07_milp_comparison(benchmark, config):
     result = run_figure(benchmark, lambda cfg: figure07_milp_comparison(cfg), config)
-    ratios = [record.ratio_to_optimal for record in result.records]
+    ratios = result.records.column("ratio_to_optimal")
     assert all(ratio >= 1.0 - 1e-9 for ratio in ratios)
     # The lp.k heuristics are present alongside the fourteen polynomial ones;
     # as in the paper they do not dominate them on average (the comparison per
     # capacity is printed above and recorded in EXPERIMENTS.md).
-    lp_records = [r for r in result.records if r.heuristic.startswith("lp.")]
-    other_records = [r for r in result.records if not r.heuristic.startswith("lp.")]
-    assert lp_records and other_records
-    lp_mean = sum(r.ratio_to_optimal for r in lp_records) / len(lp_records)
-    other_mean = sum(r.ratio_to_optimal for r in other_records) / len(other_records)
+    lp = result.records.filter(lambda r: r.heuristic.startswith("lp."))
+    other = result.records.filter(lambda r: not r.heuristic.startswith("lp."))
+    assert lp and other
+    lp_mean = sum(lp.column("ratio_to_optimal")) / len(lp)
+    other_mean = sum(other.column("ratio_to_optimal")) / len(other)
     assert other_mean <= lp_mean * 1.10

@@ -9,10 +9,8 @@ from repro.experiments import figure13_batches
 @pytest.mark.benchmark(group="figure13")
 def test_figure13_batches(benchmark, config):
     result = run_figure(benchmark, lambda cfg: figure13_batches(cfg), config)
-    applications = {record.application for record in result.records}
-    assert applications == {"HF", "CCSD"}
-    assert all(record.ratio_to_optimal >= 1.0 - 1e-9 for record in result.records)
+    assert set(result.records.column("application")) == {"HF", "CCSD"}
+    assert all(ratio >= 1.0 - 1e-9 for ratio in result.records.column("ratio_to_optimal"))
     # Batching keeps HF close to the optimum (its ratios stay below the CCSD ones).
-    hf_ratios = [r.ratio_to_optimal for r in result.records if r.application == "HF"]
-    ccsd_ratios = [r.ratio_to_optimal for r in result.records if r.application == "CCSD"]
-    assert sum(hf_ratios) / len(hf_ratios) < sum(ccsd_ratios) / len(ccsd_ratios)
+    means = result.records.aggregate("ratio_to_optimal", by=("application",), how="mean")
+    assert means["HF"] < means["CCSD"]

@@ -10,7 +10,7 @@ import pytest
 from conftest import run_figure
 from repro.core import omim
 from repro.experiments import table06_favorable_situations
-from repro.heuristics import get_heuristic
+from repro import get_solver
 from repro.traces import regime_trace
 
 
@@ -42,7 +42,7 @@ def test_table6_optimality_rows(benchmark, regime, heuristic, keep_compute_inten
     instance = instance.subset(names)
 
     def run():
-        return get_heuristic(heuristic).schedule(instance).makespan
+        return get_solver(heuristic).schedule(instance).makespan
 
     makespan = benchmark.pedantic(run, rounds=1, iterations=1)
     reference = omim(instance)

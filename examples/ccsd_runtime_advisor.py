@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import argparse
 
+from repro import solve
+from repro.api import PAPER_FIGURE_ORDER
 from repro.chemistry import ccsd_ensemble
 from repro.core import omim
-from repro.heuristics import all_heuristics
-from repro.simulator import execute_in_batches
 from repro.traces.stats import characterise_trace
 
 
@@ -57,9 +57,9 @@ def main() -> None:
         instance = trace.to_instance(capacity)
         reference = omim(instance)
         scores = {}
-        for name, heuristic in all_heuristics().items():
-            schedule = execute_in_batches(instance, heuristic.schedule, batch_size=args.batch)
-            scores[name] = schedule.makespan / reference
+        for name in PAPER_FIGURE_ORDER:
+            result = solve(instance, method=name, batch_size=args.batch, reference=reference)
+            scores[name] = result.ratio_to_optimal
         ranked = sorted(scores.items(), key=lambda item: item[1])
         (best, best_ratio), (second, _) = ranked[0], ranked[1]
         print(f"{budget_gb:>7.1f}GB {best:>14} {best_ratio:>14.3f} {second:>12}")

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro import Study
 from repro.chemistry import hf_ensemble
-from repro.experiments import PAPER_CAPACITY_FACTORS, best_variant_series, sweep_ensemble
+from repro.experiments import best_variant_series
 from repro.experiments.aggregate import summaries_by_capacity
 from repro.traces.stats import characterise_ensemble, summarise
 from repro.viz import render_series_table, render_summary_table
@@ -34,6 +35,10 @@ def main() -> None:
         nargs="*",
         default=[1.0, 1.25, 1.5, 1.75, 2.0],
         help="memory capacities as multiples of mc",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads for the sweep (default: one per CPU)",
     )
     args = parser.parse_args()
 
@@ -57,8 +62,15 @@ def main() -> None:
     mc = summarise(c.min_capacity_bytes for c in characteristics)
     print(f"\nminimum workable capacity mc: median {mc.median / 1e3:.0f} KB\n")
 
-    # Heuristic comparison across capacities (Figures 9 and 10).
-    records = sweep_ensemble(ensemble, capacity_factors=tuple(args.capacities))
+    # Heuristic comparison across capacities (Figures 9 and 10), with the
+    # per-trace jobs fanned out over a thread pool.
+    records = (
+        Study()
+        .traces(ensemble)
+        .capacities(*args.capacities)
+        .parallel(args.jobs)
+        .run()
+    )
     for factor, groups in sorted(summaries_by_capacity(records).items()):
         print(render_summary_table(groups, title=f"capacity = {factor:g} mc"))
         print()

@@ -1,8 +1,9 @@
-"""Quickstart: schedule a handful of data transfers and compare heuristics.
+"""Quickstart: schedule a handful of data transfers and compare solvers.
 
 This example builds the paper's Table 3 instance (four tasks, memory capacity
-6), runs every heuristic of the registry on it, prints a Gantt chart of the
-best schedule, and shows how the ratio-to-optimal metric is computed.
+6), runs every registered solver on it through the :func:`repro.solve` facade,
+prints a Gantt chart of the best schedule, and shows how the ratio-to-optimal
+metric is computed.
 
 Run with::
 
@@ -11,8 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Instance, Task, all_heuristics, omim
-from repro.core import evaluate
+from repro import Instance, Task, available_solvers, omim, solve
 from repro.viz import render_gantt
 
 
@@ -34,25 +34,27 @@ def main() -> None:
     print(f"instance with {len(instance)} tasks, capacity {instance.capacity:g}")
     print(f"optimal makespan with infinite memory (OMIM): {reference:g}\n")
 
-    # 3. Run every heuristic and rank them by makespan.
+    # 3. Run every registered solver (paper heuristics, the exact no-wait
+    #    sequencer, the windowed MILPs) and rank them by makespan.  A custom
+    #    strategy registered with @repro.register_solver would show up here
+    #    automatically.
     results = []
-    for name, heuristic in all_heuristics().items():
-        schedule = heuristic.schedule(instance)
-        metrics = evaluate(schedule, instance, heuristic=name, reference=reference)
-        results.append((metrics.ratio_to_optimal, name, schedule))
-    results.sort(key=lambda item: (item[0], item[1]))
+    for name in available_solvers():
+        result = solve(instance, method=name, reference=reference)
+        results.append(result)
+    results.sort(key=lambda r: (r.ratio_to_optimal, r.solver))
 
-    print(f"{'heuristic':<10} {'makespan':>9} {'ratio to OMIM':>14} {'peak memory':>12}")
-    for ratio, name, schedule in results:
+    print(f"{'solver':<10} {'category':<12} {'makespan':>9} {'ratio to OMIM':>14}")
+    for result in results:
         print(
-            f"{name:<10} {schedule.makespan:>9.2f} {ratio:>14.3f} "
-            f"{schedule.peak_memory():>12.1f}"
+            f"{result.solver:<10} {result.category:<12} {result.makespan:>9.2f} "
+            f"{result.ratio_to_optimal:>14.3f}"
         )
 
     # 4. Inspect the winning schedule.
-    best_ratio, best_name, best_schedule = results[0]
-    print(f"\nbest schedule ({best_name}, ratio {best_ratio:.3f}):\n")
-    print(render_gantt(best_schedule))
+    best = results[0]
+    print(f"\nbest schedule ({best.solver}, ratio {best.ratio_to_optimal:.3f}):\n")
+    print(render_gantt(best.schedule))
 
 
 if __name__ == "__main__":

@@ -4,6 +4,9 @@ Reproduction of *"Performance Models for Data Transfers: A Case Study with
 Molecular Chemistry Kernels"* (Kumar, Eyraud-Dubois, Krishnamoorthy, ICPP
 2019).  The package provides:
 
+* :mod:`repro.api` — the unified solver facade: :func:`solve`,
+  :class:`Study`, the pluggable solver registry and the columnar
+  :class:`ResultSet`;
 * :mod:`repro.core` — tasks, instances, schedules, bounds and metrics for the
   data-transfer ordering problem (Problem DT);
 * :mod:`repro.flowshop` — Johnson's rule, the exchange lemma, Gilmore–Gomory
@@ -20,15 +23,49 @@ Molecular Chemistry Kernels"* (Kumar, Eyraud-Dubois, Krishnamoorthy, ICPP
 
 Quickstart
 ----------
->>> from repro import Instance, Task, all_heuristics, omim
+>>> from repro import Instance, Task, solve, solver_names
 >>> tasks = [Task.from_times("A", comm=3, comp=2), Task.from_times("B", comm=1, comp=3),
 ...          Task.from_times("C", comm=4, comp=4), Task.from_times("D", comm=2, comp=1)]
 >>> instance = Instance(tasks, capacity=6)
->>> schedules = {name: h.schedule(instance) for name, h in all_heuristics().items()}
->>> round(min(s.makespan for s in schedules.values()), 1) >= round(omim(instance), 1)
+>>> result = solve(instance, method="LCMR")   # any name from solver_names()
+>>> result.ratio_to_optimal >= 1.0
 True
+>>> best = min((solve(instance, name) for name in solver_names()
+...             if not name.startswith("lp.")), key=lambda r: r.makespan)
+>>> best.makespan <= result.makespan
+True
+
+Sweeps use the fluent :class:`Study` builder (see :mod:`repro.api`)::
+
+    from repro import Study
+    from repro.chemistry import hf_ensemble
+
+    results = (
+        Study()
+        .traces(hf_ensemble(processes=150, traces=6))
+        .capacities(1.0, 2.0, steps=9)
+        .solvers("category:dynamic", "OOMAMR")
+        .parallel()
+        .run()
+    )
+    results.aggregate("ratio_to_optimal", by=("capacity_factor", "heuristic"))
 """
 
+from .api import (
+    ResultSet,
+    SolveResult,
+    Solver,
+    SolverInfo,
+    SolverRegistrationError,
+    Study,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    paper_lineup,
+    register_solver,
+    solve,
+    solver_names,
+)
 from .core import (
     Instance,
     Schedule,
@@ -45,7 +82,7 @@ from .core import (
 from .heuristics import Category, Heuristic, all_heuristics, get_heuristic
 from .simulator import execute_fixed_order, execute_in_batches, execute_with_policy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Task",
@@ -55,8 +92,24 @@ __all__ = [
     "ScheduleMetrics",
     "Category",
     "Heuristic",
+    # unified solver facade
+    "ResultSet",
+    "SolveResult",
+    "Solver",
+    "SolverInfo",
+    "SolverRegistrationError",
+    "Study",
+    "UnknownSolverError",
+    "available_solvers",
+    "get_solver",
+    "paper_lineup",
+    "register_solver",
+    "solve",
+    "solver_names",
+    # deprecated pre-facade registry helpers
     "all_heuristics",
     "get_heuristic",
+    # core + executors
     "bounds",
     "check_schedule",
     "evaluate",

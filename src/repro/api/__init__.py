@@ -1,0 +1,58 @@
+"""Unified solver facade: registry, ``solve()``/``Study`` entry points,
+columnar :class:`ResultSet` and parallel sweeps.
+
+This package is the single public API surface over the three scheduling
+layers of the reproduction — the paper heuristics, the exact flowshop
+methods and the MILP — which previously had to be wired together by hand.
+
+* :func:`solve` — one instance, one solver, schedule + metrics;
+* :class:`Study` — fluent builder for multi-trace, multi-capacity,
+  multi-solver sweeps, optionally parallel;
+* :class:`ResultSet` — columnar measurements with
+  ``filter/group_by/aggregate`` and JSON/CSV round-trips;
+* :func:`register_solver` — decorator adding third-party strategies to the
+  same namespace as the built-ins.
+"""
+
+from .engine import run_solvers_on_instance, sweep_instances, sweep_traces
+from .registry import (
+    PAPER_FIGURE_ORDER,
+    Solver,
+    SolverInfo,
+    SolverRegistrationError,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    paper_lineup,
+    register_solver,
+    resolve_solvers,
+    solver_names,
+    unregister_solver,
+)
+from .results import ResultSet, RunRecord
+from .solve import SolveResult, solve
+from .study import DEFAULT_CAPACITY_FACTORS, Study
+
+__all__ = [
+    "DEFAULT_CAPACITY_FACTORS",
+    "PAPER_FIGURE_ORDER",
+    "ResultSet",
+    "RunRecord",
+    "Solver",
+    "SolverInfo",
+    "SolverRegistrationError",
+    "SolveResult",
+    "Study",
+    "UnknownSolverError",
+    "available_solvers",
+    "get_solver",
+    "paper_lineup",
+    "register_solver",
+    "resolve_solvers",
+    "run_solvers_on_instance",
+    "solve",
+    "solver_names",
+    "sweep_instances",
+    "sweep_traces",
+    "unregister_solver",
+]

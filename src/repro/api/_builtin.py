@@ -1,0 +1,81 @@
+"""Built-in solver registrations.
+
+Imported lazily by :mod:`repro.api.registry` on first registry access, so
+the registry module itself carries no import-time dependency on the
+heuristic/MILP layers (and no import cycle with :mod:`repro.heuristics`).
+
+Canonical names are the paper acronyms; every solver also answers to its
+class name and a handful of descriptive aliases.
+"""
+
+from __future__ import annotations
+
+from ..heuristics.base import Category
+from ..heuristics.baselines import BinPackingFirstFit, ExactNoWait, GilmoreGomory
+from ..heuristics.corrected import (
+    CorrectedLargestCommunication,
+    CorrectedMaximumAcceleration,
+    CorrectedSmallestCommunication,
+)
+from ..heuristics.dynamic import (
+    LargestCommunicationFirst,
+    MaximumAccelerationFirst,
+    SmallestCommunicationFirst,
+)
+from ..heuristics.static import (
+    DecreasingCommPlusComp,
+    DecreasingComputation,
+    IncreasingCommPlusComp,
+    IncreasingCommunication,
+    OptimalOrderInfiniteMemory,
+    OrderOfSubmission,
+)
+from ..milp.iterative import IterativeMilpHeuristic
+from .registry import register_solver
+
+#: (class, extra aliases) for the fourteen paper heuristics, in figure order.
+_PAPER_HEURISTICS = (
+    (OrderOfSubmission, ("SUBMISSION-ORDER", "FIFO")),
+    (GilmoreGomory, ("GILMORE-GOMORY",)),
+    (BinPackingFirstFit, ("BIN-PACKING", "FIRST-FIT")),
+    (OptimalOrderInfiniteMemory, ("JOHNSON",)),
+    (IncreasingCommunication, ("INCREASING-COMM",)),
+    (DecreasingComputation, ("DECREASING-COMP",)),
+    (IncreasingCommPlusComp, ("INCREASING-COMM-PLUS-COMP",)),
+    (DecreasingCommPlusComp, ("DECREASING-COMM-PLUS-COMP",)),
+    (LargestCommunicationFirst, ("LARGEST-COMM-FIRST",)),
+    (SmallestCommunicationFirst, ("SMALLEST-COMM-FIRST",)),
+    (MaximumAccelerationFirst, ("MAX-ACCELERATION-FIRST",)),
+    (CorrectedLargestCommunication, ("CORRECTED-LARGEST-COMM",)),
+    (CorrectedSmallestCommunication, ("CORRECTED-SMALLEST-COMM",)),
+    (CorrectedMaximumAcceleration, ("CORRECTED-MAX-ACCELERATION",)),
+)
+
+for _cls, _extra in _PAPER_HEURISTICS:
+    register_solver(aliases=(_cls.__name__.upper(), *_extra))(_cls)
+
+register_solver(aliases=("EXACTNOWAIT", "GG-EXACT", "NOWAIT-EXACT"))(ExactNoWait)
+
+#: The windowed MILP family of Figure 7 (lp.3 .. lp.6); ``lp.4`` is the
+#: paper's headline window and doubles as the generic "MILP" solver.
+_MILP_WINDOWS = (3, 4, 5, 6)
+
+
+def _milp_factory(window: int):
+    def factory(**params) -> IterativeMilpHeuristic:
+        return IterativeMilpHeuristic(window=window, **params)
+
+    return factory
+
+
+for _window in _MILP_WINDOWS:
+    register_solver(
+        f"lp.{_window}",
+        category=Category.MILP,
+        aliases=("MILP", "LP") if _window == 4 else (),
+        description=(
+            "Mixed-integer program solved over successive windows of "
+            f"{_window} tasks of the submission order."
+        ),
+        favorable_situation="Very small task batches, where the window covers the whole problem.",
+    )(_milp_factory(_window))

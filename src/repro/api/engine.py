@@ -1,0 +1,201 @@
+"""Sweep engine: run registered solvers over instances, traces and ensembles.
+
+This is the machinery underneath :func:`repro.solve` and
+:class:`repro.api.Study`.  The unit of work is one trace: the OMIM reference
+(Johnson's rule on the unconstrained instance) is computed exactly once per
+trace and shared by every capacity factor — both in the sequential path and
+when trace jobs are fanned out over a ``concurrent.futures`` thread pool.
+Parallel sweeps preserve the submission order of the trace list, so their
+output is identical to the sequential path.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.metrics import evaluate
+from ..core.validation import check_schedule
+from ..flowshop.johnson import omim_makespan
+from ..simulator.batch import execute_in_batches
+from ..traces.model import Trace, TraceEnsemble
+from .registry import Solver, resolve_solvers
+from .results import ResultSet, RunRecord
+
+__all__ = ["run_solvers_on_instance", "sweep_traces", "sweep_instances", "default_jobs"]
+
+#: Application label used when an instance carries no name at all.
+ADHOC_APPLICATION = "adhoc"
+
+
+def default_jobs() -> int:
+    """Worker count used by ``parallel()`` when none is given."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_solvers_on_instance(
+    instance: Instance,
+    solvers: Sequence[Solver],
+    *,
+    reference: float | None = None,
+    validate: bool = True,
+    application: str = "",
+    capacity_factor: float = float("nan"),
+    batch_size: int | None = None,
+) -> list[RunRecord]:
+    """Run every solver on one instance and return the measurements.
+
+    ``batch_size`` switches to the Section 6.3 batched execution mode, where a
+    solver is applied to successive windows of the submission order.
+    """
+    reference = omim_makespan(instance) if reference is None else reference
+    application = application or instance.name.split("/")[0] or ADHOC_APPLICATION
+    records = []
+    for solver in solvers:
+        if batch_size is None:
+            schedule = solver.schedule(instance)
+        else:
+            schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
+        if validate:
+            check_schedule(schedule, instance)
+        metrics = evaluate(schedule, instance, heuristic=solver.name, reference=reference)
+        records.append(
+            RunRecord(
+                application=application,
+                trace=instance.name,
+                heuristic=solver.name,
+                category=str(solver.category),
+                capacity_factor=capacity_factor,
+                capacity=instance.capacity,
+                makespan=metrics.makespan,
+                omim=metrics.omim,
+                ratio_to_optimal=metrics.ratio_to_optimal,
+                task_count=len(instance),
+            )
+        )
+    return records
+
+
+def _limit_trace(trace: Trace, task_limit: int | None) -> Trace:
+    if task_limit is None or task_limit >= len(trace):
+        return trace
+    return Trace(
+        application=trace.application,
+        process=trace.process,
+        tasks=trace.tasks[:task_limit],
+        metadata={**trace.metadata, "task_limit": str(task_limit)},
+    )
+
+
+def _sweep_one_trace(
+    trace: Trace,
+    *,
+    capacity_factors: Sequence[float],
+    solver_specs: Sequence,
+    validate: bool,
+    batch_size: int | None,
+    task_limit: int | None,
+) -> list[RunRecord]:
+    """Capacity sweep of one trace; the OMIM reference is computed once."""
+    trace = _limit_trace(trace, task_limit)
+    # Fresh solver instances per trace job: named/class specs re-instantiate,
+    # so concurrent jobs never share solver state.
+    solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
+    reference = omim_makespan(trace.to_instance())
+    mc = trace.min_capacity_bytes
+    records: list[RunRecord] = []
+    for factor in capacity_factors:
+        records.extend(
+            run_solvers_on_instance(
+                trace.to_instance(mc * factor),
+                solvers,
+                reference=reference,
+                validate=validate,
+                application=trace.application,
+                capacity_factor=factor,
+                batch_size=batch_size,
+            )
+        )
+    return records
+
+
+def _flatten_traces(sources: Iterable) -> list[Trace]:
+    traces: list[Trace] = []
+    for source in sources:
+        if isinstance(source, Trace):
+            traces.append(source)
+        elif isinstance(source, TraceEnsemble):
+            traces.extend(source)
+        else:
+            raise TypeError(f"expected Trace or TraceEnsemble, got {type(source).__name__}")
+    return traces
+
+
+def sweep_traces(
+    sources: Iterable[Trace | TraceEnsemble],
+    *,
+    capacity_factors: Sequence[float],
+    solver_specs: Sequence = (),
+    validate: bool = True,
+    batch_size: int | None = None,
+    task_limit: int | None = None,
+    n_jobs: int | None = None,
+) -> ResultSet:
+    """Capacity sweep of every solver over every trace of ``sources``.
+
+    ``n_jobs`` > 1 distributes whole-trace jobs over a thread pool (threads,
+    not processes: the workload releases no locks worth fighting over and the
+    solvers stay picklability-free); results are collected in submission
+    order, so the output is identical to a sequential run.
+    """
+    traces = _flatten_traces(sources)
+    for factor in capacity_factors:
+        if not (factor > 0 or math.isnan(factor)):
+            raise ValueError(f"capacity factors must be positive, got {factor!r}")
+
+    def job(trace: Trace) -> list[RunRecord]:
+        return _sweep_one_trace(
+            trace,
+            capacity_factors=capacity_factors,
+            solver_specs=solver_specs,
+            validate=validate,
+            batch_size=batch_size,
+            task_limit=task_limit,
+        )
+
+    workers = default_jobs() if n_jobs in (0, -1) else n_jobs
+    if workers is not None and workers > 1 and len(traces) > 1:
+        with ThreadPoolExecutor(max_workers=min(workers, len(traces))) as pool:
+            chunks = list(pool.map(job, traces))
+    else:
+        chunks = [job(trace) for trace in traces]
+    return ResultSet.concat(chunks)
+
+
+def sweep_instances(
+    instances: Iterable[Instance],
+    *,
+    solver_specs: Sequence = (),
+    validate: bool = True,
+    batch_size: int | None = None,
+    n_jobs: int | None = None,
+) -> ResultSet:
+    """Run the solvers on raw instances at their own capacity (no factor sweep)."""
+    instances = list(instances)
+
+    def job(instance: Instance) -> list[RunRecord]:
+        solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
+        return run_solvers_on_instance(
+            instance, solvers, validate=validate, batch_size=batch_size
+        )
+
+    workers = default_jobs() if n_jobs in (0, -1) else n_jobs
+    if workers is not None and workers > 1 and len(instances) > 1:
+        with ThreadPoolExecutor(max_workers=min(workers, len(instances))) as pool:
+            chunks = list(pool.map(job, instances))
+    else:
+        chunks = [job(instance) for instance in instances]
+    return ResultSet.concat(chunks)

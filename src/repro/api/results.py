@@ -1,0 +1,406 @@
+"""Columnar result container for solver sweeps.
+
+A :class:`ResultSet` stores one column per measurement field
+(struct-of-arrays) instead of a flat ``list[RunRecord]``: grouping,
+filtering and serialisation operate on whole columns, appending stays O(1)
+per field, and the JSON/CSV exports are direct column dumps.  Row views are
+still available — iterating a ``ResultSet`` yields :class:`RunRecord`
+objects, so row-oriented callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["RunRecord", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (trace, capacity, solver) measurement — the row view of a ResultSet."""
+
+    application: str
+    trace: str
+    heuristic: str
+    category: str
+    capacity_factor: float
+    capacity: float
+    makespan: float
+    omim: float
+    ratio_to_optimal: float
+    task_count: int
+
+    @property
+    def key(self) -> tuple[str, float]:
+        return (self.heuristic, self.capacity_factor)
+
+
+#: Column order (matches the RunRecord fields).
+COLUMNS: tuple[str, ...] = (
+    "application",
+    "trace",
+    "heuristic",
+    "category",
+    "capacity_factor",
+    "capacity",
+    "makespan",
+    "omim",
+    "ratio_to_optimal",
+    "task_count",
+)
+
+_FLOAT_COLUMNS = frozenset(
+    {"capacity_factor", "capacity", "makespan", "omim", "ratio_to_optimal"}
+)
+_INT_COLUMNS = frozenset({"task_count"})
+
+#: Named reducers accepted by :meth:`ResultSet.aggregate`.
+_AGGREGATORS: dict[str, Callable[[Sequence[float]], float]] = {
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+    "mean": lambda values: sum(values) / len(values),
+    "median": lambda values: _median(values),
+}
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+#: Canonical NaN used as a grouping/filtering key, so the ``nan`` capacity
+#: factor of ad-hoc runs stays one group even after JSON/CSV round-trips
+#: (distinct NaN objects are never ``==`` and, since 3.10, hash by identity).
+_NAN: float = float("nan")
+
+
+def _canonical_key(value):
+    if isinstance(value, float) and math.isnan(value):
+        return _NAN
+    return value
+
+
+def _values_equal(a, b) -> bool:
+    """Cell equality treating NaN as equal to NaN."""
+    if isinstance(a, float) and isinstance(b, float) and math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+class ResultSet:
+    """Columnar collection of sweep measurements.
+
+    Build one from records (``ResultSet(records)``), from columns
+    (:meth:`from_columns`) or incrementally (:meth:`append` /
+    :meth:`extend`); combine with ``+`` or :meth:`concat`.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, records: Iterable[RunRecord] = ()) -> None:
+        self._columns: dict[str, list] = {name: [] for name in COLUMNS}
+        self.extend(records)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_records(cls, records: Iterable[RunRecord]) -> "ResultSet":
+        return cls(records)
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence]) -> "ResultSet":
+        """Build from a ``{column: values}`` mapping (validated)."""
+        missing = set(COLUMNS) - set(columns)
+        extra = set(columns) - set(COLUMNS)
+        if missing or extra:
+            raise ValueError(
+                f"bad column set: missing {sorted(missing)}, unexpected {sorted(extra)}"
+            )
+        lengths = {name: len(columns[name]) for name in COLUMNS}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        result = cls()
+        for name in COLUMNS:
+            result._columns[name] = list(columns[name])
+        return result
+
+    @classmethod
+    def coerce(cls, records: "ResultSet | Iterable[RunRecord]") -> "ResultSet":
+        """Pass a ResultSet through; wrap any record iterable."""
+        if isinstance(records, cls):
+            return records
+        return cls(records)
+
+    @classmethod
+    def concat(cls, parts: Iterable["ResultSet | Iterable[RunRecord]"]) -> "ResultSet":
+        result = cls()
+        for part in parts:
+            result.extend(part)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def append(self, record: RunRecord) -> None:
+        for name in COLUMNS:
+            self._columns[name].append(getattr(record, name))
+
+    def extend(self, records: "ResultSet | Iterable[RunRecord]") -> None:
+        if isinstance(records, ResultSet):
+            for name in COLUMNS:
+                self._columns[name].extend(records._columns[name])
+            return
+        for record in records:
+            self.append(record)
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        result = ResultSet()
+        result.extend(self)
+        result.extend(other)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Row / column access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._columns["heuristic"])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return RunRecord(**{name: self._columns[name][index] for name in COLUMNS})
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(
+            _values_equal(a, b)
+            for name in COLUMNS
+            for a, b in zip(self._columns[name], other._columns[name])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        solvers = sorted(set(self._columns["heuristic"]))
+        return f"ResultSet({len(self)} rows, solvers={solvers})"
+
+    def column(self, name: str) -> tuple:
+        """One column as an immutable tuple."""
+        try:
+            return tuple(self._columns[name])
+        except KeyError:
+            raise KeyError(f"unknown column {name!r}; columns: {COLUMNS}") from None
+
+    def to_columns(self) -> dict[str, list]:
+        """A deep-enough copy of the column store (lists are copied)."""
+        return {name: list(values) for name, values in self._columns.items()}
+
+    def to_records(self) -> list[RunRecord]:
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+    def filter(
+        self,
+        predicate: Callable[[RunRecord], bool] | None = None,
+        **equalities,
+    ) -> "ResultSet":
+        """Rows matching ``predicate`` and/or exact column values.
+
+        ``rs.filter(heuristic="OS", capacity_factor=1.0)`` selects on columns
+        without materialising rows; a callable predicate receives the
+        :class:`RunRecord` row view.
+        """
+        for name in equalities:
+            if name not in COLUMNS:
+                raise KeyError(f"unknown column {name!r}; columns: {COLUMNS}")
+        keep = []
+        for index in range(len(self)):
+            if any(
+                not _values_equal(self._columns[name][index], wanted)
+                for name, wanted in equalities.items()
+            ):
+                continue
+            if predicate is not None and not predicate(self[index]):
+                continue
+            keep.append(index)
+        result = ResultSet()
+        for name in COLUMNS:
+            values = self._columns[name]
+            result._columns[name] = [values[i] for i in keep]
+        return result
+
+    def group_by(self, *keys: str) -> dict:
+        """Split into sub-ResultSets by the given column(s).
+
+        Returns ``{value: ResultSet}`` for a single key and
+        ``{(v1, v2, ...): ResultSet}`` for several, preserving first-seen
+        order of the groups.
+        """
+        if not keys:
+            raise ValueError("group_by needs at least one column name")
+        for name in keys:
+            if name not in COLUMNS:
+                raise KeyError(f"unknown column {name!r}; columns: {COLUMNS}")
+        indices: dict[object, list[int]] = {}
+        key_columns = [self._columns[name] for name in keys]
+        for index in range(len(self)):
+            value = (
+                _canonical_key(key_columns[0][index])
+                if len(keys) == 1
+                else tuple(_canonical_key(column[index]) for column in key_columns)
+            )
+            indices.setdefault(value, []).append(index)
+        groups: dict[object, ResultSet] = {}
+        for value, rows in indices.items():
+            subset = ResultSet()
+            for name in COLUMNS:
+                values = self._columns[name]
+                subset._columns[name] = [values[i] for i in rows]
+            groups[value] = subset
+        return groups
+
+    def aggregate(
+        self,
+        column: str = "ratio_to_optimal",
+        *,
+        by: Sequence[str] = ("capacity_factor", "heuristic"),
+        how: str | Callable[[Sequence[float]], float] = "median",
+    ) -> dict:
+        """Reduce ``column`` per group: ``{group key: aggregated value}``.
+
+        ``how`` is one of ``min/max/sum/count/mean/median`` or any callable
+        taking the grouped values.
+        """
+        if isinstance(how, str):
+            try:
+                reducer = _AGGREGATORS[how]
+            except KeyError:
+                raise ValueError(
+                    f"unknown aggregator {how!r}; choose from {sorted(_AGGREGATORS)} "
+                    "or pass a callable"
+                ) from None
+        else:
+            reducer = how
+        return {
+            key: reducer(group._columns[column] if column in COLUMNS else group.column(column))
+            for key, group in self.group_by(*by).items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_json(self, path: str | os.PathLike | None = None, *, indent: int | None = None) -> str:
+        """Serialise to a JSON column dump (optionally written to ``path``).
+
+        Non-finite floats (the ``nan`` capacity factor of ad-hoc runs,
+        infinite capacities) are encoded as strings and restored by
+        :meth:`from_json`.
+        """
+        payload = {
+            "format": "repro.ResultSet",
+            "version": 1,
+            "columns": {
+                name: [_encode_float(v) for v in values]
+                if name in _FLOAT_COLUMNS
+                else list(values)
+                for name, values in self._columns.items()
+            },
+        }
+        text = json.dumps(payload, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | os.PathLike) -> "ResultSet":
+        """Load from a JSON string or a path produced by :meth:`to_json`."""
+        text = _read_source(source)
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "columns" not in payload:
+            raise ValueError("not a ResultSet JSON dump (missing 'columns')")
+        columns = {
+            name: [_decode_float(v) for v in values] if name in _FLOAT_COLUMNS else list(values)
+            for name, values in payload["columns"].items()
+        }
+        return cls.from_columns(columns)
+
+    def to_csv(self, path: str | os.PathLike | None = None) -> str:
+        """Serialise to CSV with a header row (optionally written to ``path``)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(COLUMNS)
+        for index in range(len(self)):
+            writer.writerow([self._columns[name][index] for name in COLUMNS])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str | os.PathLike) -> "ResultSet":
+        """Load from a CSV string or a path produced by :meth:`to_csv`."""
+        text = _read_source(source)
+        rows = list(csv.reader(io.StringIO(text)))
+        if not rows:
+            return cls()
+        header = tuple(rows[0])
+        if set(header) != set(COLUMNS):
+            raise ValueError(f"bad CSV header {header}; expected columns {COLUMNS}")
+        columns: dict[str, list] = {name: [] for name in COLUMNS}
+        for row in rows[1:]:
+            if not row:
+                continue
+            for name, cell in zip(header, row):
+                if name in _FLOAT_COLUMNS:
+                    columns[name].append(float(cell))
+                elif name in _INT_COLUMNS:
+                    columns[name].append(int(cell))
+                else:
+                    columns[name].append(cell)
+        return cls.from_columns(columns)
+
+
+def _encode_float(value: float):
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)  # "nan", "inf", "-inf"
+    return value
+
+
+def _decode_float(value) -> float:
+    return float(value)
+
+
+def _read_source(source: str | os.PathLike) -> str:
+    """A JSON/CSV payload passed directly, or the content of a file path."""
+    if isinstance(source, os.PathLike):
+        with open(source, encoding="utf-8") as handle:
+            return handle.read()
+    text = str(source)
+    stripped = text.lstrip()
+    looks_like_payload = stripped.startswith(("{", "[")) or "\n" in text or "," in text
+    if not looks_like_payload and os.path.exists(text):
+        with open(text, encoding="utf-8") as handle:
+            return handle.read()
+    return text

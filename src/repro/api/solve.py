@@ -1,0 +1,94 @@
+"""``repro.solve`` — one call from instance to schedule + metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..core.metrics import ScheduleMetrics, evaluate
+from ..core.schedule import Schedule
+from ..core.validation import check_schedule
+from ..flowshop.johnson import omim_makespan
+from ..simulator.batch import execute_in_batches
+from .registry import Solver, get_solver, resolve_solvers
+
+__all__ = ["solve", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one :func:`solve` call: the schedule plus its metrics."""
+
+    solver: str
+    category: str
+    instance: Instance
+    schedule: Schedule
+    metrics: ScheduleMetrics
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def ratio_to_optimal(self) -> float:
+        return self.metrics.ratio_to_optimal
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.solver}: makespan {self.makespan:g} "
+            f"(ratio to OMIM {self.ratio_to_optimal:.3f})"
+        )
+
+
+def solve(
+    instance: Instance,
+    method: str | Solver | type = "LCMR",
+    *,
+    batch_size: int | None = None,
+    validate: bool = True,
+    reference: float | None = None,
+    **solver_params,
+) -> SolveResult:
+    """Schedule ``instance`` with one registered solver and evaluate it.
+
+    Parameters
+    ----------
+    method:
+        A registered solver name or alias (``"OOMAMR"``, ``"lp.4"``), a
+        :class:`Solver` instance, or a solver class.  Extra keyword
+        arguments are forwarded to the solver factory when ``method`` is a
+        name (e.g. ``solve(instance, "lp.4", time_limit_per_window=2.0)``).
+    batch_size:
+        Section 6.3 batched execution: apply the solver to successive
+        windows of ``batch_size`` tasks instead of the whole instance.
+    validate:
+        Check the schedule against the memory capacity before returning.
+    reference:
+        Known OMIM makespan, to skip recomputing Johnson's rule.
+    """
+    if isinstance(method, str):
+        if method.lower().startswith("category:"):
+            raise ValueError(
+                "solve() runs a single solver; use Study().solvers"
+                f"({method!r}) to run a whole category"
+            )
+        solver = get_solver(method, **solver_params)
+    else:
+        if solver_params:
+            raise TypeError("solver parameters are only accepted when method is a name")
+        (solver,) = resolve_solvers(method)
+    if batch_size is None:
+        schedule = solver.schedule(instance)
+    else:
+        schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
+    if validate:
+        check_schedule(schedule, instance)
+    reference = omim_makespan(instance) if reference is None else reference
+    metrics = evaluate(schedule, instance, heuristic=solver.name, reference=reference)
+    return SolveResult(
+        solver=solver.name,
+        category=str(solver.category),
+        instance=instance,
+        schedule=schedule,
+        metrics=metrics,
+    )

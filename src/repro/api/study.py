@@ -1,0 +1,162 @@
+"""Fluent sweep builder: describe an experiment, then ``run()`` it.
+
+A :class:`Study` is the declarative face of the sweep engine::
+
+    results = (
+        Study()
+        .traces(hf_ensemble(processes=150, traces=6))
+        .capacities(1.0, 2.0, steps=11)
+        .solvers("category:dynamic", "OOMAMR")
+        .parallel()
+        .run()
+    )
+    results.aggregate("ratio_to_optimal", by=("capacity_factor", "heuristic"))
+
+It subsumes the legacy ``run_on_instance`` / ``sweep_trace`` /
+``sweep_ensemble`` trio: traces and ensembles sweep ``factor * mc``
+capacities, raw instances run at their own capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.instance import Instance
+from ..traces.model import Trace, TraceEnsemble
+from .engine import default_jobs, sweep_instances, sweep_traces
+from .results import ResultSet
+
+__all__ = ["Study", "DEFAULT_CAPACITY_FACTORS"]
+
+#: Capacity factors used by the paper: mc to 2 mc in steps of 0.125 mc.
+DEFAULT_CAPACITY_FACTORS: tuple[float, ...] = tuple(1.0 + 0.125 * i for i in range(9))
+
+
+class Study:
+    """Mutable builder collecting sweep parameters; every setter returns ``self``."""
+
+    def __init__(self) -> None:
+        self._traces: list[Trace | TraceEnsemble] = []
+        self._instances: list[Instance] = []
+        self._factors: tuple[float, ...] = DEFAULT_CAPACITY_FACTORS
+        self._solver_specs: tuple = ()
+        self._validate: bool = True
+        self._batch_size: int | None = None
+        self._task_limit: int | None = None
+        self._n_jobs: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Inputs
+    # ------------------------------------------------------------------ #
+    def traces(self, *sources: Trace | TraceEnsemble | Iterable) -> "Study":
+        """Add traces and/or whole ensembles to sweep over."""
+        for source in sources:
+            if isinstance(source, (Trace, TraceEnsemble)):
+                self._traces.append(source)
+            else:
+                for item in source:
+                    if not isinstance(item, (Trace, TraceEnsemble)):
+                        raise TypeError(
+                            f"traces() accepts Trace/TraceEnsemble, got {type(item).__name__}"
+                        )
+                    self._traces.append(item)
+        return self
+
+    def instances(self, *instances: Instance) -> "Study":
+        """Add raw instances, evaluated at their own capacity (no factor sweep)."""
+        for instance in instances:
+            if not isinstance(instance, Instance):
+                raise TypeError(f"instances() accepts Instance, got {type(instance).__name__}")
+            self._instances.append(instance)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Sweep shape
+    # ------------------------------------------------------------------ #
+    def capacities(self, *factors: float, steps: int | None = None) -> "Study":
+        """Capacity factors (multiples of each trace's ``mc``).
+
+        Either an explicit list — ``capacities(1.0, 1.5, 2.0)`` — or an
+        inclusive linear range: ``capacities(1.0, 2.0, steps=11)``.
+        """
+        if steps is not None:
+            if len(factors) != 2:
+                raise ValueError("capacities(lo, hi, steps=n) takes exactly two bounds")
+            if steps < 2:
+                raise ValueError("steps must be at least 2")
+            lo, hi = factors
+            width = (hi - lo) / (steps - 1)
+            self._factors = tuple(lo + i * width for i in range(steps))
+        elif factors:
+            self._factors = tuple(float(f) for f in factors)
+        else:
+            raise ValueError("capacities() needs at least one factor")
+        return self
+
+    def solvers(self, *specs) -> "Study":
+        """Solver specs: names, aliases, ``"category:<name>"``, instances, classes.
+
+        Defaults to the paper's full Figure 9/11 line-up when never called.
+        """
+        self._solver_specs = self._solver_specs + tuple(specs)
+        return self
+
+    def batched(self, batch_size: int) -> "Study":
+        """Use Section 6.3 batched execution with windows of ``batch_size`` tasks."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self._batch_size = batch_size
+        return self
+
+    def task_limit(self, limit: int) -> "Study":
+        """Truncate every trace to its first ``limit`` tasks."""
+        if limit <= 0:
+            raise ValueError("task limit must be positive")
+        self._task_limit = limit
+        return self
+
+    def validate(self, flag: bool = True) -> "Study":
+        """Toggle per-schedule feasibility checking (on by default)."""
+        self._validate = bool(flag)
+        return self
+
+    def parallel(self, n_jobs: int | None = None) -> "Study":
+        """Fan trace jobs out over ``n_jobs`` threads (default: CPU count).
+
+        Results are identical to the sequential path, including their order.
+        ``parallel(1)`` switches back to sequential execution.
+        """
+        self._n_jobs = default_jobs() if n_jobs is None else int(n_jobs)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> ResultSet:
+        """Execute the sweep and return the columnar results."""
+        if not self._traces and not self._instances:
+            raise ValueError("Study has nothing to run: add .traces(...) or .instances(...)")
+        results = ResultSet()
+        if self._traces:
+            results.extend(
+                sweep_traces(
+                    self._traces,
+                    capacity_factors=self._factors,
+                    solver_specs=self._solver_specs,
+                    validate=self._validate,
+                    batch_size=self._batch_size,
+                    task_limit=self._task_limit,
+                    n_jobs=self._n_jobs,
+                )
+            )
+        if self._instances:
+            results.extend(
+                sweep_instances(
+                    self._instances,
+                    solver_specs=self._solver_specs,
+                    validate=self._validate,
+                    batch_size=self._batch_size,
+                    n_jobs=self._n_jobs,
+                )
+            )
+        return results

@@ -1,5 +1,12 @@
-"""Experiment harness regenerating every table and figure of the paper."""
+"""Experiment harness regenerating every table and figure of the paper.
 
+The sweep engine itself lives in :mod:`repro.api` (``Study``/``ResultSet``);
+this package hosts the figure drivers, the aggregation helpers and the
+experiment scaling knobs.  ``run_on_instance``/``sweep_trace``/
+``sweep_ensemble`` are deprecated shims kept for backwards compatibility.
+"""
+
+from ..api.results import ResultSet
 from .aggregate import (
     CategoryPick,
     best_variant_per_category,
@@ -32,6 +39,7 @@ __all__ = [
     "ExperimentConfig",
     "FigureResult",
     "PAPER_CAPACITY_FACTORS",
+    "ResultSet",
     "RunRecord",
     "best_variant_per_category",
     "best_variant_series",

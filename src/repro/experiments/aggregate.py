@@ -1,21 +1,23 @@
-"""Aggregation of run records into the distributions the figures report.
+"""Aggregation of sweep results into the distributions the figures report.
 
 Figures 9/11 show, for each memory capacity, the distribution of the
 ratio-to-optimal of every heuristic across the trace ensemble; Figures 10/12/13
 show, per capacity, only the *best variant of each category* (the variant with
-the lowest median ratio).  This module turns flat lists of
-:class:`~repro.experiments.runner.RunRecord` into exactly those structures.
+the lowest median ratio).  Every helper accepts either a columnar
+:class:`~repro.api.ResultSet` (the native output of a
+:class:`~repro.api.Study`) or any iterable of
+:class:`~repro.api.RunRecord` (the legacy shape), and the heavy lifting is
+done on whole columns via :meth:`ResultSet.group_by`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
+from ..api.results import ResultSet, RunRecord
 from ..heuristics.base import Category
 from ..traces.stats import DistributionSummary, summarise
-from .runner import RunRecord
 
 __all__ = [
     "group_by_capacity_and_heuristic",
@@ -27,26 +29,30 @@ __all__ = [
 
 
 def group_by_capacity_and_heuristic(
-    records: Iterable[RunRecord],
+    records: ResultSet | Iterable[RunRecord],
 ) -> dict[float, dict[str, list[RunRecord]]]:
     """``{capacity factor: {heuristic: [records]}}`` preserving insertion order."""
-    grouped: dict[float, dict[str, list[RunRecord]]] = defaultdict(lambda: defaultdict(list))
-    for record in records:
-        grouped[record.capacity_factor][record.heuristic].append(record)
-    return {factor: dict(inner) for factor, inner in grouped.items()}
+    results = ResultSet.coerce(records)
+    return {
+        factor: {
+            heuristic: inner.to_records()
+            for heuristic, inner in group.group_by("heuristic").items()
+        }
+        for factor, group in results.group_by("capacity_factor").items()
+    }
 
 
 def summaries_by_capacity(
-    records: Iterable[RunRecord],
+    records: ResultSet | Iterable[RunRecord],
 ) -> dict[float, dict[str, DistributionSummary]]:
     """Ratio-to-optimal five-number summaries, per capacity factor and heuristic."""
-    grouped = group_by_capacity_and_heuristic(records)
+    results = ResultSet.coerce(records)
     return {
         factor: {
-            heuristic: summarise(r.ratio_to_optimal for r in runs)
-            for heuristic, runs in inner.items()
+            heuristic: summarise(inner.column("ratio_to_optimal"))
+            for heuristic, inner in group.group_by("heuristic").items()
         }
-        for factor, inner in grouped.items()
+        for factor, group in results.group_by("capacity_factor").items()
     }
 
 
@@ -61,7 +67,7 @@ class CategoryPick:
 
 
 def best_variant_per_category(
-    records: Iterable[RunRecord],
+    records: ResultSet | Iterable[RunRecord],
     *,
     categories: Sequence[Category | str] = (
         Category.SUBMISSION,
@@ -71,20 +77,16 @@ def best_variant_per_category(
     ),
 ) -> dict[float, list[CategoryPick]]:
     """Best (lowest median ratio) heuristic per category, per capacity factor."""
+    results = ResultSet.coerce(records)
     wanted = [str(Category(c)) for c in categories]
-    by_capacity: dict[float, dict[tuple[str, str], list[RunRecord]]] = defaultdict(
-        lambda: defaultdict(list)
-    )
-    for record in records:
-        by_capacity[record.capacity_factor][(record.category, record.heuristic)].append(record)
-
     result: dict[float, list[CategoryPick]] = {}
-    for factor, groups in by_capacity.items():
+    for factor, group in results.group_by("capacity_factor").items():
+        by_pair = group.group_by("category", "heuristic")
         picks: list[CategoryPick] = []
         for category in wanted:
             candidates = {
-                heuristic: summarise(r.ratio_to_optimal for r in runs)
-                for (cat, heuristic), runs in groups.items()
+                heuristic: summarise(runs.column("ratio_to_optimal"))
+                for (cat, heuristic), runs in by_pair.items()
                 if cat == category
             }
             if not candidates:
@@ -103,7 +105,7 @@ def best_variant_per_category(
 
 
 def best_variant_series(
-    records: Iterable[RunRecord],
+    records: ResultSet | Iterable[RunRecord],
     *,
     categories: Sequence[Category | str] = (
         Category.SUBMISSION,
@@ -115,11 +117,11 @@ def best_variant_series(
 ) -> dict[str, list[tuple[float, float]]]:
     """Figure 10/12/13 series: per category, (capacity factor, median ratio) points."""
     picks = best_variant_per_category(records, categories=categories)
-    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    series: dict[str, list[tuple[float, float]]] = {}
     for factor in sorted(picks):
         for pick in picks[factor]:
             label = (
                 f"{pick.category}:{pick.heuristic}" if label_with_heuristic else pick.category
             )
-            series[label].append((factor, pick.summary.median))
-    return dict(series)
+            series.setdefault(label, []).append((factor, pick.summary.median))
+    return series

@@ -22,8 +22,11 @@ Figure index (see DESIGN.md for the full mapping):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping
 
+from ..api.registry import PAPER_FIGURE_ORDER, get_solver
+from ..api.results import ResultSet
+from ..api.study import Study
 from ..chemistry.workload import ccsd_ensemble, hf_ensemble
 from ..core.paper_instances import (
     corrected_example_instance,
@@ -33,15 +36,14 @@ from ..core.paper_instances import (
 )
 from ..flowshop.bruteforce import best_permutation_schedule, best_schedule_allowing_reordering
 from ..flowshop.johnson import johnson_schedule, omim_makespan
-from ..heuristics.registry import all_heuristics, paper_figure_lineup, table6_rows
+from ..heuristics.base import TABLE6_HEURISTICS
 from ..milp.iterative import IterativeMilpHeuristic
-from ..traces.model import Trace, TraceEnsemble
+from ..traces.model import TraceEnsemble
 from ..traces.stats import characterise_ensemble, summarise
 from ..viz.boxplot import render_series_table, render_summary_table
 from ..viz.gantt import render_gantt
 from .aggregate import best_variant_series, summaries_by_capacity
 from .config import ExperimentConfig, scaled_config
-from .runner import RunRecord, sweep_ensemble, sweep_trace
 
 __all__ = [
     "FigureResult",
@@ -68,7 +70,7 @@ class FigureResult:
     name: str
     description: str
     text: str
-    records: list[RunRecord] = field(default_factory=list)
+    records: ResultSet = field(default_factory=ResultSet)
     data: dict = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -79,7 +81,6 @@ class FigureResult:
 # Worked examples (Figures 4-6)
 # --------------------------------------------------------------------------- #
 def _example_figure(name: str, description: str, instance, heuristic_names) -> FigureResult:
-    registry = all_heuristics()
     blocks = []
     makespans = {}
     omim = omim_makespan(instance)
@@ -87,7 +88,7 @@ def _example_figure(name: str, description: str, instance, heuristic_names) -> F
     blocks.append(render_gantt(johnson_schedule(instance.without_memory_constraint())))
     blocks[-1] = "OMIM (infinite memory):\n" + blocks[-1]
     for heuristic_name in heuristic_names:
-        schedule = registry[heuristic_name].schedule(instance)
+        schedule = get_solver(heuristic_name).schedule(instance)
         makespans[heuristic_name] = schedule.makespan
         blocks.append(f"{heuristic_name} (makespan {schedule.makespan:g}):\n" + render_gantt(schedule))
     return FigureResult(
@@ -131,6 +132,19 @@ def figure06_corrected_examples(config: ExperimentConfig | None = None) -> Figur
 # --------------------------------------------------------------------------- #
 # Evaluation figures (7-13)
 # --------------------------------------------------------------------------- #
+def _solver_specs(config: ExperimentConfig) -> tuple[str, ...]:
+    """Solver names for the sweep (``config.heuristics`` or the full line-up)."""
+    return config.heuristics if config.heuristics is not None else PAPER_FIGURE_ORDER
+
+
+def _study(config: ExperimentConfig) -> Study:
+    """A Study pre-configured with the capacities and parallelism of ``config``."""
+    study = Study().capacities(*config.capacity_factors)
+    if config.n_jobs is not None:
+        study.parallel(config.n_jobs)
+    return study
+
+
 def _hf(config: ExperimentConfig) -> TraceEnsemble:
     return hf_ensemble(processes=config.processes, traces=config.traces, seed=config.seed)
 
@@ -143,14 +157,13 @@ def figure07_milp_comparison(config: ExperimentConfig | None = None) -> FigureRe
     """Figure 7 — every heuristic plus lp.3..lp.6 on a single HF trace."""
     config = config or scaled_config()
     trace = hf_ensemble(processes=config.processes, traces=1, seed=config.seed)[0]
-    heuristics = paper_figure_lineup() + [
-        IterativeMilpHeuristic(window=window) for window in config.milp_windows
-    ]
-    records = sweep_trace(
-        trace,
-        capacity_factors=config.capacity_factors,
-        heuristics=heuristics,
-        task_limit=config.milp_task_limit,
+    milp_solvers = [IterativeMilpHeuristic(window=window) for window in config.milp_windows]
+    records = (
+        _study(config)
+        .traces(trace)
+        .solvers(*_solver_specs(config), *milp_solvers)
+        .task_limit(config.milp_task_limit)
+        .run()
     )
     summaries = summaries_by_capacity(records)
     sections = [
@@ -212,11 +225,7 @@ def _heuristic_boxplot_figure(
     ensemble: TraceEnsemble,
     config: ExperimentConfig,
 ) -> FigureResult:
-    records = sweep_ensemble(
-        ensemble,
-        capacity_factors=config.capacity_factors,
-        heuristics=paper_figure_lineup(config.heuristics),
-    )
+    records = _study(config).traces(ensemble).solvers(*_solver_specs(config)).run()
     summaries = summaries_by_capacity(records)
     sections = [
         render_summary_table(
@@ -264,12 +273,10 @@ def _best_variant_figure(
     *,
     batch_size: int | None = None,
 ) -> FigureResult:
-    records = sweep_ensemble(
-        ensemble,
-        capacity_factors=config.capacity_factors,
-        heuristics=paper_figure_lineup(config.heuristics),
-        batch_size=batch_size,
-    )
+    study = _study(config).traces(ensemble).solvers(*_solver_specs(config))
+    if batch_size is not None:
+        study.batched(batch_size)
+    records = study.run()
     series = best_variant_series(records)
     text = render_series_table(
         series,
@@ -306,7 +313,7 @@ def figure13_batches(config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 13 — batched scheduling (batches of 100 tasks), both applications."""
     config = config or scaled_config()
     sections = []
-    records: list[RunRecord] = []
+    records = ResultSet()
     for ensemble in (_hf(config), _ccsd(config)):
         result = _best_variant_figure(
             f"figure13-{ensemble.application}",
@@ -367,7 +374,7 @@ def table02_proposition1(config: ExperimentConfig | None = None) -> FigureResult
 
 def table06_favorable_situations(config: ExperimentConfig | None = None) -> FigureResult:
     """Table 6 — each heuristic with its favorable situation."""
-    rows = table6_rows()
+    rows = [get_solver(name).info for name in TABLE6_HEURISTICS]
     width = max(len(r.name) for r in rows) + 1
     lines = [f"{'heuristic':<{width}} favorable situation"]
     lines.extend(f"{row.name:<{width}} {row.favorable_situation}" for row in rows)

@@ -1,45 +1,32 @@
-"""Running heuristics over traces and memory-capacity sweeps.
+"""Deprecated sweep helpers — thin shims over the :mod:`repro.api` engine.
 
-This is the engine behind every evaluation figure: take a trace, build the
-instances for a range of capacities (``factor * mc``), run a set of heuristics
-on each, validate the resulting schedules, and record the ratio to OMIM.
+``run_on_instance`` / ``sweep_trace`` / ``sweep_ensemble`` predate the
+facade; new code should use :func:`repro.solve` for single runs and
+:class:`repro.api.Study` for sweeps, which also adds parallel execution and
+columnar results.  The shims keep the historical ``list[RunRecord]`` return
+type and emit a :class:`DeprecationWarning` pointing at the replacement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+import warnings
+from typing import Sequence
 
+from ..api.engine import run_solvers_on_instance, sweep_traces
+from ..api.results import RunRecord
 from ..core.instance import Instance
-from ..core.metrics import evaluate
-from ..core.validation import check_schedule
-from ..flowshop.johnson import omim_makespan
-from ..heuristics.base import Category, Heuristic
-from ..heuristics.registry import paper_figure_lineup
-from ..simulator.batch import execute_in_batches
+from ..heuristics.base import Heuristic
 from ..traces.model import Trace, TraceEnsemble
 
 __all__ = ["RunRecord", "run_on_instance", "sweep_trace", "sweep_ensemble"]
 
 
-@dataclass(frozen=True)
-class RunRecord:
-    """One (trace, capacity, heuristic) measurement."""
-
-    application: str
-    trace: str
-    heuristic: str
-    category: str
-    capacity_factor: float
-    capacity: float
-    makespan: float
-    omim: float
-    ratio_to_optimal: float
-    task_count: int
-
-    @property
-    def key(self) -> tuple[str, float]:
-        return (self.heuristic, self.capacity_factor)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_on_instance(
@@ -54,34 +41,20 @@ def run_on_instance(
 ) -> list[RunRecord]:
     """Run every heuristic on one instance and return the measurements.
 
-    ``batch_size`` switches to the Section 6.3 batched execution mode, where a
-    heuristic is applied to successive windows of the submission order.
+    .. deprecated:: 1.1
+        Use :func:`repro.solve` (one solver) or
+        ``Study().instances(instance).solvers(...)`` (many).
     """
-    reference = omim_makespan(instance) if reference is None else reference
-    records = []
-    for heuristic in heuristics:
-        if batch_size is None:
-            schedule = heuristic.schedule(instance)
-        else:
-            schedule = execute_in_batches(instance, heuristic.schedule, batch_size=batch_size)
-        if validate:
-            check_schedule(schedule, instance)
-        metrics = evaluate(schedule, instance, heuristic=heuristic.name, reference=reference)
-        records.append(
-            RunRecord(
-                application=application or instance.name.split("/")[0],
-                trace=instance.name,
-                heuristic=heuristic.name,
-                category=str(heuristic.category),
-                capacity_factor=capacity_factor,
-                capacity=instance.capacity,
-                makespan=metrics.makespan,
-                omim=metrics.omim,
-                ratio_to_optimal=metrics.ratio_to_optimal,
-                task_count=len(instance),
-            )
-        )
-    return records
+    _deprecated("run_on_instance", "repro.solve or repro.api.Study")
+    return run_solvers_on_instance(
+        instance,
+        heuristics,
+        reference=reference,
+        validate=validate,
+        application=application,
+        capacity_factor=capacity_factor,
+        batch_size=batch_size,
+    )
 
 
 def sweep_trace(
@@ -93,33 +66,21 @@ def sweep_trace(
     batch_size: int | None = None,
     task_limit: int | None = None,
 ) -> list[RunRecord]:
-    """Capacity sweep (mc .. 2mc) of every heuristic on one trace."""
-    heuristics = list(heuristics) if heuristics is not None else paper_figure_lineup()
-    if task_limit is not None and task_limit < len(trace):
-        trace = Trace(
-            application=trace.application,
-            process=trace.process,
-            tasks=trace.tasks[:task_limit],
-            metadata={**trace.metadata, "task_limit": str(task_limit)},
-        )
-    base_instance = trace.to_instance()
-    reference = omim_makespan(base_instance)
-    mc = trace.min_capacity_bytes
-    records: list[RunRecord] = []
-    for factor in capacity_factors:
-        instance = trace.to_instance(mc * factor)
-        records.extend(
-            run_on_instance(
-                instance,
-                heuristics,
-                reference=reference,
-                validate=validate,
-                application=trace.application,
-                capacity_factor=factor,
-                batch_size=batch_size,
-            )
-        )
-    return records
+    """Capacity sweep (mc .. 2mc) of every heuristic on one trace.
+
+    .. deprecated:: 1.1
+        Use ``Study().traces(trace).capacities(...).run()``.
+    """
+    _deprecated("sweep_trace", "repro.api.Study")
+    results = sweep_traces(
+        [trace],
+        capacity_factors=capacity_factors,
+        solver_specs=tuple(heuristics) if heuristics is not None else (),
+        validate=validate,
+        batch_size=batch_size,
+        task_limit=task_limit,
+    )
+    return results.to_records()
 
 
 def sweep_ensemble(
@@ -131,17 +92,18 @@ def sweep_ensemble(
     batch_size: int | None = None,
     task_limit: int | None = None,
 ) -> list[RunRecord]:
-    """Capacity sweep over every trace of an ensemble."""
-    records: list[RunRecord] = []
-    for trace in ensemble:
-        records.extend(
-            sweep_trace(
-                trace,
-                capacity_factors=capacity_factors,
-                heuristics=heuristics,
-                validate=validate,
-                batch_size=batch_size,
-                task_limit=task_limit,
-            )
-        )
-    return records
+    """Capacity sweep over every trace of an ensemble.
+
+    .. deprecated:: 1.1
+        Use ``Study().traces(ensemble).capacities(...).parallel().run()``.
+    """
+    _deprecated("sweep_ensemble", "repro.api.Study")
+    results = sweep_traces(
+        [ensemble],
+        capacity_factors=capacity_factors,
+        solver_specs=tuple(heuristics) if heuristics is not None else (),
+        validate=validate,
+        batch_size=batch_size,
+        task_limit=task_limit,
+    )
+    return results.to_records()

@@ -20,7 +20,43 @@ from enum import Enum
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 
-__all__ = ["Category", "Heuristic", "HeuristicInfo"]
+__all__ = ["Category", "Heuristic", "HeuristicInfo", "PAPER_FIGURE_ORDER", "TABLE6_HEURISTICS"]
+
+#: The proposed heuristics listed in Table 6 (with their favorable
+#: situations), in the paper's row order.
+TABLE6_HEURISTICS: tuple[str, ...] = (
+    "OOSIM",
+    "IOCMS",
+    "DOCPS",
+    "IOCCS",
+    "DOCCS",
+    "LCMR",
+    "SCMR",
+    "MAMR",
+    "OOLCMR",
+    "OOSCMR",
+    "OOMAMR",
+)
+
+#: Order of heuristics on the x-axis of Figures 9 and 11 of the paper.
+#: Lives here (not in the registry) so both the solver registry and the
+#: legacy shims can import it without a cycle.
+PAPER_FIGURE_ORDER: tuple[str, ...] = (
+    "OS",
+    "GG",
+    "BP",
+    "OOSIM",
+    "IOCMS",
+    "DOCPS",
+    "IOCCS",
+    "DOCCS",
+    "LCMR",
+    "SCMR",
+    "MAMR",
+    "OOLCMR",
+    "OOSCMR",
+    "OOMAMR",
+)
 
 
 class Category(str, Enum):

@@ -18,10 +18,11 @@ from typing import Sequence
 from ..core.instance import Instance
 from ..core.task import Task
 from ..flowshop.gilmore_gomory import gilmore_gomory_order
+from ..flowshop.nowait import held_karp_nowait_order
 from .base import Category
 from .static import StaticOrderHeuristic
 
-__all__ = ["GilmoreGomory", "BinPackingFirstFit", "first_fit_bins"]
+__all__ = ["GilmoreGomory", "ExactNoWait", "BinPackingFirstFit", "first_fit_bins"]
 
 
 class GilmoreGomory(StaticOrderHeuristic):
@@ -38,6 +39,36 @@ class GilmoreGomory(StaticOrderHeuristic):
     )
 
     def order(self, instance: Instance) -> Sequence[Task]:
+        return gilmore_gomory_order(instance.tasks).order
+
+
+class ExactNoWait(StaticOrderHeuristic):
+    """GGX — *exact* no-wait sequence, executed under the memory capacity.
+
+    Same modelling assumption as GG (no extra memory beyond the task in
+    flight), but the no-wait sequencing problem is solved exactly with the
+    Held–Karp dynamic program when the instance is small enough
+    (``exact_limit`` tasks); beyond that the polynomial Gilmore–Gomory
+    procedure takes over.  Useful as a tight baseline on the worked examples
+    and as the "flowshop exact" member of the solver registry.
+    """
+
+    name = "GGX"
+    category = Category.STATIC
+    description = (
+        "Exact no-wait two-machine flowshop order (Held-Karp up to exact_limit tasks, "
+        "Gilmore-Gomory beyond), executed under the memory capacity."
+    )
+    favorable_situation = (
+        "Small batches with no extra memory beyond a single task in flight."
+    )
+
+    #: Largest instance solved exactly (Held-Karp is O(2^n n^2)).
+    exact_limit: int = 16
+
+    def order(self, instance: Instance) -> Sequence[Task]:
+        if len(instance.tasks) <= self.exact_limit:
+            return held_karp_nowait_order(instance.tasks)[0]
         return gilmore_gomory_order(instance.tasks).order
 
 

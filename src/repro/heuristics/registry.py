@@ -1,35 +1,29 @@
-"""Registry of every heuristic evaluated in the paper.
+"""Deprecated heuristic registry — thin shims over :mod:`repro.api.registry`.
 
-The registry is the single source of truth used by the experiment harness,
-the benchmarks and the examples: it exposes the heuristics by name, by
-category, and as the exact line-ups of Figures 9/11 (all heuristics) and
-Figures 10/12/13 (one best variant per category).
+The hardcoded ``_HEURISTIC_CLASSES`` tuple is gone: every strategy now lives
+in the pluggable solver registry of :mod:`repro.api` (paper acronyms, aliases
+and categories included), and third-party solvers register through
+``@repro.register_solver`` without touching this module.  The helpers below
+keep the historical names working; each emits a :class:`DeprecationWarning`
+pointing at its replacement.
+
+The latent failure mode of the old module — ``all_heuristics`` raising a bare
+``KeyError`` whenever a class name was missing from ``PAPER_FIGURE_ORDER`` —
+is gone too: the line-up is validated explicitly and raises a
+:class:`repro.api.SolverRegistrationError` naming the unregistered solver.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import warnings
+from typing import Iterable
 
-from .base import Category, Heuristic, HeuristicInfo
-from .baselines import BinPackingFirstFit, GilmoreGomory
-from .corrected import (
-    CorrectedLargestCommunication,
-    CorrectedMaximumAcceleration,
-    CorrectedSmallestCommunication,
-)
-from .dynamic import (
-    LargestCommunicationFirst,
-    MaximumAccelerationFirst,
-    SmallestCommunicationFirst,
-)
-from .static import (
-    DecreasingCommPlusComp,
-    DecreasingComputation,
-    IncreasingCommPlusComp,
-    IncreasingCommunication,
-    OptimalOrderInfiniteMemory,
-    OrderOfSubmission,
-)
+from .base import PAPER_FIGURE_ORDER, TABLE6_HEURISTICS, Category, Heuristic, HeuristicInfo
+
+# NOTE: repro.api is imported lazily inside each shim. This module is pulled
+# in by ``repro.heuristics.__init__`` while ``repro.api.registry`` may itself
+# be mid-import (it needs ``heuristics.base``); a module-level import here
+# would close that cycle.
 
 __all__ = [
     "all_heuristics",
@@ -39,101 +33,107 @@ __all__ = [
     "paper_figure_lineup",
     "category_members",
     "table6_rows",
+    "PAPER_FIGURE_ORDER",
 ]
 
-_HEURISTIC_CLASSES = (
-    OrderOfSubmission,
-    GilmoreGomory,
-    BinPackingFirstFit,
-    OptimalOrderInfiniteMemory,
-    IncreasingCommunication,
-    DecreasingComputation,
-    IncreasingCommPlusComp,
-    DecreasingCommPlusComp,
-    LargestCommunicationFirst,
-    SmallestCommunicationFirst,
-    MaximumAccelerationFirst,
-    CorrectedLargestCommunication,
-    CorrectedSmallestCommunication,
-    CorrectedMaximumAcceleration,
-)
 
-#: Order of heuristics on the x-axis of Figures 9 and 11.
-PAPER_FIGURE_ORDER = (
-    "OS",
-    "GG",
-    "BP",
-    "OOSIM",
-    "IOCMS",
-    "DOCPS",
-    "IOCCS",
-    "DOCCS",
-    "LCMR",
-    "SCMR",
-    "MAMR",
-    "OOLCMR",
-    "OOSCMR",
-    "OOMAMR",
-)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.heuristics.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def all_heuristics() -> dict[str, Heuristic]:
-    """Fresh instances of every heuristic, keyed by name, in figure order."""
-    instances = {cls.name: cls() for cls in _HEURISTIC_CLASSES}
-    return {name: instances[name] for name in PAPER_FIGURE_ORDER}
+    """Fresh instances of every paper heuristic, keyed by name, in figure order.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.paper_lineup` (list) or
+        :func:`repro.api.available_solvers` (metadata) instead.
+    """
+    from ..api.registry import paper_lineup
+
+    _deprecated("all_heuristics", "repro.api.paper_lineup")
+    return {solver.name: solver for solver in paper_lineup()}
 
 
 def heuristic_names() -> tuple[str, ...]:
+    """.. deprecated:: 1.1  Use :data:`repro.api.PAPER_FIGURE_ORDER`."""
+    _deprecated("heuristic_names", "repro.api.PAPER_FIGURE_ORDER")
     return PAPER_FIGURE_ORDER
 
 
 def get_heuristic(name: str) -> Heuristic:
-    """Instantiate a heuristic by its paper acronym (case-insensitive)."""
-    lookup = {cls.name.upper(): cls for cls in _HEURISTIC_CLASSES}
+    """Instantiate a heuristic by its paper acronym (case-insensitive).
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.get_solver`, which also resolves aliases and
+        the non-heuristic solvers (``GGX``, ``lp.k``).
+    """
+    from ..api.registry import UnknownSolverError, get_solver
+
+    _deprecated("get_heuristic", "repro.api.get_solver")
     try:
-        return lookup[name.upper()]()
-    except KeyError:
-        raise KeyError(
-            f"unknown heuristic {name!r}; known names: {sorted(lookup)}"
-        ) from None
+        return get_solver(name)
+    except UnknownSolverError as error:
+        raise KeyError(f"unknown heuristic {name!r}; {error}") from None
 
 
 def heuristics_by_category() -> dict[Category, list[Heuristic]]:
-    """Heuristics grouped into the paper's categories."""
+    """Paper heuristics grouped into the paper's categories.
+
+    .. deprecated:: 1.1
+        Use ``repro.api.resolve_solvers("category:<name>")`` instead.
+    """
+    from ..api.registry import paper_lineup
+
+    _deprecated("heuristics_by_category", 'repro.api.resolve_solvers("category:...")')
     groups: dict[Category, list[Heuristic]] = {}
-    for heuristic in all_heuristics().values():
-        groups.setdefault(heuristic.category, []).append(heuristic)
+    for solver in paper_lineup():
+        groups.setdefault(solver.category, []).append(solver)
     return groups
 
 
 def category_members(category: Category | str) -> list[Heuristic]:
-    """All heuristics of one category (accepts the enum or its value)."""
+    """All paper heuristics of one category (accepts the enum or its value).
+
+    .. deprecated:: 1.1
+        Use ``repro.api.resolve_solvers(f"category:{name}")`` instead.
+    """
+    from ..api.registry import paper_lineup
+
+    _deprecated("category_members", 'repro.api.resolve_solvers("category:...")')
     category = Category(category)
-    return heuristics_by_category().get(category, [])
+    return [solver for solver in paper_lineup() if solver.category is category]
 
 
 def paper_figure_lineup(names: Iterable[str] | None = None) -> list[Heuristic]:
-    """The heuristics of Figures 9/11, optionally restricted to ``names``."""
-    registry = all_heuristics()
+    """The heuristics of Figures 9/11, optionally restricted to ``names``.
+
+    .. deprecated:: 1.1  Use :func:`repro.api.paper_lineup`.
+    """
+    from ..api.registry import SolverRegistrationError, paper_lineup
+
+    _deprecated("paper_figure_lineup", "repro.api.paper_lineup")
     if names is None:
-        return list(registry.values())
-    return [registry[name] for name in names]
+        return paper_lineup()
+    try:
+        return paper_lineup(names)
+    except SolverRegistrationError as error:
+        # The pre-facade registry raised KeyError for unknown names; keep
+        # that contract for legacy callers.
+        raise KeyError(f"unknown heuristic in line-up: {error}") from None
 
 
 def table6_rows() -> list[HeuristicInfo]:
-    """Heuristic / favorable-situation rows reproducing Table 6."""
-    wanted = (
-        "OOSIM",
-        "IOCMS",
-        "DOCPS",
-        "IOCCS",
-        "DOCCS",
-        "LCMR",
-        "SCMR",
-        "MAMR",
-        "OOLCMR",
-        "OOSCMR",
-        "OOMAMR",
-    )
-    registry = all_heuristics()
-    return [registry[name].info for name in wanted]
+    """Heuristic / favorable-situation rows reproducing Table 6.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.available_solvers` and read each
+        :class:`~repro.api.SolverInfo` instead.
+    """
+    from ..api.registry import get_solver
+
+    _deprecated("table6_rows", "repro.api.available_solvers")
+    return [get_solver(name).info for name in TABLE6_HEURISTICS]

@@ -159,10 +159,15 @@ def execute_with_policy(instance: Instance, policy: SelectionPolicy) -> Schedule
     holders: dict[str, tuple[float, float]] = {}
     time = 0.0
 
+    # Byte-scale memory amounts leave float dust when summed, so the
+    # fits-in-memory slack scales with the capacity (same convention as
+    # check_schedule's peak-memory test and the static executor).
+    slack = max(TOLERANCE, TOLERANCE * capacity) if math.isfinite(capacity) else TOLERANCE
+
     while pending:
         used = sum(amount for release, amount in holders.values() if release > time + TOLERANCE)
         available = capacity - used if math.isfinite(capacity) else math.inf
-        candidates = [task for task in pending.values() if task.memory <= available + TOLERANCE]
+        candidates = [task for task in pending.values() if task.memory <= available + slack]
 
         if not candidates:
             future_releases = [

@@ -65,17 +65,22 @@ def _earliest_memory_feasible_start(
     """
     if not math.isfinite(capacity):
         return ready_time
+    # Memory amounts can be physical byte counts (1e7+), so the feasibility
+    # slack must scale with the capacity: summing/subtracting holder amounts
+    # leaves float dust far above an absolute 1e-9 (same convention as
+    # check_schedule's peak-memory test).
+    slack = max(TOLERANCE, TOLERANCE * capacity)
     active = [(release, amount) for release, amount in holders if release > ready_time + TOLERANCE]
     used = sum(amount for _, amount in active)
-    if used + memory_needed <= capacity + TOLERANCE:
+    if used + memory_needed <= capacity + slack:
         return ready_time
     for release, amount in sorted(active):
         used -= amount
         if not math.isfinite(release):
             break
-        if used + memory_needed <= capacity + TOLERANCE:
+        if used + memory_needed <= capacity + slack:
             return release
-    if used + memory_needed <= capacity + TOLERANCE:
+    if used + memory_needed <= capacity + slack:
         # All finite holders released; only infinite holders remain.
         return math.inf
     return math.inf

@@ -1,0 +1,171 @@
+"""Tests for the columnar ResultSet."""
+
+import math
+
+import pytest
+
+from repro.api import ResultSet, RunRecord
+
+
+def _record(
+    heuristic="OS",
+    category="submission",
+    factor=1.0,
+    ratio=1.1,
+    trace="HF/p000",
+    application="HF",
+):
+    return RunRecord(
+        application=application,
+        trace=trace,
+        heuristic=heuristic,
+        category=category,
+        capacity_factor=factor,
+        capacity=1000.0,
+        makespan=11.0,
+        omim=10.0,
+        ratio_to_optimal=ratio,
+        task_count=40,
+    )
+
+
+@pytest.fixture
+def sample():
+    return ResultSet(
+        [
+            _record("OS", "submission", 1.0, 1.30),
+            _record("OS", "submission", 2.0, 1.10),
+            _record("LCMR", "dynamic", 1.0, 1.20),
+            _record("LCMR", "dynamic", 2.0, 1.05),
+            _record("SCMR", "dynamic", 1.0, 1.25, trace="HF/p001"),
+        ]
+    )
+
+
+class TestContainer:
+    def test_len_bool_and_row_view(self, sample):
+        assert len(sample) == 5
+        assert sample
+        assert not ResultSet()
+        assert isinstance(sample[0], RunRecord)
+        assert sample[0].heuristic == "OS"
+        assert [r.heuristic for r in sample] == ["OS", "OS", "LCMR", "LCMR", "SCMR"]
+
+    def test_records_round_trip(self, sample):
+        assert ResultSet(sample.to_records()) == sample
+
+    def test_column_access(self, sample):
+        assert sample.column("capacity_factor") == (1.0, 2.0, 1.0, 2.0, 1.0)
+        with pytest.raises(KeyError, match="unknown column"):
+            sample.column("nope")
+
+    def test_concat_and_add(self, sample):
+        doubled = sample + sample
+        assert len(doubled) == 10
+        assert ResultSet.concat([sample, sample]) == doubled
+
+    def test_from_columns_validation(self, sample):
+        columns = sample.to_columns()
+        assert ResultSet.from_columns(columns) == sample
+        columns["heuristic"] = columns["heuristic"][:-1]
+        with pytest.raises(ValueError, match="ragged"):
+            ResultSet.from_columns(columns)
+        with pytest.raises(ValueError, match="bad column set"):
+            ResultSet.from_columns({"heuristic": []})
+
+
+class TestRelationalOps:
+    def test_filter_by_column_values(self, sample):
+        dynamic = sample.filter(category="dynamic")
+        assert {r.heuristic for r in dynamic} == {"LCMR", "SCMR"}
+        tight = sample.filter(category="dynamic", capacity_factor=1.0)
+        assert len(tight) == 2
+
+    def test_filter_by_predicate(self, sample):
+        good = sample.filter(lambda r: r.ratio_to_optimal < 1.15)
+        assert {r.heuristic for r in good} == {"OS", "LCMR"}
+
+    def test_filter_unknown_column(self, sample):
+        with pytest.raises(KeyError, match="unknown column"):
+            sample.filter(flavour="spicy")
+
+    def test_group_by_single_key(self, sample):
+        groups = sample.group_by("capacity_factor")
+        assert set(groups) == {1.0, 2.0}
+        assert len(groups[1.0]) == 3
+        assert all(isinstance(g, ResultSet) for g in groups.values())
+
+    def test_group_by_multiple_keys(self, sample):
+        groups = sample.group_by("capacity_factor", "heuristic")
+        assert (1.0, "OS") in groups
+        assert len(groups[(1.0, "OS")]) == 1
+
+    def test_aggregate_named_reducers(self, sample):
+        medians = sample.aggregate("ratio_to_optimal", by=("heuristic",), how="median")
+        assert medians["OS"] == pytest.approx(1.20)
+        counts = sample.aggregate("ratio_to_optimal", by=("category",), how="count")
+        assert counts == {"submission": 2, "dynamic": 3}
+        means = sample.aggregate("ratio_to_optimal", by=("capacity_factor",), how="mean")
+        assert means[2.0] == pytest.approx((1.10 + 1.05) / 2)
+
+    def test_aggregate_callable(self, sample):
+        spans = sample.aggregate(
+            "ratio_to_optimal", by=("heuristic",), how=lambda v: max(v) - min(v)
+        )
+        assert spans["LCMR"] == pytest.approx(0.15)
+
+    def test_aggregate_unknown_reducer(self, sample):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            sample.aggregate(how="harmonic")
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, sample):
+        assert ResultSet.from_json(sample.to_json()) == sample
+
+    def test_json_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "results.json"
+        sample.to_json(path)
+        assert ResultSet.from_json(path) == sample
+
+    def test_json_handles_non_finite_floats(self):
+        rs = ResultSet([_record(factor=float("nan"))])
+        restored = ResultSet.from_json(rs.to_json())
+        assert math.isnan(restored[0].capacity_factor)
+        assert restored == rs  # equality treats NaN cells as equal
+
+    def test_nan_factor_stays_one_group_after_round_trip(self):
+        # Ad-hoc (instances-path) rows carry capacity_factor=nan; distinct NaN
+        # objects must not fragment grouping, filtering or aggregation.
+        rs = ResultSet([_record("OS", factor=float("nan")), _record("GG", factor=float("nan"))])
+        for view in (rs, ResultSet.from_json(rs.to_json()), ResultSet.from_csv(rs.to_csv())):
+            groups = view.group_by("capacity_factor")
+            assert len(groups) == 1
+            (only,) = groups.values()
+            assert len(only) == 2
+            assert len(view.filter(capacity_factor=float("nan"))) == 2
+            counts = view.aggregate("ratio_to_optimal", by=("capacity_factor",), how="count")
+            assert list(counts.values()) == [2]
+
+    def test_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="columns"):
+            ResultSet.from_json("[1, 2, 3]")
+
+    def test_csv_round_trip(self, sample):
+        assert ResultSet.from_csv(sample.to_csv()) == sample
+
+    def test_csv_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "results.csv"
+        text = sample.to_csv(path)
+        assert text.splitlines()[0].startswith("application,trace,heuristic")
+        assert ResultSet.from_csv(path) == sample
+
+    def test_csv_preserves_types(self, sample):
+        restored = ResultSet.from_csv(sample.to_csv())
+        assert isinstance(restored[0].capacity_factor, float)
+        assert isinstance(restored[0].task_count, int)
+        assert isinstance(restored[0].heuristic, str)
+
+    def test_csv_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="bad CSV header"):
+            ResultSet.from_csv("a,b,c\n1,2,3\n")

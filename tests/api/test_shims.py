@@ -1,0 +1,101 @@
+"""The pre-facade entry points still work and warn about their replacement."""
+
+import math
+
+import pytest
+
+from repro.api import ResultSet
+from repro.core import Instance, Task
+from repro.experiments import run_on_instance, sweep_ensemble, sweep_trace
+from repro.heuristics import all_heuristics, get_heuristic, paper_figure_lineup
+from repro.traces import synthetic_trace
+from repro.traces.model import TraceEnsemble
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace("mixed-intensity", tasks=25, seed=9)
+
+
+class TestHeuristicShims:
+    def test_all_heuristics_warns_and_returns_figure_lineup(self):
+        with pytest.deprecated_call(match="all_heuristics"):
+            registry = all_heuristics()
+        assert len(registry) == 14
+        assert all(name == heuristic.name for name, heuristic in registry.items())
+
+    def test_get_heuristic_warns_and_keeps_keyerror_contract(self):
+        with pytest.deprecated_call(match="get_heuristic"):
+            assert get_heuristic("oosim").name == "OOSIM"
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError, match="unknown heuristic"):
+                get_heuristic("nope")
+
+    def test_paper_figure_lineup_warns(self):
+        with pytest.deprecated_call(match="paper_figure_lineup"):
+            lineup = paper_figure_lineup(["OS", "SCMR"])
+        assert [h.name for h in lineup] == ["OS", "SCMR"]
+
+
+class TestRunnerShims:
+    def test_sweep_trace_warns_and_matches_study(self, trace):
+        with pytest.deprecated_call(match="sweep_trace"):
+            records = sweep_trace(
+                trace, capacity_factors=(1.0, 2.0), heuristics=None
+            )
+        assert isinstance(records, list)
+        assert len(records) == 2 * 14
+        from repro.api import Study
+
+        via_study = Study().traces(trace).capacities(1.0, 2.0).run()
+        assert ResultSet(records) == via_study
+
+    def test_sweep_ensemble_warns(self, trace):
+        ensemble = TraceEnsemble(application=trace.application, traces=[trace])
+        with pytest.deprecated_call(match="sweep_ensemble"):
+            records = sweep_ensemble(ensemble, capacity_factors=(1.5,))
+        assert len(records) == 14
+
+    def test_run_on_instance_warns(self, trace):
+        from repro.api import paper_lineup
+
+        instance = trace.to_instance_with_factor(1.5)
+        with pytest.deprecated_call(match="run_on_instance"):
+            records = run_on_instance(instance, paper_lineup(["OS"]))
+        assert len(records) == 1
+        assert records[0].heuristic == "OS"
+
+
+class TestAdhocApplicationFallback:
+    def test_unnamed_instance_defaults_to_adhoc(self):
+        instance = Instance(
+            [Task.from_times("A", comm=2, comp=1), Task.from_times("B", comm=1, comp=2)],
+            capacity=4,
+        )
+        from repro.api import paper_lineup
+
+        with pytest.deprecated_call():
+            records = run_on_instance(instance, paper_lineup(["OS"]))
+        assert records[0].application == "adhoc"
+        assert records[0].trace == ""
+        assert math.isnan(records[0].capacity_factor)
+
+    def test_named_instance_keeps_application_prefix(self, trace):
+        instance = trace.to_instance_with_factor(1.5)
+        from repro.api import paper_lineup
+
+        with pytest.deprecated_call():
+            records = run_on_instance(instance, paper_lineup(["OS"]))
+        assert records[0].application == trace.application
+
+    def test_explicit_application_wins(self):
+        instance = Instance(
+            [Task.from_times("A", comm=2, comp=1)], capacity=4, name="x/y"
+        )
+        from repro.api import paper_lineup
+
+        with pytest.deprecated_call():
+            records = run_on_instance(
+                instance, paper_lineup(["OS"]), application="explicit"
+            )
+        assert records[0].application == "explicit"

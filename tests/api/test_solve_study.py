@@ -1,0 +1,179 @@
+"""Tests for the solve() facade and the fluent Study builder."""
+
+import pytest
+
+from repro.api import (
+    ResultSet,
+    Study,
+    get_solver,
+    register_solver,
+    solve,
+    unregister_solver,
+)
+from repro.core import Instance, Task, omim
+from repro.heuristics import StaticOrderHeuristic
+from repro.traces import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def table3_like_instance():
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=3),
+        Task.from_times("C", comm=4, comp=4),
+        Task.from_times("D", comm=2, comp=1),
+    ]
+    return Instance(tasks, capacity=6, name="quickstart")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        synthetic_trace("mixed-intensity", tasks=30, seed=3),
+        synthetic_trace("mixed-intensity", tasks=30, seed=4),
+        synthetic_trace("communication-heavy", tasks=30, seed=5),
+    ]
+
+
+class TestSolve:
+    def test_dispatches_by_name(self, table3_like_instance):
+        result = solve(table3_like_instance, method="LCMR")
+        assert result.solver == "LCMR"
+        assert result.category == "dynamic"
+        assert result.makespan == pytest.approx(14.0)
+        assert result.ratio_to_optimal >= 1.0
+
+    def test_dispatches_every_registered_solver(self, table3_like_instance):
+        # The acceptance bar: one protocol, >= 16 solvers behind solve().
+        from repro.api import solver_names
+
+        names = solver_names()
+        assert len(names) >= 16
+        reference = omim(table3_like_instance)
+        for name in names:
+            result = solve(table3_like_instance, method=name, reference=reference)
+            assert result.ratio_to_optimal >= 1.0 - 1e-9, name
+
+    def test_accepts_instances_and_classes(self, table3_like_instance):
+        from repro.heuristics import OrderOfSubmission
+
+        assert solve(table3_like_instance, OrderOfSubmission).solver == "OS"
+        assert solve(table3_like_instance, OrderOfSubmission()).solver == "OS"
+
+    def test_batch_mode(self, table3_like_instance):
+        batched = solve(table3_like_instance, "OS", batch_size=2)
+        plain = solve(table3_like_instance, "OS")
+        # Batching only adds barriers, so OS cannot improve.
+        assert batched.makespan >= plain.makespan - 1e-9
+
+    def test_category_spec_is_rejected(self, table3_like_instance):
+        with pytest.raises(ValueError, match="single solver"):
+            solve(table3_like_instance, "category:dynamic")
+
+    def test_params_only_with_names(self, table3_like_instance):
+        from repro.heuristics import OrderOfSubmission
+
+        with pytest.raises(TypeError, match="only accepted"):
+            solve(table3_like_instance, OrderOfSubmission(), window=3)
+
+
+class TestStudy:
+    def test_fluent_sweep(self, traces):
+        results = (
+            Study()
+            .traces(traces[0])
+            .capacities(1.0, 2.0)
+            .solvers("category:dynamic", "OOMAMR")
+            .run()
+        )
+        assert isinstance(results, ResultSet)
+        assert set(results.column("heuristic")) == {"LCMR", "SCMR", "MAMR", "OOMAMR"}
+        assert set(results.column("capacity_factor")) == {1.0, 2.0}
+        assert len(results) == 4 * 2
+
+    def test_capacities_steps(self, traces):
+        study = Study().traces(traces[0]).capacities(1.0, 2.0, steps=5).solvers("OS")
+        results = study.run()
+        assert sorted(set(results.column("capacity_factor"))) == [
+            1.0,
+            1.25,
+            1.5,
+            1.75,
+            2.0,
+        ]
+
+    def test_capacities_validation(self):
+        with pytest.raises(ValueError, match="two bounds"):
+            Study().capacities(1.0, 1.5, 2.0, steps=4)
+        with pytest.raises(ValueError, match="at least one factor"):
+            Study().capacities()
+
+    def test_task_limit(self, traces):
+        results = Study().traces(traces[0]).capacities(1.5).solvers("OS").task_limit(7).run()
+        assert set(results.column("task_count")) == {7}
+
+    def test_batched_execution(self, traces):
+        batched = (
+            Study().traces(traces[0]).capacities(1.5).solvers("OS").batched(10).run()
+        )
+        plain = Study().traces(traces[0]).capacities(1.5).solvers("OS").run()
+        assert batched[0].makespan >= plain[0].makespan - 1e-9
+
+    def test_run_without_inputs(self):
+        with pytest.raises(ValueError, match="nothing to run"):
+            Study().run()
+
+    def test_instances_path_defaults_application_to_adhoc(self):
+        instance = Instance(
+            [Task.from_times("A", comm=2, comp=1), Task.from_times("B", comm=1, comp=2)],
+            capacity=4,
+        )
+        results = Study().instances(instance).solvers("OS").run()
+        assert results.column("application") == ("adhoc",)
+
+    def test_parallel_identical_to_sequential(self, traces):
+        shape = (
+            lambda: Study()
+            .traces(traces)
+            .capacities(1.0, 1.5, 2.0)
+            .solvers("category:dynamic", "OS", "OOSIM")
+        )
+        sequential = shape().run()
+        parallel = shape().parallel(4).run()
+        assert parallel == sequential
+        assert parallel.to_columns() == sequential.to_columns()
+
+    def test_custom_solver_shows_up_in_study_run(self, traces):
+        @register_solver(aliases=("LONGEST-TOTAL-TIME",))
+        class DecreasingTotalTime(StaticOrderHeuristic):
+            name = "DTT"
+            description = "Tasks by decreasing comm+comp (custom plugin)."
+
+            def order(self, instance):
+                return sorted(
+                    instance.tasks, key=lambda t: t.comm + t.comp, reverse=True
+                )
+
+        try:
+            results = (
+                Study().traces(traces[0]).capacities(1.5).solvers("OS", "DTT").run()
+            )
+            assert set(results.column("heuristic")) == {"OS", "DTT"}
+            dtt_rows = results.filter(heuristic="DTT")
+            assert all(r.ratio_to_optimal >= 1.0 - 1e-9 for r in dtt_rows)
+        finally:
+            unregister_solver("DTT")
+
+    def test_ensemble_input(self):
+        from repro.traces.model import TraceEnsemble
+
+        ensemble = TraceEnsemble(
+            application="synthetic-mixed-intensity",
+            traces=[
+                synthetic_trace("mixed-intensity", tasks=20, process=p, seed=1)
+                for p in (0, 1)
+            ],
+        )
+        results = Study().traces(ensemble).capacities(1.5).solvers("OS").run()
+        assert len(results) == 2
+        assert set(results.column("application")) == {"synthetic-mixed-intensity"}

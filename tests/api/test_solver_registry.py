@@ -1,0 +1,152 @@
+"""Tests for the pluggable solver registry."""
+
+import pytest
+
+from repro.api import (
+    PAPER_FIGURE_ORDER,
+    Solver,
+    SolverRegistrationError,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    paper_lineup,
+    register_solver,
+    resolve_solvers,
+    solver_names,
+    unregister_solver,
+)
+from repro.heuristics import Category, StaticOrderHeuristic
+
+
+class TestBuiltinRegistrations:
+    def test_at_least_sixteen_solvers(self):
+        # 14 paper heuristics + GGX (exact no-wait) + lp.3..lp.6.
+        assert len(solver_names()) >= 16
+
+    def test_every_paper_acronym_resolves(self):
+        for name in PAPER_FIGURE_ORDER:
+            solver = get_solver(name)
+            assert solver.name == name
+            assert isinstance(solver, Solver)
+
+    def test_every_alias_resolves_to_its_canonical_solver(self):
+        for name, info in available_solvers().items():
+            for alias in info.aliases:
+                assert get_solver(alias).name == name
+
+    def test_case_insensitive(self):
+        assert get_solver("oolcmr").name == "OOLCMR"
+        assert get_solver("Lp.4").name == "lp.4"
+
+    def test_descriptive_aliases(self):
+        assert get_solver("johnson").name == "OOSIM"
+        assert get_solver("MILP").name == "lp.4"
+        assert get_solver("gg-exact").name == "GGX"
+
+    def test_fresh_instances_each_call(self):
+        assert get_solver("OOSIM") is not get_solver("OOSIM")
+
+    def test_solver_params_forwarded(self):
+        solver = get_solver("lp.3", time_limit_per_window=2.5)
+        assert solver.time_limit_per_window == 2.5
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownSolverError, match="did you mean.*LCMR"):
+            get_solver("LCRM")
+        with pytest.raises(KeyError):  # legacy callers catch KeyError
+            get_solver("LCRM")
+
+    def test_every_builtin_satisfies_the_protocol(self):
+        for name in solver_names():
+            assert isinstance(get_solver(name), Solver)
+
+
+class TestResolveSolvers:
+    def test_default_is_paper_lineup(self):
+        assert [s.name for s in resolve_solvers()] == list(PAPER_FIGURE_ORDER)
+
+    def test_category_spec(self):
+        dynamic = resolve_solvers("category:dynamic")
+        assert {s.name for s in dynamic} == {"LCMR", "SCMR", "MAMR"}
+
+    def test_mixed_specs(self):
+        solvers = resolve_solvers("category:corrected", "OS", get_solver("GGX"))
+        assert [s.name for s in solvers] == ["OOLCMR", "OOSCMR", "OOMAMR", "OS", "GGX"]
+
+    def test_unknown_category(self):
+        with pytest.raises(UnknownSolverError, match="unknown solver category"):
+            resolve_solvers("category:quantum")
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError, match="solver spec"):
+            resolve_solvers(42)
+
+
+class TestPaperLineup:
+    def test_lineup_in_figure_order(self):
+        assert [s.name for s in paper_lineup()] == list(PAPER_FIGURE_ORDER)
+
+    def test_lineup_subset(self):
+        assert [s.name for s in paper_lineup(["OS", "SCMR"])] == ["OS", "SCMR"]
+
+    def test_missing_registration_raises_clear_error(self):
+        # The pre-facade registry raised a bare KeyError when a class name was
+        # absent from PAPER_FIGURE_ORDER; the facade names the culprit.
+        with pytest.raises(SolverRegistrationError, match="NOT-REGISTERED"):
+            paper_lineup(["OS", "NOT-REGISTERED"])
+
+
+class TestCustomRegistration:
+    def test_register_round_trip(self):
+        @register_solver(aliases=("REVERSED-SUBMISSION",))
+        class ReverseOrder(StaticOrderHeuristic):
+            name = "RSO"
+            description = "Submission order, reversed."
+
+            def order(self, instance):
+                return list(reversed(instance.tasks))
+
+        try:
+            assert get_solver("RSO").name == "RSO"
+            assert get_solver("reversed-submission").name == "RSO"
+            assert "RSO" in solver_names()
+            assert available_solvers()["RSO"].category is Category.STATIC
+        finally:
+            unregister_solver("RSO")
+        with pytest.raises(UnknownSolverError):
+            get_solver("RSO")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SolverRegistrationError, match="already registered"):
+
+            @register_solver("OS", category="static")
+            def clashing_factory():  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SolverRegistrationError, match="already registered"):
+
+            @register_solver("BRAND-NEW", category="static", aliases=("JOHNSON",))
+            def clashing_alias():  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_factory_needs_name_and_category(self):
+        with pytest.raises(SolverRegistrationError, match="cannot infer a name"):
+            register_solver()(lambda: None)
+        with pytest.raises(SolverRegistrationError, match="needs a category"):
+            register_solver("NAMED-BUT-NO-CATEGORY")(lambda: None)
+
+    def test_replace_allows_override(self):
+        @register_solver("OVERRIDE-ME", category="static")
+        def first():  # pragma: no cover - replaced before use
+            raise AssertionError
+
+        try:
+
+            @register_solver("OVERRIDE-ME", category="dynamic", replace=True)
+            def second():
+                return get_solver("LCMR")
+
+            assert available_solvers()["OVERRIDE-ME"].category is Category.DYNAMIC
+        finally:
+            unregister_solver("OVERRIDE-ME")
