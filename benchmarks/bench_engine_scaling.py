@@ -1,0 +1,147 @@
+"""Engine scaling — seed executors vs unified kernel, schedules/sec.
+
+Measures throughput of the three execution modes (fixed order, dynamic
+selection, corrected order) on random instances of n ∈ {50, 200, 1000}
+tasks, old code path (the frozen seed executors in
+``repro.simulator._reference``, O(n²) holder re-sum) against the kernel
+(incremental ``MemoryLedger``).  Schedules are asserted byte-identical
+before timing, so the speedup is measured on equal work.
+
+``REPRO_SCALE=ci`` (the default, used by the CI smoke step) stops at n=200;
+any other scale includes n=1000 and asserts the kernel is at least 2x
+faster there.  The table is written to ``benchmarks/results/engine_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.core import Instance, Task
+from repro.experiments.config import scaled_config
+from repro.simulator import (
+    CorrectedOrderPolicy,
+    CriterionPolicy,
+    execute_fixed_order,
+    execute_with_policy,
+    largest_communication,
+    maximum_acceleration,
+)
+from repro.simulator._reference import (
+    ReferenceCorrectedOrderPolicy,
+    reference_execute_fixed_order,
+    reference_execute_with_policy,
+)
+
+#: Task counts per scale; the 2x acceptance bar applies at n=1000.
+CI_SIZES = (50, 200)
+FULL_SIZES = (50, 200, 1000)
+
+#: Tight-but-feasible capacity, as a multiple of the largest footprint.
+CAPACITY_FACTOR = 1.25
+
+
+def make_instance(n: int, seed: int = 7) -> Instance:
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            f"t{i:04d}",
+            float(rng.uniform(0.1, 10.0)),
+            float(rng.uniform(0.1, 10.0)),
+            memory=float(rng.uniform(0.1, 10.0)),
+        )
+        for i in range(n)
+    ]
+    capacity = max(task.memory for task in tasks) * CAPACITY_FACTOR
+    return Instance(tasks, capacity=capacity, name=f"bench/n{n}")
+
+
+def modes(instance: Instance):
+    """(mode name, seed runner, kernel runner) for the three execution modes."""
+    order = sorted(instance.tasks, key=lambda t: (-(t.comm + t.comp), t.name))
+    johnson = [task.name for task in sorted(instance.tasks, key=lambda t: t.name)]
+    return (
+        (
+            "fixed-order",
+            lambda: reference_execute_fixed_order(instance, order),
+            lambda: execute_fixed_order(instance, order),
+        ),
+        (
+            "dynamic",
+            lambda: reference_execute_with_policy(
+                instance, CriterionPolicy(largest_communication)
+            ),
+            lambda: execute_with_policy(instance, CriterionPolicy(largest_communication)),
+        ),
+        (
+            "corrected",
+            lambda: reference_execute_with_policy(
+                instance,
+                ReferenceCorrectedOrderPolicy(order=johnson, criterion=maximum_acceleration),
+            ),
+            lambda: execute_with_policy(
+                instance,
+                CorrectedOrderPolicy(order=tuple(johnson), criterion=maximum_acceleration),
+            ),
+        ),
+    )
+
+
+def throughput(runner, *, min_seconds: float = 0.2, min_rounds: int = 3) -> float:
+    """Schedules per second, best of three timed rounds."""
+    best = 0.0
+    for _ in range(min_rounds):
+        runs = 0
+        start = time.perf_counter()
+        while True:
+            runner()
+            runs += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                break
+        best = max(best, runs / elapsed)
+    return best
+
+
+def test_engine_scaling():
+    scale_is_ci = scaled_config() is scaled_config("ci")
+    sizes = CI_SIZES if scale_is_ci else FULL_SIZES
+    lines = [
+        "Engine scaling: seed executors vs unified kernel (schedules/sec)",
+        "",
+        f"{'n':>6} {'mode':<12} {'seed/s':>10} {'kernel/s':>10} {'speedup':>8}",
+    ]
+    speedups: dict[tuple[int, str], float] = {}
+    for n in sizes:
+        instance = make_instance(n)
+        for mode, seed_runner, kernel_runner in modes(instance):
+            assert kernel_runner() == seed_runner(), f"{mode} schedules diverged at n={n}"
+            seed_rate = throughput(seed_runner)
+            kernel_rate = throughput(kernel_runner)
+            speedup = kernel_rate / seed_rate
+            speedups[(n, mode)] = speedup
+            lines.append(
+                f"{n:>6} {mode:<12} {seed_rate:>10.1f} {kernel_rate:>10.1f} {speedup:>7.1f}x"
+            )
+    report = "\n".join(lines)
+    print()
+    print(report)
+
+    # Smoke mode (ci) only checks the byte-identical assertion above: wall
+    # clock on shared CI runners is too noisy to gate on, and the recorded
+    # full-scale table must not be clobbered by a truncated one.
+    if 1000 in sizes:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "engine_scaling.txt").write_text(report + "\n")
+        # The kernel must never be slower than ~the seed path at any size...
+        assert all(speedup > 0.8 for speedup in speedups.values()), speedups
+        # ...and at n=1000 the O(n log n) ledger must pay off at least 2x.
+        for mode in ("fixed-order", "dynamic", "corrected"):
+            assert speedups[(1000, mode)] >= 2.0, (mode, speedups)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    test_engine_scaling()

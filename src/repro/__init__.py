@@ -80,7 +80,15 @@ from .core import (
     validate_schedule,
 )
 from .heuristics import Category, Heuristic, all_heuristics, get_heuristic
-from .simulator import execute_fixed_order, execute_in_batches, execute_with_policy
+from .simulator import (
+    EventTrace,
+    MachineModel,
+    SimulationResult,
+    execute_fixed_order,
+    execute_in_batches,
+    execute_with_policy,
+    simulate,
+)
 
 __version__ = "1.1.0"
 
@@ -109,13 +117,17 @@ __all__ = [
     # deprecated pre-facade registry helpers
     "all_heuristics",
     "get_heuristic",
-    # core + executors
+    # core + simulation kernel
+    "EventTrace",
+    "MachineModel",
+    "SimulationResult",
     "bounds",
     "check_schedule",
     "evaluate",
     "execute_fixed_order",
     "execute_in_batches",
     "execute_with_policy",
+    "simulate",
     "omim",
     "ratio_to_optimal",
     "validate_schedule",

@@ -21,6 +21,7 @@ from ..core.metrics import evaluate
 from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
 from ..simulator.batch import execute_in_batches
+from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 from .registry import Solver, resolve_solvers
 from .results import ResultSet, RunRecord
@@ -45,23 +46,40 @@ def run_solvers_on_instance(
     application: str = "",
     capacity_factor: float = float("nan"),
     batch_size: int | None = None,
+    machine: MachineModel | None = None,
 ) -> list[RunRecord]:
     """Run every solver on one instance and return the measurements.
 
     ``batch_size`` switches to the Section 6.3 batched execution mode, where a
     solver is applied to successive windows of the submission order.
+    ``machine`` selects a custom machine model (kernel-backed solvers only).
+    Kernel-backed solvers run with event recording on, so the metrics are
+    read from the structured trace instead of re-derived from the schedule.
     """
     reference = omim_makespan(instance) if reference is None else reference
     application = application or instance.name.split("/")[0] or ADHOC_APPLICATION
     records = []
     for solver in solvers:
-        if batch_size is None:
-            schedule = solver.schedule(instance)
-        else:
+        trace = None
+        if batch_size is not None:
+            if machine is not None:
+                raise ValueError("batched execution does not support machine models")
             schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
+        elif hasattr(solver, "simulate"):
+            record = bool(getattr(solver, "runs_on_kernel", False))
+            result = solver.simulate(instance, machine=machine, record=record)
+            schedule, trace = result.schedule, result.trace
+        else:
+            if machine is not None:
+                raise ValueError(
+                    f"solver {solver.name!r} does not run on the simulation kernel"
+                )
+            schedule = solver.schedule(instance)
         if validate:
-            check_schedule(schedule, instance)
-        metrics = evaluate(schedule, instance, heuristic=solver.name, reference=reference)
+            check_schedule(schedule, instance, machine=machine)
+        metrics = evaluate(
+            schedule, instance, heuristic=solver.name, reference=reference, trace=trace
+        )
         records.append(
             RunRecord(
                 application=application,
@@ -98,6 +116,7 @@ def _sweep_one_trace(
     validate: bool,
     batch_size: int | None,
     task_limit: int | None,
+    machine: MachineModel | None,
 ) -> list[RunRecord]:
     """Capacity sweep of one trace; the OMIM reference is computed once."""
     trace = _limit_trace(trace, task_limit)
@@ -117,6 +136,7 @@ def _sweep_one_trace(
                 application=trace.application,
                 capacity_factor=factor,
                 batch_size=batch_size,
+                machine=machine,
             )
         )
     return records
@@ -143,6 +163,7 @@ def sweep_traces(
     batch_size: int | None = None,
     task_limit: int | None = None,
     n_jobs: int | None = None,
+    machine: MachineModel | None = None,
 ) -> ResultSet:
     """Capacity sweep of every solver over every trace of ``sources``.
 
@@ -152,6 +173,11 @@ def sweep_traces(
     order, so the output is identical to a sequential run.
     """
     traces = _flatten_traces(sources)
+    if machine is not None and machine.capacity is not None:
+        raise ValueError(
+            "machine.capacity would override every swept capacity; "
+            "leave it unset in capacity sweeps (sweep capacity_factors instead)"
+        )
     for factor in capacity_factors:
         if not (factor > 0 or math.isnan(factor)):
             raise ValueError(f"capacity factors must be positive, got {factor!r}")
@@ -164,6 +190,7 @@ def sweep_traces(
             validate=validate,
             batch_size=batch_size,
             task_limit=task_limit,
+            machine=machine,
         )
 
     workers = default_jobs() if n_jobs in (0, -1) else n_jobs
@@ -182,6 +209,7 @@ def sweep_instances(
     validate: bool = True,
     batch_size: int | None = None,
     n_jobs: int | None = None,
+    machine: MachineModel | None = None,
 ) -> ResultSet:
     """Run the solvers on raw instances at their own capacity (no factor sweep)."""
     instances = list(instances)
@@ -189,7 +217,7 @@ def sweep_instances(
     def job(instance: Instance) -> list[RunRecord]:
         solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
         return run_solvers_on_instance(
-            instance, solvers, validate=validate, batch_size=batch_size
+            instance, solvers, validate=validate, batch_size=batch_size, machine=machine
         )
 
     workers = default_jobs() if n_jobs in (0, -1) else n_jobs

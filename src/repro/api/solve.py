@@ -10,6 +10,8 @@ from ..core.schedule import Schedule
 from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
 from ..simulator.batch import execute_in_batches
+from ..simulator.events import EventTrace
+from ..simulator.resources import MachineModel
 from .registry import Solver, get_solver, resolve_solvers
 
 __all__ = ["solve", "SolveResult"]
@@ -17,13 +19,19 @@ __all__ = ["solve", "SolveResult"]
 
 @dataclass(frozen=True)
 class SolveResult:
-    """Outcome of one :func:`solve` call: the schedule plus its metrics."""
+    """Outcome of one :func:`solve` call: the schedule plus its metrics.
+
+    ``trace`` carries the kernel's structured event trace when the call was
+    made with ``record_events=True`` (transfer/compute start and end, memory
+    acquire/release; idle intervals and overlap are derived views on it).
+    """
 
     solver: str
     category: str
     instance: Instance
     schedule: Schedule
     metrics: ScheduleMetrics
+    trace: EventTrace | None = None
 
     @property
     def makespan(self) -> float:
@@ -47,6 +55,8 @@ def solve(
     batch_size: int | None = None,
     validate: bool = True,
     reference: float | None = None,
+    machine: MachineModel | None = None,
+    record_events: bool = False,
     **solver_params,
 ) -> SolveResult:
     """Schedule ``instance`` with one registered solver and evaluate it.
@@ -65,6 +75,14 @@ def solve(
         Check the schedule against the memory capacity before returning.
     reference:
         Known OMIM makespan, to skip recomputing Johnson's rule.
+    machine:
+        :class:`~repro.simulator.resources.MachineModel` engine option:
+        parallel transfer links, parallel processing units, or a memory
+        capacity override.  Only kernel-backed solvers (all the paper
+        heuristics and GGX, but not the MILP wrappers) support it.
+    record_events:
+        Attach the kernel's structured :class:`EventTrace` to the result
+        (kernel-backed solvers only).
     """
     if isinstance(method, str):
         if method.lower().startswith("category:"):
@@ -77,18 +95,34 @@ def solve(
         if solver_params:
             raise TypeError("solver parameters are only accepted when method is a name")
         (solver,) = resolve_solvers(method)
-    if batch_size is None:
-        schedule = solver.schedule(instance)
-    else:
+
+    trace = None
+    if batch_size is not None:
+        if machine is not None:
+            raise ValueError("batched execution does not support machine models")
+        if record_events:
+            raise ValueError("batched execution does not record event traces")
         schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
+    elif machine is not None or record_events:
+        if not hasattr(solver, "simulate"):
+            raise ValueError(
+                f"solver {solver.name!r} does not run on the simulation kernel"
+            )
+        result = solver.simulate(instance, machine=machine, record=record_events)
+        schedule, trace = result.schedule, result.trace
+    else:
+        schedule = solver.schedule(instance)
     if validate:
-        check_schedule(schedule, instance)
+        check_schedule(schedule, instance, machine=machine)
     reference = omim_makespan(instance) if reference is None else reference
-    metrics = evaluate(schedule, instance, heuristic=solver.name, reference=reference)
+    metrics = evaluate(
+        schedule, instance, heuristic=solver.name, reference=reference, trace=trace
+    )
     return SolveResult(
         solver=solver.name,
         category=str(solver.category),
         instance=instance,
         schedule=schedule,
         metrics=metrics,
+        trace=trace,
     )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..core.instance import Instance
+from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 from .engine import default_jobs, sweep_instances, sweep_traces
 from .results import ResultSet
@@ -44,6 +45,7 @@ class Study:
         self._batch_size: int | None = None
         self._task_limit: int | None = None
         self._n_jobs: int | None = None
+        self._machine: MachineModel | None = None
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -115,6 +117,19 @@ class Study:
         self._task_limit = limit
         return self
 
+    def machine(self, model: MachineModel) -> "Study":
+        """Run every solver on a custom machine model (kernel engine option).
+
+        ``MachineModel(link_count=2)`` sweeps a two-link machine, for
+        example.  Only kernel-backed solvers support this; leave the model's
+        ``capacity`` unset in capacity sweeps (it would override every swept
+        capacity).
+        """
+        if not isinstance(model, MachineModel):
+            raise TypeError(f"machine() accepts MachineModel, got {type(model).__name__}")
+        self._machine = model
+        return self
+
     def validate(self, flag: bool = True) -> "Study":
         """Toggle per-schedule feasibility checking (on by default)."""
         self._validate = bool(flag)
@@ -147,6 +162,7 @@ class Study:
                     batch_size=self._batch_size,
                     task_limit=self._task_limit,
                     n_jobs=self._n_jobs,
+                    machine=self._machine,
                 )
             )
         if self._instances:
@@ -157,6 +173,7 @@ class Study:
                     validate=self._validate,
                     batch_size=self._batch_size,
                     n_jobs=self._n_jobs,
+                    machine=self._machine,
                 )
             )
         return results

@@ -13,10 +13,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .bounds import omim as _omim
 from .instance import Instance
 from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (core must not import simulator)
+    from ..simulator.events import EventTrace
 
 __all__ = ["ratio_to_optimal", "overlap_fraction", "idle_fractions", "ScheduleMetrics", "evaluate"]
 
@@ -82,10 +86,27 @@ def evaluate(
     *,
     heuristic: str = "",
     reference: float | None = None,
+    trace: "EventTrace | None" = None,
 ) -> ScheduleMetrics:
-    """Bundle every metric for one (heuristic, instance) run."""
+    """Bundle every metric for one (heuristic, instance) run.
+
+    When the kernel's structured event ``trace`` is available, the overlap,
+    idle and peak-memory accounting is read from it directly (O(n log n))
+    instead of being re-derived from the finished schedule (the
+    schedule-based overlap computation is quadratic in the task count).
+    """
     ref = _omim(instance) if reference is None else reference
     makespan = schedule.makespan
+    if trace is not None:
+        peak_memory = trace.peak_memory()
+        overlap_time = trace.overlap_time()
+        communication_idle = trace.idle_time("communication")
+        computation_idle = trace.idle_time("computation")
+    else:
+        peak_memory = schedule.peak_memory()
+        overlap_time = schedule.overlap_time()
+        communication_idle = schedule.communication_idle_time()
+        computation_idle = schedule.computation_idle_time()
     return ScheduleMetrics(
         heuristic=heuristic,
         instance=instance.name,
@@ -93,9 +114,9 @@ def evaluate(
         makespan=makespan,
         omim=ref,
         ratio_to_optimal=(makespan / ref) if ref > 0 else (1.0 if makespan == 0 else math.inf),
-        peak_memory=schedule.peak_memory(),
-        overlap_time=schedule.overlap_time(),
-        communication_idle=schedule.communication_idle_time(),
-        computation_idle=schedule.computation_idle_time(),
+        peak_memory=peak_memory,
+        overlap_time=overlap_time,
+        communication_idle=communication_idle,
+        computation_idle=computation_idle,
         task_count=len(schedule),
     )

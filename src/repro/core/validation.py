@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from .instance import Instance
 from .schedule import Schedule, ScheduledTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (core must not import simulator)
+    from ..simulator.resources import MachineModel
 
 __all__ = [
     "Violation",
@@ -101,8 +104,59 @@ def _check_resource_exclusivity(
             )
 
 
-def validate_schedule(schedule: Schedule, instance: Instance) -> ValidationReport:
-    """Validate ``schedule`` against ``instance`` and return a full report."""
+def _check_resource_concurrency(
+    report: ValidationReport,
+    entries: Sequence[ScheduledTask],
+    resource: str,
+    limit: int,
+) -> None:
+    """Check that at most ``limit`` intervals run concurrently on one resource.
+
+    Generalisation of :func:`_check_resource_exclusivity` for machine models
+    with parallel links or processing units.
+    """
+    if resource == "communication":
+        intervals = [(e.comm_start, e.comm_end, e.name) for e in entries if e.task.comm > 0]
+    else:
+        intervals = [(e.comp_start, e.comp_end, e.name) for e in entries if e.task.comp > 0]
+    boundaries = sorted(
+        [(start + TOLERANCE, 1, name) for start, _, name in intervals]
+        + [(end, -1, name) for _, end, name in intervals]
+    )
+    depth = 0
+    over = False
+    for time, delta, name in boundaries:
+        depth += delta
+        if depth > limit and not over:
+            # Report once per contiguous excess window, not per boundary.
+            over = True
+            active = sorted(n for s, e, n in intervals if s + TOLERANCE <= time < e)
+            report.add(
+                kind=f"{resource}-overlap",
+                message=(
+                    f"{depth} tasks run concurrently on the {resource} resource "
+                    f"(limit {limit}) around time {time:g}: {active}"
+                ),
+                tasks=active,
+                time=time,
+            )
+        elif depth <= limit:
+            over = False
+
+
+def validate_schedule(
+    schedule: Schedule,
+    instance: Instance,
+    *,
+    machine: "MachineModel | None" = None,
+) -> ValidationReport:
+    """Validate ``schedule`` against ``instance`` and return a full report.
+
+    ``machine`` adapts the feasibility rules to a custom machine model: up to
+    ``link_count`` concurrent transfers, up to ``cpu_count`` concurrent
+    computations, and the model's capacity override instead of the
+    instance's.  ``None`` checks the paper's machine (rules 1–5 above).
+    """
     report = ValidationReport()
 
     scheduled_names = {e.name for e in schedule}
@@ -143,11 +197,21 @@ def validate_schedule(schedule: Schedule, instance: Instance) -> ValidationRepor
                 time=entry.comp_start,
             )
 
-    _check_resource_exclusivity(report, schedule.entries, "communication")
-    _check_resource_exclusivity(report, schedule.entries, "computation")
+    link_count = 1 if machine is None else machine.link_count
+    cpu_count = 1 if machine is None else machine.cpu_count
+    if link_count == 1:
+        _check_resource_exclusivity(report, schedule.entries, "communication")
+    else:
+        _check_resource_concurrency(report, schedule.entries, "communication", link_count)
+    if cpu_count == 1:
+        _check_resource_exclusivity(report, schedule.entries, "computation")
+    else:
+        _check_resource_concurrency(report, schedule.entries, "computation", cpu_count)
 
-    if instance.has_memory_constraint:
-        capacity = instance.capacity
+    capacity = instance.capacity
+    if machine is not None and machine.capacity is not None:
+        capacity = machine.capacity
+    if math.isfinite(capacity):
         # Absolute tolerance for small (unit-free) instances, relative tolerance
         # for byte-sized capacities where float accumulation noise is larger.
         memory_tolerance = max(TOLERANCE, 1e-9 * capacity)
@@ -169,9 +233,14 @@ def validate_schedule(schedule: Schedule, instance: Instance) -> ValidationRepor
     return report
 
 
-def check_schedule(schedule: Schedule, instance: Instance) -> Schedule:
+def check_schedule(
+    schedule: Schedule,
+    instance: Instance,
+    *,
+    machine: "MachineModel | None" = None,
+) -> Schedule:
     """Validate and return ``schedule``; raise :class:`InfeasibleScheduleError` otherwise."""
-    report = validate_schedule(schedule, instance)
+    report = validate_schedule(schedule, instance, machine=machine)
     if not report.is_feasible:
         raise InfeasibleScheduleError(report)
     return schedule

@@ -16,6 +16,7 @@ from ..api.engine import run_solvers_on_instance, sweep_traces
 from ..api.results import RunRecord
 from ..core.instance import Instance
 from ..heuristics.base import Heuristic
+from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 
 __all__ = ["RunRecord", "run_on_instance", "sweep_trace", "sweep_ensemble"]
@@ -38,6 +39,7 @@ def run_on_instance(
     application: str = "",
     capacity_factor: float = float("nan"),
     batch_size: int | None = None,
+    machine: MachineModel | None = None,
 ) -> list[RunRecord]:
     """Run every heuristic on one instance and return the measurements.
 
@@ -54,6 +56,7 @@ def run_on_instance(
         application=application,
         capacity_factor=capacity_factor,
         batch_size=batch_size,
+        machine=machine,
     )
 
 

@@ -19,6 +19,9 @@ from enum import Enum
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
+from ..simulator.engine import SimulationResult, simulate as _simulate
+from ..simulator.policies import SelectionPolicy
+from ..simulator.resources import MachineModel
 
 __all__ = ["Category", "Heuristic", "HeuristicInfo", "PAPER_FIGURE_ORDER", "TABLE6_HEURISTICS"]
 
@@ -102,6 +105,47 @@ class Heuristic(abc.ABC):
     @abc.abstractmethod
     def schedule(self, instance: Instance) -> Schedule:
         """Return a feasible schedule of ``instance``."""
+
+    def kernel_policy(self, instance: Instance) -> SelectionPolicy | None:
+        """Policy expressing this heuristic on the unified simulation kernel.
+
+        Returns ``None`` when the heuristic does not run on the kernel (the
+        MILP wrappers); such heuristics fall back to :meth:`schedule` in
+        :meth:`simulate` and support neither machine models nor event traces.
+        """
+        return None
+
+    @property
+    def runs_on_kernel(self) -> bool:
+        """Whether this heuristic executes on the unified kernel."""
+        return type(self).kernel_policy is not Heuristic.kernel_policy
+
+    def simulate(
+        self,
+        instance: Instance,
+        *,
+        machine: MachineModel | None = None,
+        record: bool = False,
+    ) -> SimulationResult:
+        """Run this heuristic on the kernel, optionally on a custom machine.
+
+        ``record=True`` additionally returns the structured
+        :class:`~repro.simulator.events.EventTrace` of the run.
+        """
+        policy = self.kernel_policy(instance)
+        if policy is None:
+            if machine is not None:
+                raise ValueError(
+                    f"heuristic {self.name!r} does not run on the simulation kernel "
+                    "and cannot target a custom machine model"
+                )
+            if record:
+                raise ValueError(
+                    f"heuristic {self.name!r} does not run on the simulation kernel "
+                    "and cannot record an event trace"
+                )
+            return SimulationResult(schedule=self.schedule(instance), trace=None)
+        return _simulate(instance, policy, machine=machine, record=record)
 
     def __call__(self, instance: Instance) -> Schedule:
         return self.schedule(instance)

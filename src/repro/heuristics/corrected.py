@@ -13,9 +13,8 @@ from __future__ import annotations
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..flowshop.johnson import johnson_order
-from ..simulator.dynamic_executor import (
+from ..simulator.policies import (
     CorrectedOrderPolicy,
-    execute_with_policy,
     largest_communication,
     maximum_acceleration,
     smallest_communication,
@@ -36,10 +35,12 @@ class CorrectedHeuristic(Heuristic):
     category = Category.CORRECTED
     criterion = staticmethod(smallest_communication)
 
+    def kernel_policy(self, instance: Instance) -> CorrectedOrderPolicy:
+        order = tuple(task.name for task in johnson_order(instance.tasks))
+        return CorrectedOrderPolicy(order=order, criterion=type(self).criterion, name=self.name)
+
     def schedule(self, instance: Instance) -> Schedule:
-        order = [task.name for task in johnson_order(instance.tasks)]
-        policy = CorrectedOrderPolicy(order=order, criterion=type(self).criterion, name=self.name)
-        return execute_with_policy(instance, policy)
+        return self.simulate(instance).schedule
 
 
 class CorrectedLargestCommunication(CorrectedHeuristic):

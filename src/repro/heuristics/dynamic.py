@@ -17,9 +17,8 @@ from __future__ import annotations
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
-from ..simulator.dynamic_executor import (
+from ..simulator.policies import (
     CriterionPolicy,
-    execute_with_policy,
     largest_communication,
     maximum_acceleration,
     smallest_communication,
@@ -40,9 +39,11 @@ class DynamicHeuristic(Heuristic):
     category = Category.DYNAMIC
     criterion = staticmethod(smallest_communication)
 
+    def kernel_policy(self, instance: Instance) -> CriterionPolicy:
+        return CriterionPolicy(criterion=type(self).criterion, name=self.name)
+
     def schedule(self, instance: Instance) -> Schedule:
-        policy = CriterionPolicy(criterion=type(self).criterion, name=self.name)
-        return execute_with_policy(instance, policy)
+        return self.simulate(instance).schedule
 
 
 class LargestCommunicationFirst(DynamicHeuristic):

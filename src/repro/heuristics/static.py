@@ -25,7 +25,8 @@ from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..core.task import Task
 from ..flowshop.johnson import johnson_order
-from ..simulator.static_executor import execute_fixed_order
+from ..simulator.engine import resolve_order
+from ..simulator.policies import FixedOrderPolicy
 from .base import Category, Heuristic
 
 __all__ = [
@@ -48,8 +49,13 @@ class StaticOrderHeuristic(Heuristic):
         """Return the tasks of ``instance`` in the order to execute them."""
         raise NotImplementedError
 
+    def kernel_policy(self, instance: Instance) -> FixedOrderPolicy:
+        return FixedOrderPolicy(
+            tuple(resolve_order(instance, self.order(instance))), name=self.name
+        )
+
     def schedule(self, instance: Instance) -> Schedule:
-        return execute_fixed_order(instance, self.order(instance))
+        return self.simulate(instance).schedule
 
 
 class OrderOfSubmission(StaticOrderHeuristic):

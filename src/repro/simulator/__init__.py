@@ -1,30 +1,77 @@
-"""Schedule executors: static fixed-order, event-driven dynamic, and batched."""
+"""Unified event-driven simulation kernel and its execution-mode wrappers.
+
+Layout (kernel → policies → facade):
+
+* :mod:`~repro.simulator.engine` — the single event loop (:func:`simulate`);
+* :mod:`~repro.simulator.ledger` — incremental :class:`MemoryLedger`;
+* :mod:`~repro.simulator.resources` — pluggable :class:`ResourceModel` /
+  :class:`MachineModel` (parallel links, capacity overrides);
+* :mod:`~repro.simulator.events` — structured :class:`EventTrace`;
+* :mod:`~repro.simulator.policies` — fixed-order / dynamic / corrected
+  policies;
+* :mod:`~repro.simulator.static_executor` / :mod:`~repro.simulator.dynamic_executor`
+  — thin compatibility wrappers with the historical entry points;
+* :mod:`~repro.simulator.batch` — Section 6.3 batched execution.
+"""
 
 from .batch import DEFAULT_BATCH_SIZE, execute_in_batches
-from .dynamic_executor import (
+from .dynamic_executor import execute_with_policy
+from .engine import (
+    DeadlockError,
+    InfeasibleOrderError,
+    SimulationResult,
+    resolve_order,
+    simulate,
+)
+from .events import EventKind, EventTrace, SimEvent
+from .ledger import MemoryLedger
+from .policies import (
     CorrectedOrderPolicy,
     CriterionPolicy,
     ExecutionState,
+    FixedOrderPolicy,
     SelectionPolicy,
-    execute_with_policy,
     largest_communication,
     maximum_acceleration,
+    minimum_idle_filter,
     smallest_communication,
 )
-from .static_executor import InfeasibleOrderError, execute_fixed_order, execute_two_orders
+from .resources import (
+    DEFAULT_MACHINE,
+    MachineModel,
+    ParallelResource,
+    ResourceModel,
+    UnitResource,
+)
+from .static_executor import execute_fixed_order, execute_two_orders
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MACHINE",
     "CorrectedOrderPolicy",
     "CriterionPolicy",
+    "DeadlockError",
+    "EventKind",
+    "EventTrace",
     "ExecutionState",
+    "FixedOrderPolicy",
     "InfeasibleOrderError",
+    "MachineModel",
+    "MemoryLedger",
+    "ParallelResource",
+    "ResourceModel",
     "SelectionPolicy",
+    "SimEvent",
+    "SimulationResult",
+    "UnitResource",
     "execute_fixed_order",
     "execute_in_batches",
     "execute_two_orders",
     "execute_with_policy",
     "largest_communication",
     "maximum_acceleration",
+    "minimum_idle_filter",
+    "resolve_order",
+    "simulate",
     "smallest_communication",
 ]

@@ -1,4 +1,4 @@
-"""Event-driven executors for the dynamic and corrected heuristic families.
+"""Candidate-selection execution — thin wrapper over the unified kernel.
 
 Section 4.2 (dynamic selection) and Section 4.3 (static order with dynamic
 corrections) of the paper share the same execution engine: whenever the
@@ -6,15 +6,17 @@ communication link becomes idle, a task is picked among the not-yet-transferred
 ones and its transfer is started; when nothing fits in the available memory,
 the link stays idle until the next computation completes and frees memory.
 
-The two families differ only in the selection rule, so the engine takes a
-:class:`SelectionPolicy`:
+The engine now lives in :mod:`repro.simulator.engine` (shared with the
+fixed-order executors); this module keeps the historical entry point and
+re-exports the policy vocabulary, whose canonical home is
+:mod:`repro.simulator.policies`:
 
-* **dynamic** policies consider every task that fits in memory, keep those
-  inducing the minimum idle time on the computation resource, and break ties
-  with a criterion (largest communication, smallest communication, or largest
-  computation/communication ratio);
-* **corrected** policies first try the next task of a precomputed static order
-  and only fall back to a dynamic criterion when that task does not fit.
+* **dynamic** policies (:class:`CriterionPolicy`) consider every task that
+  fits in memory, keep those inducing the minimum idle time on the
+  computation resource, and break ties with a criterion;
+* **corrected** policies (:class:`CorrectedOrderPolicy`) first try the next
+  task of a precomputed static order and only fall back to a dynamic
+  criterion when that task does not fit.
 
 The worked examples of Figures 5 and 6 are regression-tested against this
 engine, which pins the tie-breaking semantics down to the paper's.
@@ -22,18 +24,23 @@ engine, which pins the tie-breaking semantics down to the paper's.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
-
 from ..core.instance import Instance
-from ..core.schedule import Schedule, ScheduledTask
-from ..core.task import Task
-from ..core.validation import TOLERANCE
-from .static_executor import InfeasibleOrderError
+from ..core.schedule import Schedule
+from .engine import InfeasibleOrderError, simulate
+from .policies import (
+    CorrectedOrderPolicy,
+    CriterionPolicy,
+    ExecutionState,
+    SelectionPolicy,
+    largest_communication,
+    maximum_acceleration,
+    minimum_idle_filter,
+    smallest_communication,
+)
 
 __all__ = [
     "ExecutionState",
+    "InfeasibleOrderError",
     "SelectionPolicy",
     "CriterionPolicy",
     "CorrectedOrderPolicy",
@@ -43,160 +50,15 @@ __all__ = [
     "maximum_acceleration",
 ]
 
-
-@dataclass(frozen=True, slots=True)
-class ExecutionState:
-    """Snapshot handed to selection policies at each decision point."""
-
-    time: float
-    available_memory: float
-    comm_available: float
-    comp_available: float
-    scheduled: tuple[str, ...]
-
-    def induced_idle(self, task: Task) -> float:
-        """Idle time forced on the computation resource if ``task`` is started now."""
-        return max(0.0, self.time + task.comm - self.comp_available)
-
-
-class SelectionPolicy(Protocol):
-    """Chooses the next transfer among the tasks that currently fit in memory."""
-
-    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
-        """Return the task to transfer next; ``candidates`` is never empty."""
-        ...
-
-
-# --------------------------------------------------------------------------- #
-# Selection criteria (Section 4.2)
-# --------------------------------------------------------------------------- #
-def largest_communication(task: Task) -> tuple[float, str]:
-    """LCMR criterion key: prefer the largest communication time."""
-    return (-task.comm, task.name)
-
-
-def smallest_communication(task: Task) -> tuple[float, str]:
-    """SCMR criterion key: prefer the smallest communication time."""
-    return (task.comm, task.name)
-
-
-def maximum_acceleration(task: Task) -> tuple[float, str]:
-    """MAMR criterion key: prefer the largest computation/communication ratio."""
-    return (-task.acceleration, task.name)
-
-
-def _minimum_idle_filter(candidates: Sequence[Task], state: ExecutionState) -> list[Task]:
-    best = min(state.induced_idle(task) for task in candidates)
-    return [task for task in candidates if state.induced_idle(task) <= best + TOLERANCE]
-
-
-@dataclass(frozen=True)
-class CriterionPolicy:
-    """Pure dynamic selection: minimum-idle filter, then a criterion key.
-
-    ``criterion`` maps a task to a sort key; the task with the smallest key
-    among the minimum-idle candidates is selected (ties broken by name inside
-    the key functions, keeping runs deterministic).
-    """
-
-    criterion: Callable[[Task], tuple[float, str]]
-    name: str = "criterion"
-
-    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
-        filtered = _minimum_idle_filter(candidates, state)
-        return min(filtered, key=self.criterion)
-
-
-@dataclass
-class CorrectedOrderPolicy:
-    """Static order followed when possible, corrected dynamically otherwise.
-
-    The next task of ``order`` is started whenever it fits in the available
-    memory.  When it does not fit, a task is chosen among the fitting ones by
-    the minimum-idle filter followed by ``criterion``, and the static order is
-    updated by removing the chosen task (Section 4.3).
-    """
-
-    order: Sequence[str]
-    criterion: Callable[[Task], tuple[float, str]]
-    name: str = "corrected"
-
-    def __post_init__(self) -> None:
-        self._remaining = list(self.order)
-
-    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
-        by_name = {task.name: task for task in candidates}
-        while self._remaining and self._remaining[0] in state.scheduled:
-            self._remaining.pop(0)
-        if self._remaining and self._remaining[0] in by_name:
-            chosen = by_name[self._remaining.pop(0)]
-            return chosen
-        filtered = _minimum_idle_filter(candidates, state)
-        chosen = min(filtered, key=self.criterion)
-        if chosen.name in self._remaining:
-            self._remaining.remove(chosen.name)
-        return chosen
+#: Legacy private alias, kept for pre-kernel imports.
+_minimum_idle_filter = minimum_idle_filter
 
 
 def execute_with_policy(instance: Instance, policy: SelectionPolicy) -> Schedule:
-    """Run the event-driven engine on ``instance`` using ``policy``.
+    """Run the event-driven kernel on ``instance`` using ``policy``.
 
     Both resources process tasks in the same order (the order in which
-    transfers are started), as in all the paper's heuristics.
+    transfers are started), as in all the paper's heuristics.  Raises
+    :class:`InfeasibleOrderError` when a single task exceeds the capacity.
     """
-    capacity = instance.capacity
-    for task in instance:
-        if task.memory > capacity + TOLERANCE:
-            raise InfeasibleOrderError(
-                f"task {task.name!r} needs {task.memory:g} memory but capacity is {capacity:g}"
-            )
-
-    pending: dict[str, Task] = {t.name: t for t in instance.tasks}
-    entries: list[ScheduledTask] = []
-    comm_available = 0.0
-    comp_available = 0.0
-    # Memory held by started tasks: name -> (release time, amount).
-    holders: dict[str, tuple[float, float]] = {}
-    time = 0.0
-
-    # Byte-scale memory amounts leave float dust when summed, so the
-    # fits-in-memory slack scales with the capacity (same convention as
-    # check_schedule's peak-memory test and the static executor).
-    slack = max(TOLERANCE, TOLERANCE * capacity) if math.isfinite(capacity) else TOLERANCE
-
-    while pending:
-        used = sum(amount for release, amount in holders.values() if release > time + TOLERANCE)
-        available = capacity - used if math.isfinite(capacity) else math.inf
-        candidates = [task for task in pending.values() if task.memory <= available + slack]
-
-        if not candidates:
-            future_releases = [
-                release for release, _ in holders.values() if release > time + TOLERANCE
-            ]
-            if not future_releases:  # pragma: no cover - every task fits individually
-                raise InfeasibleOrderError("deadlock: no task fits and no memory will be released")
-            time = min(future_releases)
-            continue
-
-        state = ExecutionState(
-            time=time,
-            available_memory=available,
-            comm_available=comm_available,
-            comp_available=comp_available,
-            scheduled=tuple(e.name for e in entries),
-        )
-        task = policy.select(candidates, state)
-        if task.name not in pending:  # pragma: no cover - defensive against bad policies
-            raise ValueError(f"policy selected unknown or already-scheduled task {task.name!r}")
-
-        comm_start = time
-        comm_end = comm_start + task.comm
-        comp_start = max(comm_end, comp_available)
-        entries.append(ScheduledTask(task=task, comm_start=comm_start, comp_start=comp_start))
-        del pending[task.name]
-        comm_available = comm_end
-        comp_available = comp_start + task.comp
-        holders[task.name] = (comp_available, task.memory)
-        time = max(time, comm_available)
-
-    return Schedule(entries)
+    return simulate(instance, policy).schedule

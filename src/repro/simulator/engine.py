@@ -1,0 +1,257 @@
+"""Unified event-driven simulation kernel — one engine under every executor.
+
+Architecture (kernel → policies → facade)::
+
+    repro.api.solve() / Study          facade: engine options, sweeps
+        └── heuristics                 compute an order / pick a criterion
+              └── policies             FixedOrder / Criterion / CorrectedOrder
+                    └── engine.simulate()   ← this module: the only event loop
+                          ├── MemoryLedger  incremental O(log n) memory account
+                          ├── ResourceModel link/processor timelines (pluggable)
+                          └── EventTrace    structured journal for viz/metrics
+
+The kernel advances a single clock over transfer decisions: at each decision
+point the link is (about to be) free, the policy picks the next task, the
+transfer is booked on the link resource, the task's memory is acquired, and
+every computation enabled by the computation order is booked on the
+processing unit.  The paper's three execution modes differ only in the
+policy; the Proposition 1 two-order executor additionally fixes the
+computation order (``comp_order``).
+
+The kernel reproduces the seed executors byte-for-byte on the default
+machine model — pinned by ``tests/simulator/test_kernel_crosscheck.py``
+against the frozen reference implementations in
+:mod:`repro.simulator._reference`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule, ScheduledTask
+from ..core.task import Task
+from ..core.validation import TOLERANCE
+from .events import EventKind, EventTrace, SimEvent
+from .ledger import MemoryLedger
+from .policies import SelectionPolicy
+from .resources import DEFAULT_MACHINE, MachineModel
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "InfeasibleOrderError",
+    "DeadlockError",
+    "resolve_order",
+]
+
+
+class InfeasibleOrderError(ValueError):
+    """Raised when a task cannot be scheduled at all (footprint exceeds capacity)."""
+
+
+class DeadlockError(InfeasibleOrderError):
+    """The run cannot make progress: no task fits and no memory will be released."""
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one kernel run: the schedule plus its optional event trace."""
+
+    schedule: Schedule
+    trace: EventTrace | None
+
+
+class _KernelState:
+    """Mutable per-run decision state, duck-typing :class:`ExecutionState`.
+
+    The engine allocates exactly one per run and updates it in place before
+    each policy call; ``scheduled`` is materialised lazily because only
+    stateful policies read it, and only once per run.
+    """
+
+    __slots__ = ("time", "available_memory", "comm_available", "comp_available", "scratch", "_placed")
+
+    def __init__(self, scratch: dict, placed: dict) -> None:
+        self.time = 0.0
+        self.available_memory = math.inf
+        self.comm_available = 0.0
+        self.comp_available = 0.0
+        self.scratch = scratch
+        self._placed = placed  # name -> comm start, in placement order
+
+    @property
+    def scheduled(self) -> tuple[str, ...]:
+        return tuple(self._placed)
+
+    def induced_idle(self, task: Task) -> float:
+        """Idle time forced on the computation resource if ``task`` is started now."""
+        return max(0.0, self.time + task.comm - self.comp_available)
+
+
+def resolve_order(
+    instance: Instance, order: Sequence[Task] | Sequence[str] | None
+) -> list[Task]:
+    """Resolve task names to tasks and check the order covers the instance."""
+    if order is None:
+        return list(instance.tasks)
+    lookup = instance.by_name()
+    resolved: list[Task] = []
+    for item in order:
+        if isinstance(item, Task):
+            resolved.append(item)
+        else:
+            resolved.append(lookup[item])
+    if len(resolved) != len(instance) or {t.name for t in resolved} != set(instance.task_names):
+        raise ValueError("order must contain every instance task exactly once")
+    return resolved
+
+
+def simulate(
+    instance: Instance,
+    policy: SelectionPolicy,
+    *,
+    machine: MachineModel | None = None,
+    comp_order: Sequence[Task] | Sequence[str] | None = None,
+    record: bool = False,
+) -> SimulationResult:
+    """Run the event-driven kernel on ``instance`` under ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        Chooses the next transfer.  Policies with ``waits_for_memory`` set
+        (fixed orders) are asked unconditionally and the kernel waits until
+        the chosen task's memory fits; other policies are offered only the
+        currently-fitting candidates, and the link idles until the next
+        memory release when nothing fits.
+    machine:
+        Resource model (link/processor multiplicity, capacity override).
+        Defaults to the paper's machine, under which the kernel matches the
+        seed executors byte-for-byte.
+    comp_order:
+        Explicit computation order (Proposition 1 / MILP post-processing).
+        Defaults to the transfer placement order, as in all the paper's
+        heuristics.
+    record:
+        Emit a structured :class:`~repro.simulator.events.EventTrace`.
+
+    Raises
+    ------
+    InfeasibleOrderError
+        When a single task exceeds the memory capacity.
+    DeadlockError
+        When the run blocks under the memory capacity (only possible with an
+        explicit ``comp_order``; subclass of :class:`InfeasibleOrderError`).
+    """
+    machine = DEFAULT_MACHINE if machine is None else machine
+    capacity = machine.effective_capacity(instance.capacity)
+    for task in instance:
+        if task.memory > capacity + TOLERANCE:
+            raise InfeasibleOrderError(
+                f"task {task.name!r} needs {task.memory:g} memory but capacity is {capacity:g}"
+            )
+
+    link = machine.build_link()
+    cpu = machine.build_cpu()
+    ledger = MemoryLedger(capacity)
+    pending: dict[str, Task] = {t.name: t for t in instance.tasks}
+    events: list[SimEvent] | None = [] if record else None
+
+    comm_start: dict[str, float] = {}
+    comm_end: dict[str, float] = {}
+    comp_start: dict[str, float] = {}
+    placed: list[Task] = []  # transfer placement order
+    fixed_comp = comp_order is not None
+    comp_sequence: list[Task] = resolve_order(instance, comp_order) if fixed_comp else placed
+    comp_cursor = 0
+    state = _KernelState({}, comm_start)
+    waits = getattr(policy, "waits_for_memory", False)
+    select = policy.select
+    time = 0.0
+
+    def place_enabled_computations() -> None:
+        """Book every computation whose turn has come and transfer is placed."""
+        nonlocal comp_cursor
+        while comp_cursor < len(comp_sequence):
+            task = comp_sequence[comp_cursor]
+            transfer_end = comm_end.get(task.name)
+            if transfer_end is None:
+                return
+            start, finish = cpu.commit(transfer_end, task.comp)
+            comp_start[task.name] = start
+            ledger.set_release(task.memory, finish)
+            if events is not None:
+                events.append(SimEvent(start, EventKind.COMPUTE_START, task.name))
+                events.append(SimEvent(finish, EventKind.COMPUTE_END, task.name))
+                events.append(
+                    SimEvent(finish, EventKind.MEMORY_RELEASE, task.name, -task.memory)
+                )
+            comp_cursor += 1
+
+    while pending:
+        now = link.next_free()
+        if now > time:
+            time = now
+        ledger.advance(time)
+
+        if waits:
+            state.time = time
+            state.available_memory = ledger.available
+            state.comm_available = now
+            state.comp_available = cpu.next_free()
+            task = select((), state)
+            start_at = ledger.earliest_fit(time, task.memory)
+            if not math.isfinite(start_at):
+                raise DeadlockError(f"task {task.name!r} can never acquire its memory")
+            # Transfers keep the policy's order: the next decision may not
+            # precede this start (with parallel links another link can be
+            # free earlier, but the ledger's destructive release walk — and
+            # the fixed order itself — require a monotone clock).
+            if start_at > time:
+                time = start_at
+        else:
+            headroom = ledger.headroom()
+            candidates = [t for t in pending.values() if t.memory <= headroom]
+            if not candidates:
+                next_release = ledger.next_release()
+                if next_release is None:
+                    raise DeadlockError(
+                        "deadlock: no task fits and no memory will be released"
+                    )
+                time = next_release
+                continue
+            state.time = time
+            state.available_memory = ledger.available
+            state.comm_available = now
+            state.comp_available = cpu.next_free()
+            task = select(candidates, state)
+            start_at = time
+
+        if task.name not in pending:  # pragma: no cover - defensive against bad policies
+            raise ValueError(f"policy selected unknown or already-scheduled task {task.name!r}")
+        start, end = link.commit(start_at, task.comm)
+        ledger.acquire(task.memory)  # release attached once the computation is placed
+        comm_start[task.name] = start
+        comm_end[task.name] = end
+        del pending[task.name]
+        placed.append(task)
+        if events is not None:
+            events.append(SimEvent(start, EventKind.MEMORY_ACQUIRE, task.name, task.memory))
+            events.append(SimEvent(start, EventKind.TRANSFER_START, task.name))
+            events.append(SimEvent(end, EventKind.TRANSFER_END, task.name))
+        place_enabled_computations()
+
+    place_enabled_computations()
+    if comp_cursor < len(comp_sequence):  # pragma: no cover - every transfer is placed
+        raise DeadlockError("computation order blocked behind an unplaced transfer")
+
+    schedule = Schedule(
+        ScheduledTask(task=t, comm_start=comm_start[t.name], comp_start=comp_start[t.name])
+        for t in placed
+    )
+    return SimulationResult(
+        schedule=schedule, trace=EventTrace(events) if events is not None else None
+    )

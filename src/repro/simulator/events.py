@@ -1,0 +1,227 @@
+"""Structured event traces emitted by the simulation kernel.
+
+A :class:`EventTrace` is the kernel's journal of one run: transfer start/end,
+computation start/end and memory acquire/release events in time order.
+Downstream consumers — the Gantt renderer, the metrics module's idle/overlap
+accounting, the sweep engine — read the trace instead of re-deriving
+timelines from the finished :class:`~repro.core.schedule.Schedule` (the
+schedule-based overlap computation is quadratic; the trace keeps everything
+at O(n log n)).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..core.schedule import MemoryEvent
+
+__all__ = ["EventKind", "SimEvent", "EventTrace"]
+
+
+class EventKind(str, Enum):
+    """What happened at one instant of a kernel run."""
+
+    TRANSFER_START = "transfer_start"
+    TRANSFER_END = "transfer_end"
+    COMPUTE_START = "compute_start"
+    COMPUTE_END = "compute_end"
+    MEMORY_ACQUIRE = "memory_acquire"
+    MEMORY_RELEASE = "memory_release"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Tie-break so that, at equal instants, completions precede the starts they
+#: enable and the log reads causally.
+_KIND_RANK = {
+    EventKind.TRANSFER_END: 0,
+    EventKind.COMPUTE_END: 1,
+    EventKind.MEMORY_RELEASE: 2,
+    EventKind.MEMORY_ACQUIRE: 3,
+    EventKind.TRANSFER_START: 4,
+    EventKind.COMPUTE_START: 5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One kernel event; ``amount`` is the memory delta for ``MEMORY_*`` kinds."""
+
+    time: float
+    kind: EventKind
+    task: str
+    amount: float = 0.0
+
+
+def _merge(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping/touching intervals (needed for parallel resources)."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class EventTrace:
+    """Time-ordered journal of one kernel run.
+
+    Derived views (interval lists, makespan, memory profile) are computed
+    lazily and cached: the sweep engine reads several of them per run record.
+    """
+
+    __slots__ = ("_events", "_memory_profile", "_intervals", "_makespan")
+
+    def __init__(self, events: Iterable[SimEvent]):
+        self._events = tuple(
+            sorted(events, key=lambda e: (e.time, _KIND_RANK[e.kind], e.task))
+        )
+        self._memory_profile: list[MemoryEvent] | None = None
+        self._intervals: dict[EventKind, list[tuple[float, float, str]]] = {}
+        self._makespan: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> SimEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> tuple[SimEvent, ...]:
+        return self._events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventTrace({len(self._events)} events, makespan={self.makespan:g})"
+
+    # ------------------------------------------------------------------ #
+    # Resource timelines
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last transfer or computation."""
+        if self._makespan is None:
+            self._makespan = max(
+                (
+                    e.time
+                    for e in self._events
+                    if e.kind in (EventKind.TRANSFER_END, EventKind.COMPUTE_END)
+                ),
+                default=0.0,
+            )
+        return self._makespan
+
+    def _paired_intervals(
+        self, start_kind: EventKind, end_kind: EventKind
+    ) -> list[tuple[float, float, str]]:
+        cached = self._intervals.get(start_kind)
+        if cached is not None:
+            return cached
+        # Pair per task rather than by event order: a zero-length interval
+        # sorts its end event before its own start event.
+        starts: dict[str, float] = {}
+        ends: dict[str, float] = {}
+        order: list[str] = []
+        for event in self._events:
+            if event.kind is start_kind:
+                starts[event.task] = event.time
+                order.append(event.task)
+            elif event.kind is end_kind:
+                ends[event.task] = event.time
+        intervals = [(starts[task], ends[task], task) for task in order]
+        self._intervals[start_kind] = intervals
+        return intervals
+
+    def transfer_intervals(self) -> list[tuple[float, float, str]]:
+        """``(start, end, task)`` for every transfer, in placement order."""
+        return self._paired_intervals(EventKind.TRANSFER_START, EventKind.TRANSFER_END)
+
+    def compute_intervals(self) -> list[tuple[float, float, str]]:
+        """``(start, end, task)`` for every computation, in placement order."""
+        return self._paired_intervals(EventKind.COMPUTE_START, EventKind.COMPUTE_END)
+
+    def busy_intervals(self, resource: str) -> list[tuple[float, float]]:
+        """Merged busy intervals of ``"communication"`` or ``"computation"``."""
+        if resource == "communication":
+            raw = self.transfer_intervals()
+        elif resource == "computation":
+            raw = self.compute_intervals()
+        else:
+            raise ValueError(f"unknown resource {resource!r}")
+        return _merge([(start, end) for start, end, _ in raw])
+
+    def idle_intervals(self, resource: str) -> list[tuple[float, float]]:
+        """Idle gaps of one resource within ``[0, makespan]``."""
+        busy = self.busy_intervals(resource)
+        horizon = self.makespan
+        gaps: list[tuple[float, float]] = []
+        cursor = 0.0
+        for start, end in busy:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if horizon > cursor:
+            gaps.append((cursor, horizon))
+        return gaps
+
+    def idle_time(self, resource: str) -> float:
+        """Total idle time of one resource within ``[0, makespan]``."""
+        return sum(end - start for start, end in self.idle_intervals(resource))
+
+    def overlap_time(self) -> float:
+        """Total time during which the link and the processor are both busy."""
+        comm = self.busy_intervals("communication")
+        comp = self.busy_intervals("computation")
+        overlap = 0.0
+        i = j = 0
+        while i < len(comm) and j < len(comp):
+            lo = max(comm[i][0], comp[j][0])
+            hi = min(comm[i][1], comp[j][1])
+            if hi > lo:
+                overlap += hi - lo
+            if comm[i][1] <= comp[j][1]:
+                i += 1
+            else:
+                j += 1
+        return overlap
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+    def memory_profile(self) -> list[MemoryEvent]:
+        """Piecewise-constant memory occupation (same shape as
+        :meth:`~repro.core.schedule.Schedule.memory_profile`)."""
+        if self._memory_profile is None:
+            deltas: dict[float, float] = {}
+            for event in self._events:
+                if event.kind in (EventKind.MEMORY_ACQUIRE, EventKind.MEMORY_RELEASE):
+                    deltas[event.time] = deltas.get(event.time, 0.0) + event.amount
+            usage = 0.0
+            profile: list[MemoryEvent] = []
+            for time in sorted(deltas):
+                usage += deltas[time]
+                if -1e-9 < usage < 0:  # clamp tiny negative rounding residue
+                    usage = 0.0
+                profile.append(MemoryEvent(time=time, usage=usage))
+            self._memory_profile = profile
+        return self._memory_profile
+
+    def peak_memory(self) -> float:
+        """Largest simultaneous memory occupation over the whole run."""
+        return max((event.usage for event in self.memory_profile()), default=0.0)
+
+    def memory_usage_at(self, time: float) -> float:
+        """Memory occupied at instant ``time`` (half-open step convention)."""
+        profile = self.memory_profile()
+        index = bisect.bisect_right([event.time for event in profile], time) - 1
+        return profile[index].usage if index >= 0 else 0.0

@@ -1,0 +1,138 @@
+"""Incremental memory ledger: amortised O(log n) acquire/release/fit queries.
+
+The seed executors re-summed every memory holder at every decision point,
+making both execution engines O(n²) in the number of tasks (multiplied across
+every capacity factor of a ``Study`` sweep).  :class:`MemoryLedger` replaces
+the re-sum with a running usage counter plus a min-heap of release events:
+advancing the clock pops due releases, and a feasibility probe walks each
+release event at most once over the whole run.
+
+Semantics are pinned byte-for-byte against the seed executors (see
+``tests/simulator/test_kernel_crosscheck.py``):
+
+* a holder with a known ``release`` time frees its memory as soon as the
+  clock reaches ``release`` (within the feasibility tolerance);
+* a holder acquired with ``release=None`` — its computation is not placed
+  yet, so its release instant is unknown — holds its memory indefinitely
+  until :meth:`MemoryLedger.set_release` attaches one;
+* the feasibility slack scales with the capacity, matching
+  ``check_schedule``'s peak-memory test: byte-scale amounts leave float dust
+  far above an absolute ``1e-9``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from ..core.validation import TOLERANCE
+
+__all__ = ["MemoryLedger"]
+
+
+class MemoryLedger:
+    """Running memory account of one simulation run.
+
+    The ledger only ever moves forward in time: once :meth:`advance` or
+    :meth:`earliest_fit` has consumed a release event, that event can never
+    matter again (memory usage is non-increasing while the link idles), which
+    is what makes the destructive heap walk correct.
+    """
+
+    __slots__ = ("capacity", "slack", "_finite", "_used", "_heap", "_deferred", "_time")
+
+    def __init__(self, capacity: float) -> None:
+        self.capacity = float(capacity)
+        self._finite = math.isfinite(self.capacity)
+        self.slack = max(TOLERANCE, TOLERANCE * self.capacity) if self._finite else TOLERANCE
+        self._used = 0.0
+        #: (release time, amount) for holders whose computation is placed.
+        self._heap: list[tuple[float, float]] = []
+        #: Total amount held by tasks whose release instant is not known yet.
+        self._deferred = 0.0
+        self._time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    @property
+    def time(self) -> float:
+        """Clock of the last advance/fit query."""
+        return self._time
+
+    @property
+    def used(self) -> float:
+        """Memory currently held (deferred holders included)."""
+        return self._used
+
+    @property
+    def available(self) -> float:
+        """Capacity minus current usage (infinite for unconstrained runs)."""
+        if not self._finite:
+            return math.inf
+        return self.capacity - self._used
+
+    def headroom(self) -> float:
+        """Largest amount that currently fits, feasibility slack included."""
+        if not self._finite:
+            return math.inf
+        return self.capacity + self.slack - self._used
+
+    def fits(self, amount: float) -> bool:
+        """Whether ``amount`` more memory fits right now."""
+        return not self._finite or self._used + amount <= self.capacity + self.slack
+
+    def next_release(self) -> float | None:
+        """Earliest pending release instant, or ``None`` when only deferred
+        holders (or nothing) remain."""
+        return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def acquire(self, amount: float, release: float | None = None) -> None:
+        """Hold ``amount`` memory until ``release`` (``None``: not known yet)."""
+        self._used += amount
+        if release is None:
+            self._deferred += amount
+        else:
+            heapq.heappush(self._heap, (release, amount))
+
+    def set_release(self, amount: float, release: float) -> None:
+        """Attach a release instant to ``amount`` of previously deferred memory."""
+        self._deferred -= amount
+        heapq.heappush(self._heap, (release, amount))
+
+    def advance(self, time: float) -> None:
+        """Move the clock to ``time``, freeing every release due by then."""
+        heap = self._heap
+        horizon = time + TOLERANCE
+        while heap and heap[0][0] <= horizon:
+            self._used -= heapq.heappop(heap)[1]
+        if time > self._time:
+            self._time = time
+
+    def earliest_fit(self, ready_time: float, amount: float) -> float:
+        """Earliest ``t >= ready_time`` at which ``amount`` more memory fits.
+
+        Memory usage is non-increasing after ``ready_time`` (the link idles
+        until the returned instant), so it suffices to test ``ready_time``
+        and each release instant in order.  Releases due by the returned time
+        are consumed.  Returns ``math.inf`` when only deferred holders remain
+        and the amount still does not fit — the run has deadlocked.
+        """
+        self.advance(ready_time)
+        if not self._finite:
+            return ready_time
+        limit = self.capacity + self.slack - amount
+        if self._used <= limit:
+            return ready_time
+        heap = self._heap
+        while heap:
+            release, held = heapq.heappop(heap)
+            self._used -= held
+            if self._used <= limit:
+                if release > self._time:
+                    self._time = release
+                return release
+        return math.inf

@@ -1,0 +1,197 @@
+"""Scheduling policies: every execution mode of the paper over one kernel.
+
+The unified kernel (:mod:`repro.simulator.engine`) asks a policy which task
+to transfer next; everything else — memory accounting, resource timelines,
+event emission — is shared.  The paper's three execution modes map to three
+policies:
+
+* :class:`FixedOrderPolicy` — static heuristics (Section 4.1) and baselines:
+  transfer the tasks in a precomputed order, idling the link until the next
+  task's memory fits;
+* :class:`CriterionPolicy` — dynamic selection (Section 4.2): among the tasks
+  that currently fit, keep those inducing the minimum idle time on the
+  computation resource and break ties with a criterion;
+* :class:`CorrectedOrderPolicy` — static order with dynamic corrections
+  (Section 4.3): follow a precomputed order while its next task fits, fall
+  back to a dynamic criterion otherwise.
+
+Policies are immutable; any run-local state (order cursors) lives in the
+``scratch`` mapping of the :class:`ExecutionState`, which the engine creates
+fresh for every run.  One policy object can therefore drive many runs — even
+concurrently — without cross-talk (the seed ``CorrectedOrderPolicy`` consumed
+an internal ``_remaining`` list and silently produced wrong schedules on
+reuse; see ``tests/simulator/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, MutableMapping, Protocol, Sequence
+
+from ..core.task import Task
+from ..core.validation import TOLERANCE
+
+__all__ = [
+    "ExecutionState",
+    "SelectionPolicy",
+    "FixedOrderPolicy",
+    "CriterionPolicy",
+    "CorrectedOrderPolicy",
+    "minimum_idle_filter",
+    "largest_communication",
+    "smallest_communication",
+    "maximum_acceleration",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionState:
+    """Snapshot handed to selection policies at each decision point.
+
+    ``scratch`` is a mutable mapping owned by the engine and shared across
+    all decision points of one run; policies keep run-local state (cursors,
+    caches) there instead of on themselves, so a policy object can be reused
+    across runs safely.
+    """
+
+    time: float
+    available_memory: float
+    comm_available: float
+    comp_available: float
+    scheduled: tuple[str, ...]
+    scratch: MutableMapping = field(default_factory=dict)
+
+    def induced_idle(self, task: Task) -> float:
+        """Idle time forced on the computation resource if ``task`` is started now."""
+        return max(0.0, self.time + task.comm - self.comp_available)
+
+
+class SelectionPolicy(Protocol):
+    """Chooses the next transfer among the tasks that currently fit in memory."""
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        """Return the task to transfer next; ``candidates`` is never empty."""
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Selection criteria (Section 4.2)
+# --------------------------------------------------------------------------- #
+def largest_communication(task: Task) -> tuple[float, str]:
+    """LCMR criterion key: prefer the largest communication time."""
+    return (-task.comm, task.name)
+
+
+def smallest_communication(task: Task) -> tuple[float, str]:
+    """SCMR criterion key: prefer the smallest communication time."""
+    return (task.comm, task.name)
+
+
+def maximum_acceleration(task: Task) -> tuple[float, str]:
+    """MAMR criterion key: prefer the largest computation/communication ratio."""
+    return (-task.acceleration, task.name)
+
+
+def minimum_idle_filter(candidates: Sequence[Task], state: ExecutionState) -> list[Task]:
+    """Candidates inducing the minimum idle time on the computation resource."""
+    # Inline induced_idle (max(0, time + comm - comp_available)): this filter
+    # runs at every decision point of every dynamic schedule, so it must not
+    # pay two method calls per candidate.
+    threshold = state.comp_available - state.time
+    best = math.inf
+    for task in candidates:
+        idle = task.comm - threshold
+        if idle < best:
+            best = idle
+    cutoff = max(best, 0.0) + TOLERANCE
+    return [task for task in candidates if task.comm - threshold <= cutoff]
+
+
+# --------------------------------------------------------------------------- #
+# Policies
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FixedOrderPolicy:
+    """Transfer the tasks in a fixed order, idling the link while the next
+    task's memory does not fit (Section 4.1 execution semantics).
+
+    The engine recognises :attr:`waits_for_memory` and, instead of offering
+    the currently-fitting candidates, asks the memory ledger for the earliest
+    instant at which the chosen task fits — so a fixed-order run never
+    enumerates candidates and stays O(n log n).
+    """
+
+    tasks: tuple[Task, ...]
+    name: str = "fixed-order"
+
+    #: The engine must wait for the chosen task's memory rather than offer
+    #: only fitting candidates.
+    waits_for_memory: ClassVar[bool] = True
+
+    _CURSOR: ClassVar[str] = "fixed_order_cursor"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        cursor = state.scratch.get(self._CURSOR, 0)
+        state.scratch[self._CURSOR] = cursor + 1
+        return self.tasks[cursor]
+
+
+@dataclass(frozen=True)
+class CriterionPolicy:
+    """Pure dynamic selection: minimum-idle filter, then a criterion key.
+
+    ``criterion`` maps a task to a sort key; the task with the smallest key
+    among the minimum-idle candidates is selected (ties broken by name inside
+    the key functions, keeping runs deterministic).
+    """
+
+    criterion: Callable[[Task], tuple[float, str]]
+    name: str = "criterion"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        filtered = minimum_idle_filter(candidates, state)
+        return min(filtered, key=self.criterion)
+
+
+@dataclass(frozen=True)
+class CorrectedOrderPolicy:
+    """Static order followed when possible, corrected dynamically otherwise.
+
+    The next not-yet-scheduled task of ``order`` is started whenever it fits
+    in the available memory.  When it does not fit, a task is chosen among
+    the fitting ones by the minimum-idle filter followed by ``criterion``,
+    and the static order is updated by removing the chosen task
+    (Section 4.3).  The order cursor lives in the run's scratch space, so the
+    policy object itself is reusable.
+    """
+
+    order: Sequence[str]
+    criterion: Callable[[Task], tuple[float, str]]
+    name: str = "corrected"
+
+    _CURSOR: ClassVar[str] = "corrected_cursor"
+    _DONE: ClassVar[str] = "corrected_done"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        scratch = state.scratch
+        done = scratch.get(self._DONE)
+        if done is None:
+            done = scratch[self._DONE] = set(state.scheduled)
+        order = self.order
+        cursor = scratch.get(self._CURSOR, 0)
+        while cursor < len(order) and order[cursor] in done:
+            cursor += 1
+        scratch[self._CURSOR] = cursor
+        chosen: Task | None = None
+        if cursor < len(order):
+            head = order[cursor]
+            for task in candidates:
+                if task.name == head:
+                    chosen = task
+                    break
+        if chosen is None:
+            filtered = minimum_idle_filter(candidates, state)
+            chosen = min(filtered, key=self.criterion)
+        done.add(chosen.name)
+        return chosen

@@ -1,0 +1,125 @@
+"""Pluggable resource models: availability timelines for link and processor.
+
+The paper's machine has exactly one communication link and one processing
+unit, each handling one interval at a time.  The kernel only ever talks to a
+resource through two operations — *when is the resource next free* and
+*commit an interval* — so richer machines (``k`` parallel transfer links, a
+multi-core processing unit, a capacity override for what-if sweeps) plug in
+without touching the engine or the policies.  :class:`MachineModel` bundles
+the choices and is exposed as the ``machine`` engine option on
+:func:`repro.solve` and :class:`repro.api.Study`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ResourceModel", "UnitResource", "ParallelResource", "MachineModel", "DEFAULT_MACHINE"]
+
+
+@runtime_checkable
+class ResourceModel(Protocol):
+    """Availability timeline of one renewable resource."""
+
+    def next_free(self) -> float:
+        """Earliest instant at which the resource can start new work."""
+        ...
+
+    def commit(self, ready: float, duration: float) -> tuple[float, float]:
+        """Book ``duration`` units starting no earlier than ``ready``.
+
+        Returns the booked ``(start, end)`` interval; ``start`` is the
+        earliest feasible instant ``>= ready``.
+        """
+        ...
+
+
+class UnitResource:
+    """One server processing one interval at a time (the paper's machine)."""
+
+    __slots__ = ("_available",)
+
+    def __init__(self) -> None:
+        self._available = 0.0
+
+    def next_free(self) -> float:
+        return self._available
+
+    def commit(self, ready: float, duration: float) -> tuple[float, float]:
+        start = ready if ready > self._available else self._available
+        end = start + duration
+        self._available = end
+        return start, end
+
+
+class ParallelResource:
+    """``count`` identical servers; work goes to the earliest-free one."""
+
+    __slots__ = ("_free",)
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"resource needs at least one server, got {count}")
+        self._free = [0.0] * count
+
+    def next_free(self) -> float:
+        return self._free[0]
+
+    def commit(self, ready: float, duration: float) -> tuple[float, float]:
+        start = max(ready, self._free[0])
+        heapq.heapreplace(self._free, start + duration)
+        return start, start + duration
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Machine description handed to the simulation kernel.
+
+    The defaults describe the paper's machine exactly — one transfer at a
+    time, one computation at a time, the instance's own memory capacity — and
+    the kernel reproduces the seed executors byte-for-byte under them.
+
+    Parameters
+    ----------
+    link_count:
+        Number of parallel communication links (transfers may overlap when
+        greater than one).
+    cpu_count:
+        Number of parallel processing units.
+    capacity:
+        Memory-capacity override; ``None`` keeps the instance's capacity.
+        Leave unset in ``Study`` capacity sweeps (it would override every
+        swept capacity).
+    """
+
+    link_count: int = 1
+    cpu_count: int = 1
+    capacity: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.link_count < 1:
+            raise ValueError(f"link_count must be at least 1, got {self.link_count}")
+        if self.cpu_count < 1:
+            raise ValueError(f"cpu_count must be at least 1, got {self.cpu_count}")
+        if self.capacity is not None and not self.capacity > 0:
+            raise ValueError(f"capacity override must be positive, got {self.capacity}")
+
+    @property
+    def is_paper_machine(self) -> bool:
+        """True for the single-link, single-unit machine of the paper."""
+        return self.link_count == 1 and self.cpu_count == 1 and self.capacity is None
+
+    def effective_capacity(self, instance_capacity: float) -> float:
+        return instance_capacity if self.capacity is None else self.capacity
+
+    def build_link(self) -> ResourceModel:
+        return UnitResource() if self.link_count == 1 else ParallelResource(self.link_count)
+
+    def build_cpu(self) -> ResourceModel:
+        return UnitResource() if self.cpu_count == 1 else ParallelResource(self.cpu_count)
+
+
+#: The paper's machine: one link, one processing unit, instance capacity.
+DEFAULT_MACHINE = MachineModel()

@@ -1,4 +1,4 @@
-"""Executors that turn a *fixed* task order into a feasible schedule.
+"""Fixed-order execution — thin wrappers over the unified kernel.
 
 The static heuristics of Section 4.1 (and the Gilmore–Gomory / bin-packing
 baselines of Section 4.4) all work the same way: an order is computed up
@@ -12,78 +12,23 @@ examples (Figure 4) pin down the semantics exactly:
 * its computation starts as soon as both its transfer and the ``k-1``-th
   computation are done (same order on both resources).
 
-:func:`execute_two_orders` generalises this to distinct communication and
-computation orders; it is only needed by the Proposition 1 reproduction and by
-the MILP post-processing.
+Both entry points are now expressed as a :class:`FixedOrderPolicy` over
+:func:`repro.simulator.engine.simulate`; :func:`execute_two_orders`
+additionally fixes the computation order (only needed by the Proposition 1
+reproduction and the MILP post-processing).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..core.instance import Instance
-from ..core.schedule import Schedule, ScheduledTask
+from ..core.schedule import Schedule
 from ..core.task import Task
-from ..core.validation import TOLERANCE
+from .engine import DeadlockError, InfeasibleOrderError, resolve_order, simulate
+from .policies import FixedOrderPolicy
 
 __all__ = ["execute_fixed_order", "execute_two_orders", "InfeasibleOrderError"]
-
-
-class InfeasibleOrderError(ValueError):
-    """Raised when a task cannot be scheduled at all (footprint exceeds capacity)."""
-
-
-def _resolve_order(instance: Instance, order: Sequence[Task] | Sequence[str] | None) -> list[Task]:
-    if order is None:
-        return list(instance.tasks)
-    lookup = instance.by_name()
-    resolved: list[Task] = []
-    for item in order:
-        if isinstance(item, Task):
-            resolved.append(item)
-        else:
-            resolved.append(lookup[item])
-    if len(resolved) != len(instance) or {t.name for t in resolved} != set(instance.task_names):
-        raise ValueError("order must contain every instance task exactly once")
-    return resolved
-
-
-def _earliest_memory_feasible_start(
-    ready_time: float,
-    memory_needed: float,
-    capacity: float,
-    holders: Iterable[tuple[float, float]],
-) -> float:
-    """Earliest ``t >= ready_time`` at which ``memory_needed`` more memory fits.
-
-    ``holders`` lists ``(release_time, amount)`` pairs for memory currently
-    held; an infinite release time means the holder never releases within the
-    horizon considered (used for tasks whose computation is not yet placed).
-    Memory usage is non-increasing after ``ready_time``, so it suffices to test
-    ``ready_time`` and each release instant.
-    """
-    if not math.isfinite(capacity):
-        return ready_time
-    # Memory amounts can be physical byte counts (1e7+), so the feasibility
-    # slack must scale with the capacity: summing/subtracting holder amounts
-    # leaves float dust far above an absolute 1e-9 (same convention as
-    # check_schedule's peak-memory test).
-    slack = max(TOLERANCE, TOLERANCE * capacity)
-    active = [(release, amount) for release, amount in holders if release > ready_time + TOLERANCE]
-    used = sum(amount for _, amount in active)
-    if used + memory_needed <= capacity + slack:
-        return ready_time
-    for release, amount in sorted(active):
-        used -= amount
-        if not math.isfinite(release):
-            break
-        if used + memory_needed <= capacity + slack:
-            return release
-    if used + memory_needed <= capacity + slack:
-        # All finite holders released; only infinite holders remain.
-        return math.inf
-    return math.inf
 
 
 def execute_fixed_order(
@@ -95,33 +40,8 @@ def execute_fixed_order(
     strategy).  Raises :class:`InfeasibleOrderError` when a single task does
     not fit in the memory capacity (in which case no order is feasible).
     """
-    tasks = _resolve_order(instance, order)
-    capacity = instance.capacity
-    for task in tasks:
-        if task.memory > capacity + TOLERANCE:
-            raise InfeasibleOrderError(
-                f"task {task.name!r} needs {task.memory:g} memory but capacity is {capacity:g}"
-            )
-
-    comm_available = 0.0
-    comp_available = 0.0
-    entries: list[ScheduledTask] = []
-    # (release_time, amount) for every already-placed task; release = comp end.
-    holders: list[tuple[float, float]] = []
-
-    for task in tasks:
-        start = _earliest_memory_feasible_start(comm_available, task.memory, capacity, holders)
-        if not math.isfinite(start):  # pragma: no cover - defensive, cannot happen here
-            raise InfeasibleOrderError(f"task {task.name!r} can never acquire its memory")
-        comm_start = start
-        comm_end = comm_start + task.comm
-        comp_start = max(comm_end, comp_available)
-        entries.append(ScheduledTask(task=task, comm_start=comm_start, comp_start=comp_start))
-        comm_available = comm_end
-        comp_available = comp_start + task.comp
-        holders.append((comp_available, task.memory))
-
-    return Schedule(entries)
+    tasks = resolve_order(instance, order)
+    return simulate(instance, FixedOrderPolicy(tuple(tasks))).schedule
 
 
 def execute_two_orders(
@@ -135,48 +55,11 @@ def execute_two_orders(
     capacity (the next transfer cannot fit until a computation that is ordered
     *after* a not-yet-transferred task completes).
     """
-    comm_tasks = _resolve_order(instance, comm_order)
-    comp_tasks = _resolve_order(instance, comp_order)
-    capacity = instance.capacity
-    for task in comm_tasks:
-        if task.memory > capacity + TOLERANCE:
-            raise InfeasibleOrderError(
-                f"task {task.name!r} needs {task.memory:g} memory but capacity is {capacity:g}"
-            )
-
-    comm_start: dict[str, float] = {}
-    comp_start: dict[str, float] = {}
-    comp_end: dict[str, float] = {}
-    comm_available = 0.0
-    comp_available = 0.0
-    comm_index = 0
-    comp_index = 0
-    n = len(comm_tasks)
-
-    while comp_index < n:
-        next_comp = comp_tasks[comp_index]
-        if next_comp.name in comm_start:
-            start = max(comm_start[next_comp.name] + next_comp.comm, comp_available)
-            comp_start[next_comp.name] = start
-            comp_end[next_comp.name] = start + next_comp.comp
-            comp_available = start + next_comp.comp
-            comp_index += 1
-            continue
-        if comm_index >= n:
-            return None
-        task = comm_tasks[comm_index]
-        holders = [
-            (comp_end.get(name, math.inf), instance[name].memory) for name in comm_start
-        ]
-        start = _earliest_memory_feasible_start(comm_available, task.memory, capacity, holders)
-        if not math.isfinite(start):
-            return None
-        comm_start[task.name] = start
-        comm_available = start + task.comm
-        comm_index += 1
-
-    entries = [
-        ScheduledTask(task=task, comm_start=comm_start[task.name], comp_start=comp_start[task.name])
-        for task in comm_tasks
-    ]
-    return Schedule(entries)
+    comm_tasks = resolve_order(instance, comm_order)
+    comp_tasks = resolve_order(instance, comp_order)
+    try:
+        return simulate(
+            instance, FixedOrderPolicy(tuple(comm_tasks)), comp_order=comp_tasks
+        ).schedule
+    except DeadlockError:
+        return None

@@ -1,11 +1,12 @@
 """Plain-text visualisation: Gantt charts and boxplot/series tables."""
 
 from .boxplot import render_box_line, render_series_table, render_summary_table
-from .gantt import GanttOptions, render_gantt
+from .gantt import GanttOptions, render_event_log, render_gantt
 
 __all__ = [
     "GanttOptions",
     "render_box_line",
+    "render_event_log",
     "render_gantt",
     "render_series_table",
     "render_summary_table",

@@ -1,19 +1,27 @@
-"""ASCII Gantt charts for schedules (Figures 2-6 of the paper).
+"""ASCII Gantt charts for schedules and kernel traces (Figures 2-6).
 
 The paper illustrates every heuristic family with small two-row Gantt charts:
 one row for the communication link, one for the processing unit.  This module
 renders the same view in plain text so the examples and benchmark logs can
 show schedules without any plotting dependency.
+
+:func:`render_gantt` accepts either a finished
+:class:`~repro.core.schedule.Schedule` or the kernel's structured
+:class:`~repro.simulator.events.EventTrace` (from ``solve(...,
+record_events=True)``); with a trace, the lanes and memory profile are read
+straight from the event journal instead of being re-derived from the
+schedule, and parallel-link timelines render faithfully.
+:func:`render_event_log` prints the raw journal.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..core.schedule import Schedule
+from ..simulator.events import EventTrace
 
-__all__ = ["render_gantt", "GanttOptions"]
+__all__ = ["render_gantt", "render_event_log", "GanttOptions"]
 
 
 @dataclass(frozen=True)
@@ -53,18 +61,30 @@ def _lane(
     return "".join(lane)
 
 
-def render_gantt(schedule: Schedule, *, options: GanttOptions | None = None) -> str:
-    """Render ``schedule`` as a two-lane (plus optional memory) text chart."""
+def _timelines(source: Schedule | EventTrace):
+    """``(comm segments, comp segments, task count)`` of either source."""
+    if isinstance(source, EventTrace):
+        comm = source.transfer_intervals()
+        comp = source.compute_intervals()
+        count = len({name for _, _, name in comm})
+        return [s for s in comm if s[1] > s[0]], [s for s in comp if s[1] > s[0]], count
+    comm = [(e.comm_start, e.comm_end, e.name) for e in source if e.task.comm > 0]
+    comp = [(e.comp_start, e.comp_end, e.name) for e in source if e.task.comp > 0]
+    return comm, comp, len(source)
+
+
+def render_gantt(
+    source: Schedule | EventTrace, *, options: GanttOptions | None = None
+) -> str:
+    """Render a schedule or kernel trace as a two-lane (plus memory) chart."""
     options = options or GanttOptions()
-    if len(schedule) == 0:
+    comm_segments, comp_segments, task_count = _timelines(source)
+    if task_count == 0:
         return "(empty schedule)"
-    makespan = schedule.makespan
+    makespan = source.makespan
     if makespan <= 0:
         return "(zero-length schedule)"
     columns = options.width - options.label_width - 2
-
-    comm_segments = [(e.comm_start, e.comm_end, e.name) for e in schedule if e.task.comm > 0]
-    comp_segments = [(e.comp_start, e.comp_end, e.name) for e in schedule if e.task.comp > 0]
 
     lines = []
     header = f"{'makespan':<{options.label_width}}| {makespan:g}"
@@ -77,16 +97,14 @@ def render_gantt(schedule: Schedule, *, options: GanttOptions | None = None) -> 
     )
 
     if options.show_memory:
-        profile = schedule.memory_profile()
-        peak = max((event.usage for event in profile), default=0.0)
+        peak = source.peak_memory()
         if peak > 0:
             levels = " .:-=+*#%@"
             cells = []
             for column in range(columns):
                 time = column / (columns - 1) * makespan
-                usage = schedule.memory_usage_at(min(time, makespan - 1e-12))
-                index = int(round(usage / peak * (len(levels) - 1)))
-                cells.append(levels[index])
+                usage = source.memory_usage_at(min(time, makespan - 1e-12))
+                cells.append(levels[int(round(usage / peak * (len(levels) - 1)))])
             lines.append(f"{'memory':<{options.label_width}}| {''.join(cells)}")
             lines.append(f"{'peak memory':<{options.label_width}}| {peak:g}")
 
@@ -95,4 +113,22 @@ def render_gantt(schedule: Schedule, *, options: GanttOptions | None = None) -> 
     tick_times = [makespan * i / (ticks - 1) for i in range(ticks)]
     axis = " ".join(f"{t:g}" for t in tick_times)
     lines.append(f"{'time ticks':<{options.label_width}}| {axis}")
+    return "\n".join(lines)
+
+
+def render_event_log(trace: EventTrace, *, limit: int | None = None) -> str:
+    """Render the kernel's event journal, one line per event.
+
+    ``limit`` truncates long journals (an ellipsis line reports how many
+    events were dropped).
+    """
+    events = trace.events
+    shown = events if limit is None else events[:limit]
+    lines = [
+        f"{event.time:>10g}  {event.kind.value:<15} {event.task}"
+        + (f"  ({event.amount:+g} memory)" if event.amount else "")
+        for event in shown
+    ]
+    if limit is not None and len(events) > limit:
+        lines.append(f"... {len(events) - limit} more event(s)")
     return "\n".join(lines)
