@@ -1,0 +1,140 @@
+"""Online execution modes — offline vs barrier-batch vs pipelined-batch vs
+fully-online, across capacity factors.
+
+Four ways to run the same task stream through the kernel:
+
+* **offline** — the paper's model: every task visible up front;
+* **barrier** — Section 6.3 batches: the machine drains between batches;
+* **pipelined** — batches without the drain barrier: the next batch's
+  transfers start as soon as link and memory allow;
+* **online** — streaming arrivals (Poisson at a fixed load): the scheduler
+  only ever sees the arrived tasks.
+
+The table reports the makespan of each mode (and the online mode's mean
+response time) per capacity factor and heuristic.  Pipelined <= barrier is
+asserted per fixed-order heuristic (a theorem: identical transfer order,
+every event only moves earlier) and on average across every row, and the
+full-scale table is recorded to ``benchmarks/results/online_modes.txt``.
+
+Offline is *not* asserted as a floor for every heuristic: re-planned orders
+(OOSIM's per-batch Johnson) can beat their own global plan under tight
+memory, because short windows never over-commit the ledger — visible in the
+factor-1.0 rows of the recorded table.  Only OS, whose order is the
+submission order in every mode, has offline == pipelined by construction.
+
+``REPRO_SCALE=ci`` (the CI smoke step) uses a smaller stream and skips the
+table write so the recorded full-scale table is never clobbered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import RESULTS_DIR
+from repro.api import solve
+from repro.core import Instance, Task
+from repro.experiments.config import scaled_config
+from repro.simulator import PoissonArrivals
+
+#: (task count, batch size) per scale.
+CI_SHAPE = (120, 20)
+FULL_SHAPE = (400, 50)
+
+#: Capacity factors swept (multiples of the largest footprint).
+CAPACITY_FACTORS = (1.0, 1.25, 1.5, 2.0)
+
+#: Heuristics compared: one per category (submission / static / dynamic /
+#: corrected) plus Johnson's offline-optimal order.
+HEURISTICS = ("OS", "OOSIM", "DOCCS", "LCMR", "OOMAMR")
+
+#: Fixed-transfer-order heuristics, for which pipelined <= barrier is a
+#: theorem (same order, every event only moves earlier).
+FIXED_ORDER = ("OS", "OOSIM", "DOCCS")
+
+#: Submission pressure of the fully-online mode.
+ONLINE_LOAD = 1.5
+
+
+def make_instance(n: int, seed: int = 42) -> Instance:
+    """A mixed-intensity stream with memory decoupled from transfer time."""
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            f"t{i:04d}",
+            float(rng.uniform(0.1, 10.0)),
+            float(rng.uniform(0.1, 10.0)),
+            memory=float(rng.uniform(0.1, 10.0)),
+        )
+        for i in range(n)
+    ]
+    return Instance(tasks, capacity=max(t.memory for t in tasks), name=f"bench/n{n}")
+
+
+def run_modes(instance: Instance, heuristic: str, batch_size: int) -> dict[str, float]:
+    offline = solve(instance, heuristic)
+    barrier = solve(instance, heuristic, batch_size=batch_size)
+    pipelined = solve(instance, heuristic, batch_size=batch_size, pipelined=True)
+    online = solve(
+        instance, heuristic, arrivals=PoissonArrivals(load=ONLINE_LOAD), arrival_seed=7
+    )
+    return {
+        "offline": offline.makespan,
+        "barrier": barrier.makespan,
+        "pipelined": pipelined.makespan,
+        "online": online.makespan,
+        "online_response": online.online.mean_response_time,
+    }
+
+
+def test_online_modes():
+    scale_is_ci = scaled_config() is scaled_config("ci")
+    n, batch_size = CI_SHAPE if scale_is_ci else FULL_SHAPE
+    base = make_instance(n)
+    lines = [
+        f"Online execution modes: makespan per mode (n={n}, batch={batch_size}, "
+        f"Poisson load={ONLINE_LOAD})",
+        "",
+        f"{'cap':>5} {'heuristic':<8} {'offline':>9} {'barrier':>9} "
+        f"{'pipelined':>9} {'online':>9} {'resp':>8}",
+    ]
+    rows: list[tuple[str, dict[str, float]]] = []
+    for factor in CAPACITY_FACTORS:
+        instance = base.with_capacity_factor(factor)
+        for heuristic in HEURISTICS:
+            modes = run_modes(instance, heuristic, batch_size)
+            rows.append((heuristic, modes))
+            lines.append(
+                f"{factor:>5.2f} {heuristic:<8} {modes['offline']:>9.1f} "
+                f"{modes['barrier']:>9.1f} {modes['pipelined']:>9.1f} "
+                f"{modes['online']:>9.1f} {modes['online_response']:>8.1f}"
+            )
+            # Dropping the drain barrier never hurts a fixed transfer order.
+            if heuristic in FIXED_ORDER:
+                assert modes["pipelined"] <= modes["barrier"] + 1e-9, heuristic
+            # OS keeps the submission order in every mode, so its pipelined
+            # run degenerates to the offline one.
+            if heuristic == "OS":
+                assert modes["pipelined"] == modes["offline"]
+
+    barrier_mean = sum(m["barrier"] for _, m in rows) / len(rows)
+    pipelined_mean = sum(m["pipelined"] for _, m in rows) / len(rows)
+    lines += [
+        "",
+        f"mean barrier   makespan: {barrier_mean:9.1f}",
+        f"mean pipelined makespan: {pipelined_mean:9.1f} "
+        f"({100 * (1 - pipelined_mean / barrier_mean):.1f}% less)",
+    ]
+    report = "\n".join(lines)
+    print()
+    print(report)
+
+    # The recorded headline: pipelining beats the barrier on average.
+    assert pipelined_mean < barrier_mean
+
+    if not scale_is_ci:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "online_modes.txt").write_text(report + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    test_online_modes()

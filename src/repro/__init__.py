@@ -68,6 +68,7 @@ from .api import (
 )
 from .core import (
     Instance,
+    OnlineMetrics,
     Schedule,
     ScheduledTask,
     ScheduleMetrics,
@@ -75,22 +76,28 @@ from .core import (
     bounds,
     check_schedule,
     evaluate,
+    evaluate_online,
     omim,
     ratio_to_optimal,
     validate_schedule,
 )
 from .heuristics import Category, Heuristic, all_heuristics, get_heuristic
 from .simulator import (
+    BurstyArrivals,
     EventTrace,
     MachineModel,
+    PoissonArrivals,
     SimulationResult,
+    TraceReplayArrivals,
     execute_fixed_order,
     execute_in_batches,
     execute_with_policy,
+    run_online,
     simulate,
+    simulate_in_batches,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Task",
@@ -131,5 +138,13 @@ __all__ = [
     "omim",
     "ratio_to_optimal",
     "validate_schedule",
+    # streaming runtime
+    "BurstyArrivals",
+    "OnlineMetrics",
+    "PoissonArrivals",
+    "TraceReplayArrivals",
+    "evaluate_online",
+    "run_online",
+    "simulate_in_batches",
     "__version__",
 ]

@@ -13,14 +13,16 @@ from __future__ import annotations
 
 import math
 import os
+import zlib
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.instance import Instance
-from ..core.metrics import evaluate
+from ..core.metrics import evaluate, evaluate_online
 from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
-from ..simulator.batch import execute_in_batches
+from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
+from ..simulator.batch import simulate_in_batches
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 from .registry import Solver, resolve_solvers
@@ -37,6 +39,15 @@ def default_jobs() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def _arrival_seed(seed: int, label: str) -> list[int]:
+    """Deterministic per-trace arrival RNG seed, stable across processes.
+
+    Every capacity factor of one trace reuses the same arrival pattern; two
+    traces of one sweep get independent patterns.
+    """
+    return [seed, zlib.crc32(label.encode("utf-8"))]
+
+
 def run_solvers_on_instance(
     instance: Instance,
     solvers: Sequence[Solver],
@@ -46,28 +57,39 @@ def run_solvers_on_instance(
     application: str = "",
     capacity_factor: float = float("nan"),
     batch_size: int | None = None,
+    pipelined: bool = False,
     machine: MachineModel | None = None,
 ) -> list[RunRecord]:
     """Run every solver on one instance and return the measurements.
 
-    ``batch_size`` switches to the Section 6.3 batched execution mode, where a
-    solver is applied to successive windows of the submission order.
-    ``machine`` selects a custom machine model (kernel-backed solvers only).
-    Kernel-backed solvers run with event recording on, so the metrics are
-    read from the structured trace instead of re-derived from the schedule.
+    ``batch_size`` switches to the Section 6.3 batched execution mode, where
+    a solver is applied to successive windows of the submission order
+    (``pipelined=True`` drops the drain barrier between windows); instances
+    whose tasks carry release dates run on the streaming runtime and fill
+    the online measurement columns.  ``machine`` selects a custom machine
+    model (kernel-backed solvers only).  Kernel-backed solvers run with
+    event recording on, so the metrics are read from the structured trace
+    instead of re-derived from the schedule.
     """
     reference = omim_makespan(instance) if reference is None else reference
     application = application or instance.name.split("/")[0] or ADHOC_APPLICATION
+    online = instance.has_releases
     records = []
     for solver in solvers:
         trace = None
+        runs_on_kernel = bool(getattr(solver, "runs_on_kernel", False))
         if batch_size is not None:
-            if machine is not None:
-                raise ValueError("batched execution does not support machine models")
-            schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
+            result = simulate_in_batches(
+                instance,
+                solver,
+                batch_size=batch_size,
+                pipelined=pipelined,
+                machine=machine,
+                record=runs_on_kernel,
+            )
+            schedule, trace = result.schedule, result.trace
         elif hasattr(solver, "simulate"):
-            record = bool(getattr(solver, "runs_on_kernel", False))
-            result = solver.simulate(instance, machine=machine, record=record)
+            result = solver.simulate(instance, machine=machine, record=runs_on_kernel)
             schedule, trace = result.schedule, result.trace
         else:
             if machine is not None:
@@ -80,6 +102,7 @@ def run_solvers_on_instance(
         metrics = evaluate(
             schedule, instance, heuristic=solver.name, reference=reference, trace=trace
         )
+        online_metrics = evaluate_online(schedule) if online else None
         records.append(
             RunRecord(
                 application=application,
@@ -92,6 +115,13 @@ def run_solvers_on_instance(
                 omim=metrics.omim,
                 ratio_to_optimal=metrics.ratio_to_optimal,
                 task_count=len(instance),
+                mean_response_time=(
+                    online_metrics.mean_response_time if online_metrics else math.nan
+                ),
+                mean_stretch=online_metrics.mean_stretch if online_metrics else math.nan,
+                avg_queue_length=(
+                    online_metrics.avg_queue_length if online_metrics else math.nan
+                ),
             )
         )
     return records
@@ -115,27 +145,45 @@ def _sweep_one_trace(
     solver_specs: Sequence,
     validate: bool,
     batch_size: int | None,
+    pipelined: bool,
     task_limit: int | None,
     machine: MachineModel | None,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None",
+    arrival_seed: int,
 ) -> list[RunRecord]:
-    """Capacity sweep of one trace; the OMIM reference is computed once."""
+    """Capacity sweep of one trace; the OMIM reference is computed once.
+
+    With ``arrivals``, the release dates are sampled once per trace (seeded
+    by the trace label) and reused by every capacity factor, so the factors
+    compare scheduling decisions, not arrival luck.
+    """
     trace = _limit_trace(trace, task_limit)
     # Fresh solver instances per trace job: named/class specs re-instantiate,
     # so concurrent jobs never share solver state.
     solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
-    reference = omim_makespan(trace.to_instance())
+    base = trace.to_instance()
+    releases = None
+    if arrivals is not None:
+        releases = resolve_arrivals(
+            arrivals, base.tasks, seed=_arrival_seed(arrival_seed, trace.label)
+        )
+    reference = omim_makespan(base)
     mc = trace.min_capacity_bytes
     records: list[RunRecord] = []
     for factor in capacity_factors:
+        instance = trace.to_instance(mc * factor)
+        if releases is not None:
+            instance = instance.with_releases(releases)
         records.extend(
             run_solvers_on_instance(
-                trace.to_instance(mc * factor),
+                instance,
                 solvers,
                 reference=reference,
                 validate=validate,
                 application=trace.application,
                 capacity_factor=factor,
                 batch_size=batch_size,
+                pipelined=pipelined,
                 machine=machine,
             )
         )
@@ -161,9 +209,12 @@ def sweep_traces(
     solver_specs: Sequence = (),
     validate: bool = True,
     batch_size: int | None = None,
+    pipelined: bool = False,
     task_limit: int | None = None,
     n_jobs: int | None = None,
     machine: MachineModel | None = None,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
+    arrival_seed: int = 0,
 ) -> ResultSet:
     """Capacity sweep of every solver over every trace of ``sources``.
 
@@ -178,6 +229,13 @@ def sweep_traces(
             "machine.capacity would override every swept capacity; "
             "leave it unset in capacity sweeps (sweep capacity_factors instead)"
         )
+    if arrivals is not None and batch_size is not None:
+        raise ValueError(
+            "arrivals and batched execution cannot be combined: streaming "
+            "generalises batching — pick one execution mode"
+        )
+    if pipelined and batch_size is None:
+        raise ValueError("pipelined=True requires a batch_size")
     for factor in capacity_factors:
         if not (factor > 0 or math.isnan(factor)):
             raise ValueError(f"capacity factors must be positive, got {factor!r}")
@@ -189,8 +247,11 @@ def sweep_traces(
             solver_specs=solver_specs,
             validate=validate,
             batch_size=batch_size,
+            pipelined=pipelined,
             task_limit=task_limit,
             machine=machine,
+            arrivals=arrivals,
+            arrival_seed=arrival_seed,
         )
 
     workers = default_jobs() if n_jobs in (0, -1) else n_jobs
@@ -208,16 +269,39 @@ def sweep_instances(
     solver_specs: Sequence = (),
     validate: bool = True,
     batch_size: int | None = None,
+    pipelined: bool = False,
     n_jobs: int | None = None,
     machine: MachineModel | None = None,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
+    arrival_seed: int = 0,
 ) -> ResultSet:
     """Run the solvers on raw instances at their own capacity (no factor sweep)."""
     instances = list(instances)
+    if arrivals is not None and batch_size is not None:
+        raise ValueError(
+            "arrivals and batched execution cannot be combined: streaming "
+            "generalises batching — pick one execution mode"
+        )
+    if pipelined and batch_size is None:
+        raise ValueError("pipelined=True requires a batch_size")
 
     def job(instance: Instance) -> list[RunRecord]:
         solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
+        if arrivals is not None:
+            instance = instance.with_releases(
+                resolve_arrivals(
+                    arrivals,
+                    instance.tasks,
+                    seed=_arrival_seed(arrival_seed, instance.name),
+                )
+            )
         return run_solvers_on_instance(
-            instance, solvers, validate=validate, batch_size=batch_size, machine=machine
+            instance,
+            solvers,
+            validate=validate,
+            batch_size=batch_size,
+            pipelined=pipelined,
+            machine=machine,
         )
 
     workers = default_jobs() if n_jobs in (0, -1) else n_jobs

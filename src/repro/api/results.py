@@ -23,7 +23,12 @@ __all__ = ["RunRecord", "ResultSet"]
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One (trace, capacity, solver) measurement — the row view of a ResultSet."""
+    """One (trace, capacity, solver) measurement — the row view of a ResultSet.
+
+    The three online columns (mean response time, mean stretch,
+    time-averaged queue length) are populated by arrival-aware sweeps and
+    stay ``nan`` for offline runs.
+    """
 
     application: str
     trace: str
@@ -35,6 +40,9 @@ class RunRecord:
     omim: float
     ratio_to_optimal: float
     task_count: int
+    mean_response_time: float = math.nan
+    mean_stretch: float = math.nan
+    avg_queue_length: float = math.nan
 
     @property
     def key(self) -> tuple[str, float]:
@@ -53,11 +61,19 @@ COLUMNS: tuple[str, ...] = (
     "omim",
     "ratio_to_optimal",
     "task_count",
+    "mean_response_time",
+    "mean_stretch",
+    "avg_queue_length",
+)
+
+#: Online columns may be absent from pre-streaming dumps; loaders fill nan.
+_ONLINE_COLUMNS = frozenset(
+    {"mean_response_time", "mean_stretch", "avg_queue_length"}
 )
 
 _FLOAT_COLUMNS = frozenset(
     {"capacity_factor", "capacity", "makespan", "omim", "ratio_to_optimal"}
-)
+) | _ONLINE_COLUMNS
 _INT_COLUMNS = frozenset({"task_count"})
 
 #: Named reducers accepted by :meth:`ResultSet.aggregate`.
@@ -121,19 +137,27 @@ class ResultSet:
 
     @classmethod
     def from_columns(cls, columns: Mapping[str, Sequence]) -> "ResultSet":
-        """Build from a ``{column: values}`` mapping (validated)."""
-        missing = set(COLUMNS) - set(columns)
+        """Build from a ``{column: values}`` mapping (validated).
+
+        The online columns are optional — dumps written before the
+        streaming runtime lack them and load with ``nan`` fills.
+        """
+        missing = set(COLUMNS) - set(columns) - _ONLINE_COLUMNS
         extra = set(columns) - set(COLUMNS)
         if missing or extra:
             raise ValueError(
                 f"bad column set: missing {sorted(missing)}, unexpected {sorted(extra)}"
             )
-        lengths = {name: len(columns[name]) for name in COLUMNS}
+        lengths = {name: len(values) for name, values in columns.items()}
         if len(set(lengths.values())) > 1:
             raise ValueError(f"ragged columns: {lengths}")
+        count = next(iter(lengths.values()), 0)
         result = cls()
         for name in COLUMNS:
-            result._columns[name] = list(columns[name])
+            if name in columns:
+                result._columns[name] = list(columns[name])
+            else:
+                result._columns[name] = [math.nan] * count
         return result
 
     @classmethod
@@ -366,9 +390,11 @@ class ResultSet:
         if not rows:
             return cls()
         header = tuple(rows[0])
-        if set(header) != set(COLUMNS):
+        unknown = set(header) - set(COLUMNS)
+        missing = set(COLUMNS) - set(header) - _ONLINE_COLUMNS
+        if unknown or missing:
             raise ValueError(f"bad CSV header {header}; expected columns {COLUMNS}")
-        columns: dict[str, list] = {name: [] for name in COLUMNS}
+        columns: dict[str, list] = {name: [] for name in header}
         for row in rows[1:]:
             if not row:
                 continue

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from ..core.instance import Instance
-from ..core.metrics import ScheduleMetrics, evaluate
+from ..core.metrics import OnlineMetrics, ScheduleMetrics, evaluate, evaluate_online
 from ..core.schedule import Schedule
 from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
-from ..simulator.batch import execute_in_batches
+from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
+from ..simulator.batch import simulate_in_batches
 from ..simulator.events import EventTrace
 from ..simulator.resources import MachineModel
 from .registry import Solver, get_solver, resolve_solvers
@@ -24,6 +26,8 @@ class SolveResult:
     ``trace`` carries the kernel's structured event trace when the call was
     made with ``record_events=True`` (transfer/compute start and end, memory
     acquire/release; idle intervals and overlap are derived views on it).
+    ``online`` carries the arrival-aware metrics (response time, stretch,
+    queue length) whenever the instance's tasks have release dates.
     """
 
     solver: str
@@ -32,6 +36,7 @@ class SolveResult:
     schedule: Schedule
     metrics: ScheduleMetrics
     trace: EventTrace | None = None
+    online: OnlineMetrics | None = None
 
     @property
     def makespan(self) -> float:
@@ -52,7 +57,10 @@ def solve(
     instance: Instance,
     method: str | Solver | type = "LCMR",
     *,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
+    arrival_seed: int = 0,
     batch_size: int | None = None,
+    pipelined: bool = False,
     validate: bool = True,
     reference: float | None = None,
     machine: MachineModel | None = None,
@@ -68,11 +76,25 @@ def solve(
         :class:`Solver` instance, or a solver class.  Extra keyword
         arguments are forwarded to the solver factory when ``method`` is a
         name (e.g. ``solve(instance, "lp.4", time_limit_per_window=2.0)``).
+    arrivals:
+        Streaming execution: release dates to stamp onto the instance — an
+        :class:`~repro.simulator.arrivals.ArrivalProcess` (sampled with
+        ``arrival_seed``), a ``{task name: date}`` mapping, or a sequence
+        aligned with the submission order.  The solver then runs online,
+        re-ranking the ready set as tasks arrive; instances whose tasks
+        already carry release dates stream automatically.  Mutually
+        exclusive with ``batch_size``.
     batch_size:
         Section 6.3 batched execution: apply the solver to successive
         windows of ``batch_size`` tasks instead of the whole instance.
+        Runs on the kernel, so it composes with ``machine`` and
+        ``record_events`` (solvers that cannot, reject them explicitly).
+    pipelined:
+        With ``batch_size``: drop the drain barrier between batches — the
+        next batch's transfers start as soon as memory frees.
     validate:
-        Check the schedule against the memory capacity before returning.
+        Check the schedule against the memory capacity (and the release
+        dates) before returning.
     reference:
         Known OMIM makespan, to skip recomputing Johnson's rule.
     machine:
@@ -96,14 +118,30 @@ def solve(
             raise TypeError("solver parameters are only accepted when method is a name")
         (solver,) = resolve_solvers(method)
 
+    if arrivals is not None:
+        if batch_size is not None:
+            raise ValueError(
+                "arrivals and batch_size cannot be combined: streaming "
+                "generalises batching — pick one execution mode"
+            )
+        instance = instance.with_releases(
+            resolve_arrivals(arrivals, instance.tasks, seed=arrival_seed)
+        )
+
     trace = None
     if batch_size is not None:
-        if machine is not None:
-            raise ValueError("batched execution does not support machine models")
-        if record_events:
-            raise ValueError("batched execution does not record event traces")
-        schedule = execute_in_batches(instance, solver.schedule, batch_size=batch_size)
-    elif machine is not None or record_events:
+        result = simulate_in_batches(
+            instance,
+            solver,
+            batch_size=batch_size,
+            pipelined=pipelined,
+            machine=machine,
+            record=record_events,
+        )
+        schedule, trace = result.schedule, result.trace
+    elif pipelined:
+        raise ValueError("pipelined=True requires batch_size")
+    elif machine is not None or record_events or instance.has_releases:
         if not hasattr(solver, "simulate"):
             raise ValueError(
                 f"solver {solver.name!r} does not run on the simulation kernel"
@@ -118,6 +156,7 @@ def solve(
     metrics = evaluate(
         schedule, instance, heuristic=solver.name, reference=reference, trace=trace
     )
+    online = evaluate_online(schedule) if instance.has_releases else None
     return SolveResult(
         solver=solver.name,
         category=str(solver.category),
@@ -125,4 +164,5 @@ def solve(
         schedule=schedule,
         metrics=metrics,
         trace=trace,
+        online=online,
     )

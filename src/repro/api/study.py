@@ -19,9 +19,10 @@ capacities, raw instances run at their own capacity.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.instance import Instance
+from ..simulator.arrivals import ArrivalProcess
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 from .engine import default_jobs, sweep_instances, sweep_traces
@@ -43,9 +44,12 @@ class Study:
         self._solver_specs: tuple = ()
         self._validate: bool = True
         self._batch_size: int | None = None
+        self._pipelined: bool = False
         self._task_limit: int | None = None
         self._n_jobs: int | None = None
         self._machine: MachineModel | None = None
+        self._arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
+        self._arrival_seed: int = 0
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -103,11 +107,37 @@ class Study:
         self._solver_specs = self._solver_specs + tuple(specs)
         return self
 
-    def batched(self, batch_size: int) -> "Study":
-        """Use Section 6.3 batched execution with windows of ``batch_size`` tasks."""
+    def batched(self, batch_size: int, *, pipelined: bool = False) -> "Study":
+        """Use Section 6.3 batched execution with windows of ``batch_size`` tasks.
+
+        ``pipelined=True`` drops the drain barrier between batches: the next
+        batch's transfers start as soon as the link and the memory allow.
+        """
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
         self._batch_size = batch_size
+        self._pipelined = bool(pipelined)
+        return self
+
+    def arrivals(
+        self,
+        spec: "ArrivalProcess | Mapping[str, float] | Sequence[float]",
+        *,
+        seed: int = 0,
+    ) -> "Study":
+        """Run every solver on the streaming runtime under an arrival pattern.
+
+        ``spec`` is an :class:`~repro.simulator.arrivals.ArrivalProcess`
+        (e.g. ``PoissonArrivals(load=1.5)``), a ``{task name: date}``
+        mapping, or a sequence of dates aligned with the submission order.
+        Each trace samples its own arrival pattern (derived from ``seed``
+        and the trace label) and reuses it across every capacity factor;
+        the online measurement columns (``mean_response_time``,
+        ``mean_stretch``, ``avg_queue_length``) are filled in.  Mutually
+        exclusive with :meth:`batched`.
+        """
+        self._arrivals = spec
+        self._arrival_seed = int(seed)
         return self
 
     def task_limit(self, limit: int) -> "Study":
@@ -160,9 +190,12 @@ class Study:
                     solver_specs=self._solver_specs,
                     validate=self._validate,
                     batch_size=self._batch_size,
+                    pipelined=self._pipelined,
                     task_limit=self._task_limit,
                     n_jobs=self._n_jobs,
                     machine=self._machine,
+                    arrivals=self._arrivals,
+                    arrival_seed=self._arrival_seed,
                 )
             )
         if self._instances:
@@ -172,8 +205,11 @@ class Study:
                     solver_specs=self._solver_specs,
                     validate=self._validate,
                     batch_size=self._batch_size,
+                    pipelined=self._pipelined,
                     n_jobs=self._n_jobs,
                     machine=self._machine,
+                    arrivals=self._arrivals,
+                    arrival_seed=self._arrival_seed,
                 )
             )
         return results

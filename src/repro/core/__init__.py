@@ -2,7 +2,15 @@
 
 from .bounds import BoundSet, area_lower_bound, bounds, omim, sequential_upper_bound
 from .instance import Instance
-from .metrics import ScheduleMetrics, evaluate, idle_fractions, overlap_fraction, ratio_to_optimal
+from .metrics import (
+    OnlineMetrics,
+    ScheduleMetrics,
+    evaluate,
+    evaluate_online,
+    idle_fractions,
+    overlap_fraction,
+    ratio_to_optimal,
+)
 from .paper_instances import (
     PAPER_INSTANCES,
     corrected_example_instance,
@@ -11,7 +19,15 @@ from .paper_instances import (
     static_example_instance,
 )
 from .schedule import MemoryEvent, Schedule, ScheduledTask
-from .task import Task, TaskKind, max_memory, tasks_from_pairs, total_comm, total_comp
+from .task import (
+    Task,
+    TaskKind,
+    max_memory,
+    max_release,
+    tasks_from_pairs,
+    total_comm,
+    total_comp,
+)
 from .validation import (
     TOLERANCE,
     InfeasibleScheduleError,
@@ -29,6 +45,7 @@ __all__ = [
     "ScheduledTask",
     "MemoryEvent",
     "BoundSet",
+    "OnlineMetrics",
     "ScheduleMetrics",
     "ValidationReport",
     "Violation",
@@ -41,8 +58,10 @@ __all__ = [
     "corrected_example_instance",
     "dynamic_example_instance",
     "evaluate",
+    "evaluate_online",
     "idle_fractions",
     "max_memory",
+    "max_release",
     "omim",
     "overlap_fraction",
     "proposition1_instance",

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from .task import Task, max_memory, total_comm, total_comp
+from .task import Task, max_memory, max_release, total_comm, total_comp
 
 __all__ = ["Instance"]
 
@@ -125,6 +125,25 @@ class Instance:
         """True when every task individually fits in the capacity."""
         return self.min_capacity <= self.capacity or not self.tasks
 
+    @property
+    def max_release(self) -> float:
+        """Latest release (arrival) date of any task; 0 for offline instances."""
+        return max_release(self.tasks)
+
+    @property
+    def has_releases(self) -> bool:
+        """True when at least one task arrives after time zero.
+
+        Release-dated instances are scheduled by the streaming runtime
+        (:mod:`repro.simulator.online`): the kernel gates each task's
+        transfer on its arrival and solvers re-rank the ready set.
+        """
+        return any(t.release > 0.0 for t in self.tasks)
+
+    def releases(self) -> Mapping[str, float]:
+        """``{task name: release date}`` view of the arrival pattern."""
+        return {t.name: t.release for t in self.tasks}
+
     def compute_intensive_fraction(self) -> float:
         """Fraction of tasks with ``comp >= comm`` (Table 6 discussions)."""
         if not self.tasks:
@@ -147,6 +166,38 @@ class Instance:
     def without_memory_constraint(self) -> "Instance":
         return self.with_capacity(math.inf)
 
+    def with_releases(
+        self, releases: Mapping[str, float] | Sequence[float]
+    ) -> "Instance":
+        """Same tasks stamped with release (arrival) dates.
+
+        ``releases`` is either a ``{task name: release}`` mapping (names
+        missing from it keep their current release) or a sequence of dates
+        aligned with the submission order.
+        """
+        if isinstance(releases, Mapping):
+            stamped = [
+                t.released_at(releases[t.name]) if t.name in releases else t
+                for t in self.tasks
+            ]
+        else:
+            if len(releases) != len(self.tasks):
+                raise ValueError(
+                    f"expected {len(self.tasks)} release dates, got {len(releases)}"
+                )
+            stamped = [t.released_at(r) for t, r in zip(self.tasks, releases)]
+        return Instance(stamped, capacity=self.capacity, name=self.name)
+
+    def without_releases(self) -> "Instance":
+        """The offline relaxation: every task available at time zero."""
+        if not self.has_releases:
+            return self
+        return Instance(
+            [t.released_at(0.0) for t in self.tasks],
+            capacity=self.capacity,
+            name=self.name,
+        )
+
     def subset(self, names: Sequence[str]) -> "Instance":
         """Instance restricted to the named tasks (keeps the given order)."""
         lookup = self.by_name()
@@ -161,19 +212,20 @@ class Instance:
         )
 
     def batches(self, batch_size: int) -> list["Instance"]:
-        """Split into successive batches of ``batch_size`` tasks (Section 6.3)."""
+        """Split into successive batches of ``batch_size`` tasks (Section 6.3).
+
+        Unnamed instances get deterministic ``"batch-<k>"`` fallback names, so
+        batch provenance survives into downstream
+        :class:`~repro.api.results.ResultSet` rows.
+        """
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
         out = []
         for start in range(0, len(self.tasks), batch_size):
             chunk = self.tasks[start : start + batch_size]
-            out.append(
-                Instance(
-                    chunk,
-                    capacity=self.capacity,
-                    name=f"{self.name}[batch {start // batch_size}]" if self.name else "",
-                )
-            )
+            index = start // batch_size
+            name = f"{self.name}[batch {index}]" if self.name else f"batch-{index}"
+            out.append(Instance(chunk, capacity=self.capacity, name=name))
         return out
 
     def scaled(self, *, comm: float = 1.0, comp: float = 1.0, memory: float = 1.0) -> "Instance":

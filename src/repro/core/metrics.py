@@ -22,7 +22,15 @@ from .schedule import Schedule
 if TYPE_CHECKING:  # pragma: no cover - typing only (core must not import simulator)
     from ..simulator.events import EventTrace
 
-__all__ = ["ratio_to_optimal", "overlap_fraction", "idle_fractions", "ScheduleMetrics", "evaluate"]
+__all__ = [
+    "ratio_to_optimal",
+    "overlap_fraction",
+    "idle_fractions",
+    "ScheduleMetrics",
+    "OnlineMetrics",
+    "evaluate",
+    "evaluate_online",
+]
 
 
 def ratio_to_optimal(schedule: Schedule, instance: Instance, *, reference: float | None = None) -> float:
@@ -54,6 +62,73 @@ def idle_fractions(schedule: Schedule) -> tuple[float, float]:
     return (
         schedule.communication_idle_time() / makespan,
         schedule.computation_idle_time() / makespan,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineMetrics:
+    """Arrival-aware metrics of one schedule (streaming workloads).
+
+    * *response time* of a task — completion (end of computation) minus its
+      release date; the time the task spent in the system;
+    * *stretch* — response time divided by the task's own ``comm + comp``
+      (its minimal possible response time on an empty machine), the classic
+      slowdown measure for online scheduling;
+    * *queue length* — number of tasks that have arrived but not yet
+      completed, averaged over ``[first release, last completion]`` and
+      tracked at its peak.
+
+    All three degenerate gracefully on offline instances (every release 0):
+    response time becomes the completion time and stretch the completion
+    time over the task's total work.
+    """
+
+    mean_response_time: float
+    max_response_time: float
+    mean_stretch: float
+    max_stretch: float
+    avg_queue_length: float
+    max_queue_length: int
+
+
+def evaluate_online(schedule: Schedule) -> OnlineMetrics:
+    """Compute :class:`OnlineMetrics` from a schedule of release-dated tasks.
+
+    Release dates are read off the scheduled tasks themselves
+    (:attr:`~repro.core.task.Task.release`), so the schedule is
+    self-contained; offline schedules (all releases 0) are accepted.
+    """
+    if not len(schedule):
+        return OnlineMetrics(0.0, 0.0, 0.0, 0.0, 0.0, 0)
+    responses: list[float] = []
+    stretches: list[float] = []
+    boundaries: list[tuple[float, int]] = []
+    for entry in schedule:
+        release = entry.task.release
+        response = entry.comp_end - release
+        responses.append(response)
+        work = entry.task.comm + entry.task.comp
+        stretches.append(response / work if work > 0 else 1.0)
+        boundaries.append((release, +1))
+        boundaries.append((entry.comp_end, -1))
+    boundaries.sort()
+    queue = 0
+    peak = 0
+    area = 0.0
+    previous = boundaries[0][0]
+    for time, delta in boundaries:
+        area += queue * (time - previous)
+        queue += delta
+        peak = max(peak, queue)
+        previous = time
+    span = boundaries[-1][0] - boundaries[0][0]
+    return OnlineMetrics(
+        mean_response_time=sum(responses) / len(responses),
+        max_response_time=max(responses),
+        mean_stretch=sum(stretches) / len(stretches),
+        max_stretch=max(stretches),
+        avg_queue_length=area / span if span > 0 else float(peak),
+        max_queue_length=peak,
     )
 
 

@@ -223,7 +223,11 @@ class Schedule:
             deltas[start] = deltas.get(start, 0.0) + e.task.memory
             deltas[end] = deltas.get(end, 0.0) - e.task.memory
         horizon = max(abs(t) for t in deltas)
-        merge_tolerance = max(1e-9, 1e-12 * horizon)
+        # The executors treat a release due within 1e-9 of an instant as
+        # already free, so a transfer may start up to 1e-9 (plus float
+        # representation error, bounded by 1e-12 * horizon) before the
+        # releasing computation ends; breakpoints that close are one instant.
+        merge_tolerance = 1e-9 + 1e-12 * horizon
         usage = 0.0
         events: list[MemoryEvent] = []
         for time in sorted(deltas):

@@ -29,6 +29,7 @@ __all__ = [
     "total_comm",
     "total_comp",
     "max_memory",
+    "max_release",
     "tasks_from_pairs",
 ]
 
@@ -60,6 +61,11 @@ class Task:
         Memory footprint held from the start of the communication to the end of
         the computation.  Defaults to ``comm`` (the paper's convention of
         memory-proportional-to-communication).
+    release:
+        Release (arrival) date: the instant at which the runtime system first
+        *sees* the task.  The paper's offline model has every task available
+        up front (``release == 0``, the default); the streaming runtime of
+        :mod:`repro.simulator.online` gates a task's transfer on its release.
     tag:
         Optional free-form label (e.g. ``"tensor_contraction"``) carried along
         from trace generators; never interpreted by the schedulers.
@@ -69,6 +75,7 @@ class Task:
     comm: float
     comp: float
     memory: float = field(default=math.nan)
+    release: float = 0.0
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -80,6 +87,8 @@ class Task:
             object.__setattr__(self, "memory", float(self.comm))
         if self.memory < 0:
             raise ValueError(f"task {self.name!r}: negative memory requirement {self.memory}")
+        if not self.release >= 0:
+            raise ValueError(f"task {self.name!r}: release date must be >= 0, got {self.release}")
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -136,6 +145,10 @@ class Task:
     def renamed(self, name: str) -> "Task":
         return replace(self, name=name)
 
+    def released_at(self, release: float) -> "Task":
+        """Return a copy carrying a different release (arrival) date."""
+        return replace(self, release=float(release))
+
 
 # ---------------------------------------------------------------------- #
 # Aggregate helpers
@@ -156,6 +169,11 @@ def max_memory(tasks: Iterable[Task]) -> float:
     if not tasks:
         return 0.0
     return float(max(t.memory for t in tasks))
+
+
+def max_release(tasks: Iterable[Task]) -> float:
+    """Latest release (arrival) date; 0 for offline instances and no tasks."""
+    return float(max((t.release for t in tasks), default=0.0))
 
 
 def tasks_from_pairs(

@@ -5,9 +5,10 @@ A schedule is feasible for an instance with capacity ``C`` when
 1. every task of the instance appears exactly once,
 2. the communication link carries at most one transfer at a time,
 3. the processing unit executes at most one task at a time,
-4. every task starts computing no earlier than its transfer completes, and
+4. every task starts computing no earlier than its transfer completes,
 5. at every instant the memory held by tasks whose interval
-   ``[comm_start, comp_end)`` covers that instant does not exceed ``C``.
+   ``[comm_start, comp_end)`` covers that instant does not exceed ``C``, and
+6. no task starts its transfer before its release (arrival) date.
 
 The checks report *all* violations (not just the first) so tests and the
 experiment harness can produce actionable diagnostics.
@@ -195,6 +196,16 @@ def validate_schedule(
                 f"transfer completes at {entry.comm_end:g}",
                 tasks=(entry.name,),
                 time=entry.comp_start,
+            )
+
+    for entry in schedule:
+        if entry.task.release > 0 and entry.comm_start + TOLERANCE < entry.task.release:
+            report.add(
+                "release",
+                f"task {entry.name!r} starts its transfer at {entry.comm_start:g} "
+                f"before its release date {entry.task.release:g}",
+                tasks=(entry.name,),
+                time=entry.comm_start,
             )
 
     link_count = 1 if machine is None else machine.link_count

@@ -115,6 +115,28 @@ class Heuristic(abc.ABC):
         """
         return None
 
+    def online_policy(self, instance: Instance) -> SelectionPolicy | None:
+        """Policy expressing this heuristic on the streaming runtime.
+
+        Online policies only ever see the *arrived* tasks and re-rank the
+        ready set on every arrival (:mod:`repro.simulator.online`).  Returns
+        ``None`` when the heuristic has no online form (the MILP wrappers);
+        such heuristics reject release-dated instances in :meth:`simulate`.
+        """
+        return None
+
+    def window_policy(
+        self, instance: Instance, windows: "tuple[tuple, ...]"
+    ) -> SelectionPolicy | None:
+        """Policy for *pipelined* batched execution over the given windows.
+
+        ``windows`` partitions the submission order into batches; the policy
+        schedules one window at a time but never drains the pipeline — the
+        next window's transfers start as soon as link and memory allow
+        (:mod:`repro.simulator.online`).  Returns ``None`` when the
+        heuristic has no windowed form (the MILP wrappers)."""
+        return None
+
     @property
     def runs_on_kernel(self) -> bool:
         """Whether this heuristic executes on the unified kernel."""
@@ -130,8 +152,20 @@ class Heuristic(abc.ABC):
         """Run this heuristic on the kernel, optionally on a custom machine.
 
         ``record=True`` additionally returns the structured
-        :class:`~repro.simulator.events.EventTrace` of the run.
+        :class:`~repro.simulator.events.EventTrace` of the run.  Instances
+        whose tasks carry release (arrival) dates are routed through the
+        heuristic's :meth:`online_policy` — arrival-awareness is a property
+        of the data, not a separate execution mode.
         """
+        if instance.has_releases:
+            policy = self.online_policy(instance)
+            if policy is None:
+                raise ValueError(
+                    f"heuristic {self.name!r} has no online policy and cannot "
+                    "schedule release-dated instances; drop the release dates "
+                    "(Instance.without_releases()) for an offline plan"
+                )
+            return _simulate(instance, policy, machine=machine, record=record)
         policy = self.kernel_policy(instance)
         if policy is None:
             if machine is not None:

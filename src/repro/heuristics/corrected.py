@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..flowshop.johnson import johnson_order
+from ..simulator.online import OnlineCorrectedPolicy, WindowedCorrectedPolicy
 from ..simulator.policies import (
     CorrectedOrderPolicy,
     largest_communication,
@@ -38,6 +39,22 @@ class CorrectedHeuristic(Heuristic):
     def kernel_policy(self, instance: Instance) -> CorrectedOrderPolicy:
         order = tuple(task.name for task in johnson_order(instance.tasks))
         return CorrectedOrderPolicy(order=order, criterion=type(self).criterion, name=self.name)
+
+    def online_policy(self, instance: Instance) -> OnlineCorrectedPolicy:
+        """Streaming form: Johnson's rule re-ranked over the ready set on
+        every arrival, corrected among the fitting arrived tasks."""
+        return OnlineCorrectedPolicy(
+            planner=johnson_order, criterion=type(self).criterion, name=self.name
+        )
+
+    def window_policy(self, instance: Instance, windows) -> WindowedCorrectedPolicy:
+        """Pipelined batches: Johnson's rule per window, windowed corrections."""
+        return WindowedCorrectedPolicy(
+            planner=johnson_order,
+            criterion=type(self).criterion,
+            windows=windows,
+            name=self.name,
+        )
 
     def schedule(self, instance: Instance) -> Schedule:
         return self.simulate(instance).schedule

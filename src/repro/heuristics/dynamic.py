@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
+from ..simulator.online import WindowedCriterionPolicy
 from ..simulator.policies import (
     CriterionPolicy,
     largest_communication,
@@ -41,6 +42,18 @@ class DynamicHeuristic(Heuristic):
 
     def kernel_policy(self, instance: Instance) -> CriterionPolicy:
         return CriterionPolicy(criterion=type(self).criterion, name=self.name)
+
+    def online_policy(self, instance: Instance) -> CriterionPolicy:
+        """Dynamic selection is natively online: the criterion re-evaluates
+        the candidate set at every decision point, and the streaming kernel
+        simply restricts candidates to the tasks that have arrived."""
+        return self.kernel_policy(instance)
+
+    def window_policy(self, instance: Instance, windows) -> WindowedCriterionPolicy:
+        """Pipelined batches: the criterion picks within the current window."""
+        return WindowedCriterionPolicy(
+            criterion=type(self).criterion, windows=windows, name=self.name
+        )
 
     def schedule(self, instance: Instance) -> Schedule:
         return self.simulate(instance).schedule

@@ -26,6 +26,7 @@ from ..core.schedule import Schedule
 from ..core.task import Task
 from ..flowshop.johnson import johnson_order
 from ..simulator.engine import resolve_order
+from ..simulator.online import OnlinePlanPolicy, WindowedPlanPolicy
 from ..simulator.policies import FixedOrderPolicy
 from .base import Category, Heuristic
 
@@ -53,6 +54,32 @@ class StaticOrderHeuristic(Heuristic):
         return FixedOrderPolicy(
             tuple(resolve_order(instance, self.order(instance))), name=self.name
         )
+
+    def online_policy(self, instance: Instance) -> OnlinePlanPolicy:
+        """Streaming form: re-run :meth:`order` on the ready set per arrival.
+
+        The planner sees the arrived, un-transferred tasks as a windowed
+        sub-instance (same capacity), so capacity-aware orders — bin packing
+        in particular — re-plan against the full capacity each epoch.  With
+        every release at zero this reduces to the offline fixed order.
+        """
+
+        def planner(ready: Sequence[Task]) -> list[Task]:
+            window = Instance(ready, capacity=instance.capacity, name=instance.name)
+            return resolve_order(window, self.order(window))
+
+        return OnlinePlanPolicy(planner=planner, name=self.name)
+
+    def window_policy(
+        self, instance: Instance, windows: tuple[tuple[Task, ...], ...]
+    ) -> WindowedPlanPolicy:
+        """Pipelined batches: :meth:`order` plans each window in isolation."""
+
+        def planner(window_tasks: Sequence[Task]) -> list[Task]:
+            window = Instance(window_tasks, capacity=instance.capacity, name=instance.name)
+            return resolve_order(window, self.order(window))
+
+        return WindowedPlanPolicy(planner=planner, windows=windows, name=self.name)
 
     def schedule(self, instance: Instance) -> Schedule:
         return self.simulate(instance).schedule

@@ -9,12 +9,24 @@ Layout (kernel → policies → facade):
 * :mod:`~repro.simulator.events` — structured :class:`EventTrace`;
 * :mod:`~repro.simulator.policies` — fixed-order / dynamic / corrected
   policies;
+* :mod:`~repro.simulator.arrivals` — arrival processes (Poisson, bursty,
+  trace replay) stamping release dates onto task streams;
+* :mod:`~repro.simulator.online` — the streaming runtime: online policy
+  adapters, windowed (pipelined) policies and :func:`run_online`;
 * :mod:`~repro.simulator.static_executor` / :mod:`~repro.simulator.dynamic_executor`
   — thin compatibility wrappers with the historical entry points;
-* :mod:`~repro.simulator.batch` — Section 6.3 batched execution.
+* :mod:`~repro.simulator.batch` — Section 6.3 batched execution (barrier
+  and pipelined modes, both on the kernel).
 """
 
-from .batch import DEFAULT_BATCH_SIZE, execute_in_batches
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceReplayArrivals,
+    resolve_arrivals,
+)
+from .batch import DEFAULT_BATCH_SIZE, execute_in_batches, simulate_in_batches
 from .dynamic_executor import execute_with_policy
 from .engine import (
     DeadlockError,
@@ -25,6 +37,14 @@ from .engine import (
 )
 from .events import EventKind, EventTrace, SimEvent
 from .ledger import MemoryLedger
+from .online import (
+    OnlineCorrectedPolicy,
+    OnlinePlanPolicy,
+    WindowedCorrectedPolicy,
+    WindowedCriterionPolicy,
+    WindowedPlanPolicy,
+    run_online,
+)
 from .policies import (
     CorrectedOrderPolicy,
     CriterionPolicy,
@@ -48,6 +68,8 @@ from .static_executor import execute_fixed_order, execute_two_orders
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MACHINE",
+    "ArrivalProcess",
+    "BurstyArrivals",
     "CorrectedOrderPolicy",
     "CriterionPolicy",
     "DeadlockError",
@@ -58,12 +80,19 @@ __all__ = [
     "InfeasibleOrderError",
     "MachineModel",
     "MemoryLedger",
+    "OnlineCorrectedPolicy",
+    "OnlinePlanPolicy",
     "ParallelResource",
+    "PoissonArrivals",
     "ResourceModel",
     "SelectionPolicy",
     "SimEvent",
     "SimulationResult",
+    "TraceReplayArrivals",
     "UnitResource",
+    "WindowedCorrectedPolicy",
+    "WindowedCriterionPolicy",
+    "WindowedPlanPolicy",
     "execute_fixed_order",
     "execute_in_batches",
     "execute_two_orders",
@@ -71,7 +100,10 @@ __all__ = [
     "largest_communication",
     "maximum_acceleration",
     "minimum_idle_filter",
+    "resolve_arrivals",
     "resolve_order",
+    "run_online",
     "simulate",
+    "simulate_in_batches",
     "smallest_communication",
 ]

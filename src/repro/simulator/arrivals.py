@@ -1,0 +1,213 @@
+"""Arrival processes: release-date generators for streaming workloads.
+
+The paper's offline model hands the scheduler every task up front; real
+runtime systems observe tasks *arriving over time*.  An
+:class:`ArrivalProcess` maps a task stream to absolute, non-decreasing
+release dates, which the streaming runtime (:mod:`repro.simulator.online`)
+and the ``arrivals=`` engine option of :func:`repro.solve` stamp onto the
+instance.
+
+Three processes cover the usual regimes:
+
+* :class:`PoissonArrivals` — memoryless submission at a target ``load``
+  (exponential inter-arrival gaps);
+* :class:`BurstyArrivals` — on/off submission: dense bursts separated by
+  idle gaps (application phases, collective boundaries);
+* :class:`TraceReplayArrivals` — inter-arrival gaps inferred from the trace
+  itself: the original run issued task ``k`` when task ``k-1`` finished, so
+  the gaps are the recorded per-task service times, optionally compressed.
+
+All processes are deterministic given their seed-derived RNG; the sweep
+engine derives one RNG per trace so capacity sweeps reuse identical
+arrival patterns across factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.task import Task
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceReplayArrivals",
+    "resolve_arrivals",
+]
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """Maps a task stream to absolute release dates (one per task, in order)."""
+
+    name: str
+
+    def sample(self, rng: np.random.Generator, tasks: Sequence[Task]) -> list[float]:
+        """Non-decreasing release dates aligned with the submission order."""
+        ...
+
+
+def _mean_gap(tasks: Sequence[Task], load: float) -> float:
+    """Mean inter-arrival gap hitting ``load`` relative to the busiest resource.
+
+    ``load == 1`` spreads the arrivals over the instance's resource lower
+    bound (``max(sum comm, sum comp)``): the submission rate just keeps the
+    machine fed.  ``load > 1`` over-subscribes (queues build up), ``load < 1``
+    starves the machine.
+    """
+    if load <= 0:
+        raise ValueError(f"load must be positive, got {load}")
+    if not tasks:
+        return 0.0
+    span = max(sum(t.comm for t in tasks), sum(t.comp for t in tasks))
+    if span <= 0:
+        return 0.0
+    return span / (load * len(tasks))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals: exponential inter-arrival gaps at a target load.
+
+    Parameters
+    ----------
+    load:
+        Submission pressure relative to the busiest resource (see
+        ``_mean_gap``); 1.0 keeps the machine exactly fed on average.
+    rate:
+        Explicit arrival rate (tasks per unit time).  Overrides ``load``
+        when given.
+    """
+
+    load: float = 1.0
+    rate: float | None = None
+    name: str = "poisson"
+
+    def sample(self, rng: np.random.Generator, tasks: Sequence[Task]) -> list[float]:
+        if not tasks:
+            return []
+        if self.rate is not None:
+            if self.rate <= 0:
+                raise ValueError(f"rate must be positive, got {self.rate}")
+            mean = 1.0 / self.rate
+        else:
+            mean = _mean_gap(tasks, self.load)
+        gaps = rng.exponential(mean, size=len(tasks)) if mean > 0 else np.zeros(len(tasks))
+        times = np.cumsum(gaps)
+        times -= times[0]  # first task arrives at t=0: the run starts immediately
+        return [float(t) for t in times]
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """On/off arrivals: bursts of back-to-back tasks separated by idle gaps.
+
+    Parameters
+    ----------
+    burst_size:
+        Mean number of tasks per burst (geometric burst lengths).
+    load:
+        Long-run submission pressure, as in :class:`PoissonArrivals`; the
+        idle gaps absorb the time the bursts save.
+    within_fraction:
+        Fraction of the mean gap kept *inside* a burst (0 = truly
+        back-to-back, 1 = no burstiness at all).
+    """
+
+    burst_size: int = 10
+    load: float = 1.0
+    within_fraction: float = 0.05
+    name: str = "bursty"
+
+    def sample(self, rng: np.random.Generator, tasks: Sequence[Task]) -> list[float]:
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be at least 1, got {self.burst_size}")
+        if not 0 <= self.within_fraction <= 1:
+            raise ValueError(
+                f"within_fraction must be in [0, 1], got {self.within_fraction}"
+            )
+        if not tasks:
+            return []
+        mean = _mean_gap(tasks, self.load)
+        within = mean * self.within_fraction
+        # Idle gaps between bursts restore the long-run rate: a burst of b
+        # tasks must span b * mean on average, and its b-1 within-gaps only
+        # cover (b-1) * within — the leading off-gap repays the difference.
+        off = self.burst_size * (mean - within) + within
+        times: list[float] = []
+        clock = 0.0
+        remaining = 0
+        for _ in tasks:
+            if remaining == 0:
+                remaining = int(rng.geometric(1.0 / self.burst_size))  # mean burst_size, >= 1
+                if times:  # no leading idle gap before the very first burst
+                    clock += float(rng.exponential(off)) if off > 0 else 0.0
+            elif within > 0:
+                clock += float(rng.exponential(within))
+            times.append(clock)
+            remaining -= 1
+        return times
+
+
+@dataclass(frozen=True)
+class TraceReplayArrivals:
+    """Replay the trace's own submission cadence.
+
+    The instrumented application issued its tasks sequentially: task ``k``
+    was submitted when task ``k-1``'s transfer and computation had finished.
+    The inferred inter-arrival gap is therefore the previous task's recorded
+    service time (``comm + comp``), divided by ``speedup`` to model a faster
+    producer re-running the same trace.
+    """
+
+    speedup: float = 1.0
+    name: str = "trace-replay"
+
+    def sample(self, rng: np.random.Generator, tasks: Sequence[Task]) -> list[float]:
+        if self.speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {self.speedup}")
+        times: list[float] = []
+        clock = 0.0
+        for task in tasks:
+            times.append(clock)
+            clock += (task.comm + task.comp) / self.speedup
+        return times
+
+
+def resolve_arrivals(
+    spec: "ArrivalProcess | Mapping[str, float] | Sequence[float]",
+    tasks: Sequence[Task],
+    *,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Resolve an arrivals spec into a ``{task name: release date}`` mapping.
+
+    ``spec`` may be an :class:`ArrivalProcess` (sampled with a
+    ``default_rng(seed)``), a ready-made mapping (validated against the task
+    names), or a sequence of dates aligned with the submission order.
+    """
+    if isinstance(spec, Mapping):
+        names = {t.name for t in tasks}
+        unknown = sorted(set(spec) - names)
+        if unknown:
+            raise ValueError(f"arrival mapping names unknown tasks: {unknown}")
+        for date in spec.values():
+            if not (math.isfinite(date) and date >= 0):
+                raise ValueError(f"release dates must be finite and >= 0, got {date}")
+        return {name: float(date) for name, date in spec.items()}
+    if isinstance(spec, ArrivalProcess):
+        rng = np.random.default_rng(seed)
+        times = spec.sample(rng, tasks)
+    else:
+        times = [float(t) for t in spec]
+    if len(times) != len(tasks):
+        raise ValueError(f"expected {len(tasks)} release dates, got {len(times)}")
+    for date in times:
+        if not (math.isfinite(date) and date >= 0):
+            raise ValueError(f"release dates must be finite and >= 0, got {date}")
+    return {task.name: float(date) for task, date in zip(tasks, times)}

@@ -1,10 +1,24 @@
-"""Batched execution (Section 6.3 of the paper).
+"""Batched execution (Section 6.3 of the paper), on the unified kernel.
 
 Real runtime systems rarely see the whole task stream at once: the scheduler
 observes a limited window of independent tasks.  The paper models this by
 splitting each trace into batches of 100 tasks, applying a heuristic to each
-batch, and executing the batches in succession (a batch starts only when the
-previous one has completely finished on both resources).
+batch, and executing the batches in succession.  Both batched modes are thin
+special cases of the streaming runtime:
+
+* **barrier** (the paper's Section 6.3 semantics) — batch ``k``'s tasks all
+  become available when batch ``k-1`` has completely drained both resources.
+  After a drain the machine state is exactly "everything free", so the mode
+  is realised as one kernel run per batch, shifted to the previous drain
+  instant and merged — schedules *and* event traces, on any machine model;
+* **pipelined** — no barrier: batch ``k+1``'s transfers start as soon as the
+  link and the memory ledger allow, overlapping batch ``k``'s still-running
+  computations.  One continuous kernel run under a windowed policy
+  (:mod:`repro.simulator.online`).
+
+Pipelined batching never loses to barrier batching for fixed-order
+heuristics (the transfer order is identical and every event only moves
+earlier); ``benchmarks/bench_online_modes.py`` quantifies the gap.
 """
 
 from __future__ import annotations
@@ -13,11 +27,135 @@ from typing import Callable
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
+from .engine import SimulationResult
+from .events import EventTrace
+from .resources import MachineModel
 
-__all__ = ["execute_in_batches", "DEFAULT_BATCH_SIZE"]
+__all__ = ["execute_in_batches", "simulate_in_batches", "DEFAULT_BATCH_SIZE"]
 
 #: Batch size used in the paper's Section 6.3 experiments.
 DEFAULT_BATCH_SIZE = 100
+
+
+class _CallableScheduler:
+    """Adapter giving a plain ``Instance -> Schedule`` callable the solver
+    ``simulate`` surface (kernel engine options are rejected, not ignored)."""
+
+    def __init__(self, fn: Callable[[Instance], Schedule], name: str | None = None) -> None:
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "scheduler")
+
+    def simulate(
+        self,
+        instance: Instance,
+        *,
+        machine: MachineModel | None = None,
+        record: bool = False,
+    ) -> SimulationResult:
+        if machine is not None:
+            raise ValueError(
+                f"scheduler {self.name!r} is a plain callable and cannot "
+                "target a custom machine model"
+            )
+        if record:
+            raise ValueError(
+                f"scheduler {self.name!r} is a plain callable and cannot "
+                "record an event trace"
+            )
+        return SimulationResult(schedule=self._fn(instance), trace=None)
+
+
+def simulate_in_batches(
+    instance: Instance,
+    solver,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    pipelined: bool = False,
+    machine: MachineModel | None = None,
+    record: bool = False,
+) -> SimulationResult:
+    """Run ``solver`` over successive batches of ``batch_size`` tasks.
+
+    ``solver`` is any registered solver / heuristic (its ``simulate`` and
+    ``window_policy`` surfaces are used) or a plain ``Instance -> Schedule``
+    callable (barrier mode only, without engine options).  ``machine`` and
+    ``record`` compose with batching in both modes; solvers that do not run
+    on the kernel reject them explicitly instead of silently ignoring them.
+
+    ``pipelined=True`` drops the drain barrier: one continuous kernel run in
+    which batch ``k+1``'s transfers start as soon as memory frees.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    if instance.has_releases:
+        raise ValueError(
+            "release-dated instances are scheduled by the streaming runtime; "
+            "batching and arrivals cannot be combined"
+        )
+    if hasattr(solver, "simulate"):
+        runner = solver
+    elif hasattr(solver, "schedule"):  # schedule-only Solver protocol object
+        runner = _CallableScheduler(solver.schedule, name=getattr(solver, "name", None))
+    elif callable(solver):
+        runner = _CallableScheduler(solver)
+    else:
+        raise TypeError(
+            f"expected a solver or an Instance -> Schedule callable, got {type(solver).__name__}"
+        )
+
+    if pipelined:
+        return _simulate_pipelined(instance, runner, batch_size, machine, record)
+    return _simulate_barrier(instance, runner, batch_size, machine, record)
+
+
+def _simulate_barrier(
+    instance: Instance,
+    solver,
+    batch_size: int,
+    machine: MachineModel | None,
+    record: bool,
+) -> SimulationResult:
+    """One kernel run per batch, each shifted to the previous drain instant."""
+    entries = []
+    traces: list[EventTrace] = []
+    offset = 0.0
+    for batch in instance.batches(batch_size):
+        result = solver.simulate(batch, machine=machine, record=record)
+        shifted = result.schedule.shifted(offset)
+        entries.extend(shifted.entries)
+        if record:
+            traces.append(result.trace.shifted(offset))
+        offset += result.schedule.makespan
+    return SimulationResult(
+        schedule=Schedule(entries),
+        trace=EventTrace.merged(traces) if record else None,
+    )
+
+
+def _simulate_pipelined(
+    instance: Instance,
+    solver,
+    batch_size: int,
+    machine: MachineModel | None,
+    record: bool,
+) -> SimulationResult:
+    """One continuous kernel run under the solver's windowed policy."""
+    from .engine import simulate  # local import: engine does not import batch
+
+    windows = tuple(tuple(batch.tasks) for batch in instance.batches(batch_size))
+    if not windows:
+        return SimulationResult(
+            schedule=Schedule.empty(), trace=EventTrace(()) if record else None
+        )
+    factory = getattr(solver, "window_policy", None)
+    policy = factory(instance, windows) if factory is not None else None
+    if policy is None:
+        name = getattr(solver, "name", type(solver).__name__)
+        raise ValueError(
+            f"solver {name!r} does not support pipelined batched execution "
+            "(kernel-backed heuristics only)"
+        )
+    return simulate(instance, policy, machine=machine, record=record)
 
 
 def execute_in_batches(
@@ -28,12 +166,9 @@ def execute_in_batches(
 ) -> Schedule:
     """Apply ``scheduler`` to successive batches and chain the results.
 
-    ``scheduler`` maps a (sub-)instance to a feasible schedule; the returned
-    schedule places batch ``k+1`` after the makespan of batches ``0..k``.
+    The historical barrier-mode entry point: ``scheduler`` maps a
+    (sub-)instance to a feasible schedule and batch ``k+1`` starts after the
+    makespan of batches ``0..k``.  :func:`simulate_in_batches` is the full
+    interface (machine models, event traces, pipelined mode).
     """
-    if batch_size <= 0:
-        raise ValueError("batch size must be positive")
-    combined = Schedule.empty()
-    for batch in instance.batches(batch_size):
-        combined = combined.concatenated(scheduler(batch))
-    return combined
+    return simulate_in_batches(instance, scheduler, batch_size=batch_size).schedule

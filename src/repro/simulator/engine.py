@@ -68,23 +68,39 @@ class _KernelState:
     """Mutable per-run decision state, duck-typing :class:`ExecutionState`.
 
     The engine allocates exactly one per run and updates it in place before
-    each policy call; ``scheduled`` is materialised lazily because only
-    stateful policies read it, and only once per run.
+    each policy call; ``scheduled`` and ``ready`` are materialised lazily
+    because only stateful (or online) policies read them.
     """
 
-    __slots__ = ("time", "available_memory", "comm_available", "comp_available", "scratch", "_placed")
+    __slots__ = (
+        "time",
+        "available_memory",
+        "comm_available",
+        "comp_available",
+        "scratch",
+        "arrivals_fired",
+        "_placed",
+        "_pending",
+    )
 
-    def __init__(self, scratch: dict, placed: dict) -> None:
+    def __init__(self, scratch: dict, placed: dict, pending: dict) -> None:
         self.time = 0.0
         self.available_memory = math.inf
         self.comm_available = 0.0
         self.comp_available = 0.0
         self.scratch = scratch
+        self.arrivals_fired = 0
         self._placed = placed  # name -> comm start, in placement order
+        self._pending = pending  # name -> Task; arrived, transfer not yet placed
 
     @property
     def scheduled(self) -> tuple[str, ...]:
         return tuple(self._placed)
+
+    @property
+    def ready(self) -> tuple[Task, ...]:
+        """Arrived, un-transferred tasks in arrival-then-submission order."""
+        return tuple(self._pending.values())
 
     def induced_idle(self, task: Task) -> float:
         """Idle time forced on the computation resource if ``task`` is started now."""
@@ -126,7 +142,9 @@ def simulate(
         (fixed orders) are asked unconditionally and the kernel waits until
         the chosen task's memory fits; other policies are offered only the
         currently-fitting candidates, and the link idles until the next
-        memory release when nothing fits.
+        memory release when nothing fits.  A policy may return ``None`` to
+        decline every candidate (window/online policies), in which case the
+        kernel waits for the next memory release or arrival and asks again.
     machine:
         Resource model (link/processor multiplicity, capacity override).
         Defaults to the paper's machine, under which the kernel matches the
@@ -137,6 +155,14 @@ def simulate(
         heuristics.
     record:
         Emit a structured :class:`~repro.simulator.events.EventTrace`.
+
+    Tasks with a positive :attr:`~repro.core.task.Task.release` date are
+    time-gated: they join the ready set only once the clock reaches their
+    release (a ``TASK_ARRIVAL`` trace event), the link idles until the next
+    arrival when nothing is ready, and a waiting fixed-order policy is
+    re-asked whenever an arrival fires before its chosen task's memory fits.
+    Offline instances (every release 0) take exactly the historical code
+    path and reproduce the seed executors byte-for-byte.
 
     Raises
     ------
@@ -157,7 +183,12 @@ def simulate(
     link = machine.build_link()
     cpu = machine.build_cpu()
     ledger = MemoryLedger(capacity)
-    pending: dict[str, Task] = {t.name: t for t in instance.tasks}
+    pending: dict[str, Task] = {t.name: t for t in instance.tasks if t.release <= 0.0}
+    #: Release-dated tasks in (release, submission) order; consumed front to back.
+    future: list[Task] = sorted(
+        (t for t in instance.tasks if t.release > 0.0), key=lambda t: t.release
+    )
+    arr_cursor = 0
     events: list[SimEvent] | None = [] if record else None
 
     comm_start: dict[str, float] = {}
@@ -167,10 +198,37 @@ def simulate(
     fixed_comp = comp_order is not None
     comp_sequence: list[Task] = resolve_order(instance, comp_order) if fixed_comp else placed
     comp_cursor = 0
-    state = _KernelState({}, comm_start)
+    state = _KernelState({}, comm_start, pending)
     waits = getattr(policy, "waits_for_memory", False)
     select = policy.select
     time = 0.0
+
+    def fire_arrivals(now: float) -> None:
+        """Move every task released by ``now`` into the ready set."""
+        nonlocal arr_cursor
+        while arr_cursor < len(future) and future[arr_cursor].release <= now + TOLERANCE:
+            task = future[arr_cursor]
+            pending[task.name] = task
+            if events is not None:
+                events.append(SimEvent(task.release, EventKind.TASK_ARRIVAL, task.name))
+            arr_cursor += 1
+        state.arrivals_fired = arr_cursor
+
+    def next_arrival() -> float | None:
+        return future[arr_cursor].release if arr_cursor < len(future) else None
+
+    def advance_to_next_event() -> bool:
+        """Jump the clock to the next memory release or arrival, if any."""
+        nonlocal time
+        next_release = ledger.next_release()
+        arrival = next_arrival()
+        if next_release is None and arrival is None:
+            return False
+        if next_release is None or (arrival is not None and arrival < next_release):
+            time = arrival
+        else:
+            time = next_release
+        return True
 
     def place_enabled_computations() -> None:
         """Book every computation whose turn has come and transfer is placed."""
@@ -191,11 +249,17 @@ def simulate(
                 )
             comp_cursor += 1
 
-    while pending:
+    while pending or arr_cursor < len(future):
         now = link.next_free()
         if now > time:
             time = now
+        fire_arrivals(time)
         ledger.advance(time)
+
+        if not pending:
+            # Link idle, nothing arrived yet: jump to the next release date.
+            time = future[arr_cursor].release
+            continue
 
         if waits:
             state.time = time
@@ -203,9 +267,25 @@ def simulate(
             state.comm_available = now
             state.comp_available = cpu.next_free()
             task = select((), state)
-            start_at = ledger.earliest_fit(time, task.memory)
-            if not math.isfinite(start_at):
-                raise DeadlockError(f"task {task.name!r} can never acquire its memory")
+            if task is None:
+                if not advance_to_next_event():
+                    raise DeadlockError(
+                        "deadlock: policy declined to transfer and no memory "
+                        "release or arrival is pending"
+                    )
+                continue
+            horizon = next_arrival()
+            if horizon is None:
+                start_at = ledger.earliest_fit(time, task.memory)
+                if not math.isfinite(start_at):
+                    raise DeadlockError(f"task {task.name!r} can never acquire its memory")
+            else:
+                start_at = ledger.earliest_fit_before(time, task.memory, horizon)
+                if start_at is None:
+                    # An arrival fires before the memory fits: jump there and
+                    # let the policy re-rank the grown ready set.
+                    time = horizon
+                    continue
             # Transfers keep the policy's order: the next decision may not
             # precede this start (with parallel links another link can be
             # free earlier, but the ledger's destructive release walk — and
@@ -216,22 +296,29 @@ def simulate(
             headroom = ledger.headroom()
             candidates = [t for t in pending.values() if t.memory <= headroom]
             if not candidates:
-                next_release = ledger.next_release()
-                if next_release is None:
+                if not advance_to_next_event():
                     raise DeadlockError(
                         "deadlock: no task fits and no memory will be released"
                     )
-                time = next_release
                 continue
             state.time = time
             state.available_memory = ledger.available
             state.comm_available = now
             state.comp_available = cpu.next_free()
             task = select(candidates, state)
+            if task is None:
+                if not advance_to_next_event():
+                    raise DeadlockError(
+                        "deadlock: policy declined every candidate and no "
+                        "memory release or arrival is pending"
+                    )
+                continue
             start_at = time
 
         if task.name not in pending:  # pragma: no cover - defensive against bad policies
-            raise ValueError(f"policy selected unknown or already-scheduled task {task.name!r}")
+            raise ValueError(
+                f"policy selected an unknown, unreleased or already-scheduled task {task.name!r}"
+            )
         start, end = link.commit(start_at, task.comm)
         ledger.acquire(task.memory)  # release attached once the computation is placed
         comm_start[task.name] = start

@@ -24,6 +24,7 @@ __all__ = ["EventKind", "SimEvent", "EventTrace"]
 class EventKind(str, Enum):
     """What happened at one instant of a kernel run."""
 
+    TASK_ARRIVAL = "task_arrival"
     TRANSFER_START = "transfer_start"
     TRANSFER_END = "transfer_end"
     COMPUTE_START = "compute_start"
@@ -36,14 +37,16 @@ class EventKind(str, Enum):
 
 
 #: Tie-break so that, at equal instants, completions precede the starts they
-#: enable and the log reads causally.
+#: enable (and arrivals precede the decisions they feed) and the log reads
+#: causally.
 _KIND_RANK = {
     EventKind.TRANSFER_END: 0,
     EventKind.COMPUTE_END: 1,
     EventKind.MEMORY_RELEASE: 2,
-    EventKind.MEMORY_ACQUIRE: 3,
-    EventKind.TRANSFER_START: 4,
-    EventKind.COMPUTE_START: 5,
+    EventKind.TASK_ARRIVAL: 3,
+    EventKind.MEMORY_ACQUIRE: 4,
+    EventKind.TRANSFER_START: 5,
+    EventKind.COMPUTE_START: 6,
 }
 
 
@@ -103,6 +106,19 @@ class EventTrace:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EventTrace({len(self._events)} events, makespan={self.makespan:g})"
+
+    def shifted(self, offset: float) -> "EventTrace":
+        """Trace translated in time by ``offset`` (batch chaining)."""
+        if offset == 0.0:
+            return self
+        return EventTrace(
+            SimEvent(e.time + offset, e.kind, e.task, e.amount) for e in self._events
+        )
+
+    @classmethod
+    def merged(cls, traces: Iterable["EventTrace"]) -> "EventTrace":
+        """One trace holding every event of ``traces`` (re-sorted)."""
+        return cls(event for trace in traces for event in trace)
 
     # ------------------------------------------------------------------ #
     # Resource timelines

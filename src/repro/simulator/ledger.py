@@ -136,3 +136,32 @@ class MemoryLedger:
                     self._time = release
                 return release
         return math.inf
+
+    def earliest_fit_before(
+        self, ready_time: float, amount: float, horizon: float
+    ) -> float | None:
+        """Bounded :meth:`earliest_fit`: probe only up to ``horizon``.
+
+        Returns the earliest ``t`` in ``[ready_time, horizon]`` at which
+        ``amount`` more memory fits, or ``None`` when no release due by
+        ``horizon`` frees enough.  Only releases due by ``horizon`` are
+        consumed, so a caller that then advances the clock to ``horizon``
+        (the streaming runtime jumping to the next arrival) keeps the
+        account consistent — nothing beyond the horizon is ever popped.
+        """
+        self.advance(ready_time)
+        if not self._finite:
+            return ready_time
+        limit = self.capacity + self.slack - amount
+        if self._used <= limit:
+            return ready_time
+        heap = self._heap
+        bound = horizon + TOLERANCE
+        while heap and heap[0][0] <= bound:
+            release, held = heapq.heappop(heap)
+            self._used -= held
+            if self._used <= limit:
+                if release > self._time:
+                    self._time = release
+                return release
+        return None

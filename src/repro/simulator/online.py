@@ -1,0 +1,301 @@
+"""Streaming runtime: online scheduling over the event kernel.
+
+Layered on :func:`repro.simulator.engine.simulate`: tasks carry release
+(arrival) dates, the kernel grows the ready queue as arrivals fire, and an
+*online policy* decides the next transfer with partial knowledge — it only
+ever sees the tasks that have arrived.  The paper's heuristics go online
+through two adapters that re-rank the ready set on every arrival:
+
+* :class:`OnlinePlanPolicy` — static heuristics (OS, GG, BP, GGX and the
+  Section 4.1 orders): re-plan the ready set whenever an arrival fires,
+  then follow the plan, waiting for memory (but never past the next
+  arrival — the kernel re-asks so the grown ready set is re-ranked);
+* :class:`OnlineCorrectedPolicy` — Section 4.3 corrected heuristics: the
+  static plan is re-ranked per arrival and corrections pick among the
+  fitting ready tasks.
+
+Dynamic heuristics (Section 4.2) need no adapter at all: a
+:class:`~repro.simulator.policies.CriterionPolicy` already re-evaluates the
+candidate set at every decision point, and the kernel restricts candidates
+to arrived tasks.
+
+With every release at zero the adapters reduce exactly to their offline
+counterparts, so online schedules are byte-identical to the offline kernel
+— pinned by ``tests/simulator/test_online.py`` for all 14 paper heuristics
+plus GGX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Mapping, Sequence
+
+from ..core.instance import Instance
+from ..core.task import Task
+from .arrivals import ArrivalProcess, resolve_arrivals
+from .engine import SimulationResult, simulate
+from .policies import ExecutionState, SelectionPolicy, minimum_idle_filter
+from .resources import MachineModel
+
+__all__ = [
+    "OnlinePlanPolicy",
+    "OnlineCorrectedPolicy",
+    "WindowedPlanPolicy",
+    "WindowedCriterionPolicy",
+    "WindowedCorrectedPolicy",
+    "run_online",
+]
+
+
+@dataclass(frozen=True)
+class OnlinePlanPolicy:
+    """Follow a plan over the ready set, re-planned on every arrival.
+
+    ``planner`` maps the ready tasks (arrived, transfer not yet placed) to
+    the order in which to transfer them; it is invoked once per *arrival
+    epoch* — the plan survives completions (a static order does not depend
+    on the memory state) but is recomputed from scratch whenever new work
+    arrives.  Between recomputations the policy behaves exactly like a
+    :class:`~repro.simulator.policies.FixedOrderPolicy`: the kernel waits
+    for the chosen task's memory, though never past the next arrival.
+    """
+
+    planner: Callable[[Sequence[Task]], Sequence[Task]]
+    name: str = "online-plan"
+
+    #: The kernel waits for the chosen task's memory (bounded by the next
+    #: arrival) instead of offering only fitting candidates.
+    waits_for_memory: ClassVar[bool] = True
+
+    _KEY: ClassVar[str] = "online_plan"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        cached = state.scratch.get(self._KEY)
+        if cached is None or cached[0] != state.arrivals_fired:
+            # New arrival epoch: re-rank everything still un-transferred.
+            cached = [state.arrivals_fired, list(self.planner(state.ready)), 0]
+            state.scratch[self._KEY] = cached
+        plan, cursor = cached[1], cached[2]
+        # The previous selection was committed unless the kernel jumped to an
+        # arrival — which bumps the epoch and rebuilds the plan — so the
+        # cursor advances exactly once per committed transfer.
+        cached[2] = cursor + 1
+        return plan[cursor]
+
+
+@dataclass(frozen=True)
+class OnlineCorrectedPolicy:
+    """Re-planned static order with dynamic corrections (online Section 4.3).
+
+    ``planner`` computes the static order (Johnson's rule for the paper's
+    corrected heuristics) over the ready set, once per arrival epoch.  At
+    each decision the head of the remaining plan is started when it fits in
+    memory; otherwise a task is picked among the fitting ready candidates by
+    the minimum-idle filter and ``criterion``, and the plan drops it —
+    exactly the offline corrected semantics, restricted to arrived tasks.
+    """
+
+    planner: Callable[[Sequence[Task]], Sequence[Task]]
+    criterion: Callable[[Task], tuple[float, str]]
+    name: str = "online-corrected"
+
+    _KEY: ClassVar[str] = "online_corrected"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        cached = state.scratch.get(self._KEY)
+        if cached is None or cached[0] != state.arrivals_fired:
+            order = [task.name for task in self.planner(state.ready)]
+            cached = [state.arrivals_fired, order, 0, set()]
+            state.scratch[self._KEY] = cached
+        order, cursor, done = cached[1], cached[2], cached[3]
+        while cursor < len(order) and order[cursor] in done:
+            cursor += 1
+        cached[2] = cursor
+        chosen: Task | None = None
+        if cursor < len(order):
+            head = order[cursor]
+            for task in candidates:
+                if task.name == head:
+                    chosen = task
+                    break
+        if chosen is None:
+            filtered = minimum_idle_filter(candidates, state)
+            chosen = min(filtered, key=self.criterion)
+        done.add(chosen.name)
+        return chosen
+
+
+# --------------------------------------------------------------------------- #
+# Windowed policies — pipelined batched execution (no drain barrier)
+# --------------------------------------------------------------------------- #
+# The scheduler sees one batch (window) of tasks at a time and moves to the
+# next as soon as the current window's *transfers* are all placed; unlike the
+# paper's barrier semantics, the machine never drains — the next window's
+# transfers start as soon as the link and the memory ledger allow, overlapping
+# the previous windows' computations.
+
+
+@dataclass(frozen=True)
+class WindowedPlanPolicy:
+    """Pipelined fixed order: plan each window once and follow it.
+
+    ``planner`` orders one window's tasks; window ``k+1`` opens when window
+    ``k``'s transfers are all placed.  The kernel waits for the head task's
+    memory — held, possibly, by earlier windows' still-running computations
+    — but never drains the pipeline.
+    """
+
+    planner: Callable[[Sequence[Task]], Sequence[Task]]
+    windows: tuple[tuple[Task, ...], ...]
+    name: str = "windowed-plan"
+
+    waits_for_memory: ClassVar[bool] = True
+
+    _KEY: ClassVar[str] = "windowed_plan"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
+        cached = state.scratch.get(self._KEY)
+        if cached is None:
+            cached = [0, list(self.planner(self.windows[0])), 0]
+            state.scratch[self._KEY] = cached
+        index, plan, cursor = cached
+        if cursor >= len(plan):  # window exhausted: open the next one
+            index += 1
+            plan = list(self.planner(self.windows[index]))
+            cursor = 0
+            cached[0], cached[1] = index, plan
+        cached[2] = cursor + 1
+        return plan[cursor]
+
+
+@dataclass(frozen=True)
+class WindowedCriterionPolicy:
+    """Pipelined dynamic selection: the criterion picks within the window.
+
+    Candidates outside the current window are declined (``None``), making
+    the kernel wait for a memory release; within the window the offline
+    minimum-idle filter and criterion apply unchanged, so a single window
+    reduces to the offline :class:`~repro.simulator.policies.CriterionPolicy`.
+    """
+
+    criterion: Callable[[Task], tuple[float, str]]
+    windows: tuple[tuple[Task, ...], ...]
+    name: str = "windowed-criterion"
+
+    _KEY: ClassVar[str] = "windowed_criterion"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task | None:
+        cached = state.scratch.get(self._KEY)
+        if cached is None:
+            cached = [0, {task.name for task in self.windows[0]}]
+            state.scratch[self._KEY] = cached
+        while not cached[1] and cached[0] + 1 < len(self.windows):
+            cached[0] += 1
+            cached[1] = {task.name for task in self.windows[cached[0]]}
+        remaining = cached[1]
+        window_candidates = [task for task in candidates if task.name in remaining]
+        if not window_candidates:
+            return None
+        chosen = min(minimum_idle_filter(window_candidates, state), key=self.criterion)
+        remaining.discard(chosen.name)
+        return chosen
+
+
+@dataclass(frozen=True)
+class WindowedCorrectedPolicy:
+    """Pipelined corrected order: per-window static plan, windowed corrections.
+
+    ``planner`` (Johnson's rule for the paper's corrected heuristics) orders
+    each window when it opens; the plan's head is started when its memory
+    fits, otherwise a fitting window task is picked by the minimum-idle
+    filter and ``criterion`` and the plan drops it.  Tasks of later windows
+    are never touched, and nothing fitting in the window declines the
+    decision (``None``) until memory frees.
+    """
+
+    planner: Callable[[Sequence[Task]], Sequence[Task]]
+    criterion: Callable[[Task], tuple[float, str]]
+    windows: tuple[tuple[Task, ...], ...]
+    name: str = "windowed-corrected"
+
+    _KEY: ClassVar[str] = "windowed_corrected"
+
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task | None:
+        cached = state.scratch.get(self._KEY)
+        if cached is None:
+            cached = [0, [t.name for t in self.planner(self.windows[0])], 0, set()]
+            state.scratch[self._KEY] = cached
+        if len(cached[3]) == len(cached[1]):  # window exhausted: open the next
+            cached[0] += 1
+            cached[1] = [t.name for t in self.planner(self.windows[cached[0]])]
+            cached[2] = 0
+            cached[3] = set()
+        order, cursor, done = cached[1], cached[2], cached[3]
+        while cursor < len(order) and order[cursor] in done:
+            cursor += 1
+        cached[2] = cursor
+        window_names = set(order)
+        chosen: Task | None = None
+        if cursor < len(order):
+            head = order[cursor]
+            for task in candidates:
+                if task.name == head:
+                    chosen = task
+                    break
+        if chosen is None:
+            window_candidates = [
+                task
+                for task in candidates
+                if task.name in window_names and task.name not in done
+            ]
+            if not window_candidates:
+                return None
+            filtered = minimum_idle_filter(window_candidates, state)
+            chosen = min(filtered, key=self.criterion)
+        done.add(chosen.name)
+        return chosen
+
+
+def run_online(
+    instance: Instance,
+    solver: "SelectionPolicy | object",
+    *,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
+    machine: MachineModel | None = None,
+    record: bool = False,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run one solver on the streaming runtime.
+
+    Parameters
+    ----------
+    solver:
+        Either a kernel :class:`~repro.simulator.policies.SelectionPolicy`
+        used as-is, or any object with an ``online_policy(instance)`` method
+        (every paper heuristic and GGX; the MILP wrappers have none and are
+        rejected).
+    arrivals:
+        Release dates to stamp onto the instance before the run: an
+        :class:`~repro.simulator.arrivals.ArrivalProcess` (sampled with
+        ``seed``), a ``{task name: date}`` mapping, or a sequence aligned
+        with the submission order.  ``None`` keeps the release dates the
+        instance already carries — all zero for offline instances, in which
+        case the run is byte-identical to the offline kernel.
+    machine / record:
+        Forwarded to :func:`~repro.simulator.engine.simulate`.
+    """
+    if arrivals is not None:
+        instance = instance.with_releases(
+            resolve_arrivals(arrivals, instance.tasks, seed=seed)
+        )
+    policy = solver
+    factory = getattr(solver, "online_policy", None)
+    if factory is not None:
+        policy = factory(instance)
+        if policy is None:
+            name = getattr(solver, "name", type(solver).__name__)
+            raise ValueError(
+                f"solver {name!r} does not run on the streaming runtime "
+                "(no online policy)"
+            )
+    return simulate(instance, policy, machine=machine, record=record)

@@ -53,6 +53,12 @@ class ExecutionState:
     all decision points of one run; policies keep run-local state (cursors,
     caches) there instead of on themselves, so a policy object can be reused
     across runs safely.
+
+    ``ready`` and ``arrivals_fired`` expose the streaming view: the tasks
+    that have arrived but whose transfer is not yet placed, and how many
+    release dates have fired so far.  Offline runs leave them at their
+    defaults (no ready view, zero arrivals); online policies re-rank
+    ``ready`` whenever ``arrivals_fired`` moves.
     """
 
     time: float
@@ -60,6 +66,8 @@ class ExecutionState:
     comm_available: float
     comp_available: float
     scheduled: tuple[str, ...]
+    ready: tuple[Task, ...] = ()
+    arrivals_fired: int = 0
     scratch: MutableMapping = field(default_factory=dict)
 
     def induced_idle(self, task: Task) -> float:
@@ -70,8 +78,13 @@ class ExecutionState:
 class SelectionPolicy(Protocol):
     """Chooses the next transfer among the tasks that currently fit in memory."""
 
-    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task:
-        """Return the task to transfer next; ``candidates`` is never empty."""
+    def select(self, candidates: Sequence[Task], state: ExecutionState) -> Task | None:
+        """Return the task to transfer next; ``candidates`` is never empty.
+
+        Window/online policies may return ``None`` to decline every
+        candidate, making the kernel wait for the next memory release or
+        task arrival before asking again.
+        """
         ...
 
 

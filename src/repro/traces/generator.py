@@ -10,8 +10,7 @@ real traces (bytes / seconds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,6 +35,11 @@ class WorkloadRegime:
     is itself log-normally distributed around ``intensity_median``.
     A ``bandwidth`` (bytes/second) converts communication times to volumes so
     that memory requirements follow the paper's proportionality convention.
+
+    ``arrivals`` optionally attaches an
+    :class:`~repro.simulator.arrivals.ArrivalProcess` to the regime: sampled
+    traces then carry release dates and the instances built from them run on
+    the streaming runtime.  ``None`` (the default) keeps the offline model.
     """
 
     name: str
@@ -44,16 +48,25 @@ class WorkloadRegime:
     intensity_median: float = 1.0
     intensity_sigma: float = 0.5
     bandwidth: float = 3e9
+    arrivals: object | None = None
     description: str = ""
 
     def sample(self, rng: np.random.Generator, count: int) -> list[TraceTask]:
+        """Draw ``count`` tasks; ``rng`` also drives the arrival process.
+
+        Communication times are log-normal around ``comm_median``,
+        computation times are ``comm * intensity`` with log-normal
+        ``intensity``, volumes are ``comm * bandwidth``.  When the regime
+        carries an arrival process, the sampled stream is stamped with its
+        release dates in submission order.
+        """
         comm = self.comm_median * np.exp(rng.normal(0.0, self.comm_sigma, size=count))
         intensity = self.intensity_median * np.exp(
             rng.normal(0.0, self.intensity_sigma, size=count)
         )
         comp = comm * intensity
         volume = comm * self.bandwidth
-        return [
+        tasks = [
             TraceTask(
                 name=f"t{i:05d}",
                 volume_bytes=float(volume[i]),
@@ -63,6 +76,17 @@ class WorkloadRegime:
             )
             for i in range(count)
         ]
+        if self.arrivals is not None:
+            releases = self.arrivals.sample(rng, [t.to_task() for t in tasks])
+            tasks = [
+                replace(task, release_seconds=float(date))
+                for task, date in zip(tasks, releases)
+            ]
+        return tasks
+
+    def with_arrivals(self, arrivals) -> "WorkloadRegime":
+        """Same statistics under an arrival process (streaming variant)."""
+        return replace(self, arrivals=arrivals)
 
 
 #: Named regimes matching the favorable situations discussed around Table 6.

@@ -15,7 +15,7 @@ requirement of a task is its communication volume.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
 from ..core.instance import Instance
@@ -30,30 +30,37 @@ class TraceTask:
 
     ``volume_bytes`` is the amount of remote data fetched before execution; it
     is also the memory the task pins locally from the start of its transfer to
-    the end of its computation (the paper's model).
+    the end of its computation (the paper's model).  ``release_seconds`` is
+    the instant the task was submitted to the runtime — zero (the offline
+    default) unless an arrival process stamped the trace.
     """
 
     name: str
     volume_bytes: float
     comm_seconds: float
     comp_seconds: float
+    release_seconds: float = 0.0
     kind: str = ""
 
     def __post_init__(self) -> None:
         if self.volume_bytes < 0 or self.comm_seconds < 0 or self.comp_seconds < 0:
             raise ValueError(f"trace task {self.name!r} has negative fields")
+        if self.release_seconds < 0:
+            raise ValueError(f"trace task {self.name!r} has a negative release date")
 
     def to_task(self) -> Task:
         """Convert to the scheduling-layer :class:`~repro.core.task.Task`.
 
         Times are kept in seconds; the memory requirement is the transferred
-        volume in bytes.
+        volume in bytes; the release date carries over, so instances built
+        from arrival-stamped traces stream automatically.
         """
         return Task(
             name=self.name,
             comm=self.comm_seconds,
             comp=self.comp_seconds,
             memory=self.volume_bytes,
+            release=self.release_seconds,
             tag=self.kind,
         )
 
@@ -117,6 +124,29 @@ class Trace:
         if factor <= 0:
             raise ValueError("capacity factor must be positive")
         return self.to_instance(self.min_capacity_bytes * factor)
+
+    def with_arrivals(self, spec, *, seed: int = 0) -> "Trace":
+        """Trace stamped with release dates from an arrival process.
+
+        ``spec`` is anything :func:`repro.simulator.arrivals.resolve_arrivals`
+        accepts — an arrival process, a ``{task name: date}`` mapping, or a
+        sequence aligned with the submission order.  Instances built from
+        the stamped trace run on the streaming runtime automatically.
+        """
+        # Imported lazily: repro.traces must stay importable without pulling
+        # the whole simulator package in at module load.
+        from ..simulator.arrivals import resolve_arrivals
+
+        releases = resolve_arrivals(spec, [t.to_task() for t in self.tasks], seed=seed)
+        return Trace(
+            application=self.application,
+            process=self.process,
+            tasks=[
+                replace(t, release_seconds=releases.get(t.name, t.release_seconds))
+                for t in self.tasks
+            ],
+            metadata=dict(self.metadata),
+        )
 
     def batched(self, batch_size: int) -> list["Trace"]:
         """Split the stream into successive batches of ``batch_size`` tasks."""

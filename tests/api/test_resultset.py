@@ -169,3 +169,58 @@ class TestSerialisation:
     def test_csv_rejects_bad_header(self):
         with pytest.raises(ValueError, match="bad CSV header"):
             ResultSet.from_csv("a,b,c\n1,2,3\n")
+
+
+class TestOnlineColumns:
+    def test_defaults_are_nan(self):
+        record = _record()
+        assert math.isnan(record.mean_response_time)
+        assert math.isnan(record.mean_stretch)
+        assert math.isnan(record.avg_queue_length)
+
+    def test_online_values_round_trip(self):
+        record = RunRecord(
+            application="HF",
+            trace="HF/p000",
+            heuristic="LCMR",
+            category="dynamic",
+            capacity_factor=1.5,
+            capacity=1000.0,
+            makespan=12.0,
+            omim=10.0,
+            ratio_to_optimal=1.2,
+            task_count=40,
+            mean_response_time=3.5,
+            mean_stretch=1.4,
+            avg_queue_length=6.25,
+        )
+        rs = ResultSet([record])
+        for restored in (ResultSet.from_json(rs.to_json()), ResultSet.from_csv(rs.to_csv())):
+            assert restored[0].mean_response_time == pytest.approx(3.5)
+            assert restored[0].mean_stretch == pytest.approx(1.4)
+            assert restored[0].avg_queue_length == pytest.approx(6.25)
+
+    def test_pre_streaming_dumps_load_with_nan_fills(self, sample):
+        # Dumps written before the online columns existed lack them entirely.
+        columns = sample.to_columns()
+        for name in ("mean_response_time", "mean_stretch", "avg_queue_length"):
+            columns.pop(name)
+        restored = ResultSet.from_columns(columns)
+        assert len(restored) == len(sample)
+        assert math.isnan(restored[0].mean_response_time)
+
+        import csv as _csv
+        import io as _io
+
+        legacy_header = [
+            "application", "trace", "heuristic", "category", "capacity_factor",
+            "capacity", "makespan", "omim", "ratio_to_optimal", "task_count",
+        ]
+        buffer = _io.StringIO()
+        writer = _csv.writer(buffer, lineterminator="\n")
+        writer.writerow(legacy_header)
+        writer.writerow(["HF", "HF/p000", "OS", "submission", 1.0, 1000.0, 11.0, 10.0, 1.1, 40])
+        from_legacy = ResultSet.from_csv(buffer.getvalue())
+        assert len(from_legacy) == 1
+        assert math.isnan(from_legacy[0].avg_queue_length)
+        assert from_legacy[0].task_count == 40

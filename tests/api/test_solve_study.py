@@ -177,3 +177,143 @@ class TestStudy:
         results = Study().traces(ensemble).capacities(1.5).solvers("OS").run()
         assert len(results) == 2
         assert set(results.column("application")) == {"synthetic-mixed-intensity"}
+
+
+class TestSolveArrivals:
+    def test_arrivals_stamp_and_stream(self, table3_like_instance):
+        from repro.simulator import PoissonArrivals
+
+        result = solve(
+            table3_like_instance, "LCMR", arrivals=PoissonArrivals(load=1.0), arrival_seed=3
+        )
+        assert result.instance.has_releases
+        assert result.online is not None
+        assert result.online.mean_response_time > 0
+        # Releases only delay work: never better than the offline run.
+        offline = solve(table3_like_instance, "LCMR")
+        assert result.makespan >= offline.makespan - 1e-9
+        assert result.online is not None and offline.online is None
+
+    def test_arrivals_sequence_and_mapping(self, table3_like_instance):
+        by_seq = solve(table3_like_instance, "OS", arrivals=[0.0, 0.0, 5.0, 0.0])
+        assert by_seq.schedule["C"].comm_start >= 5.0
+        by_map = solve(table3_like_instance, "OS", arrivals={"C": 5.0})
+        assert by_map.schedule == by_seq.schedule
+
+    def test_release_dated_instance_streams_automatically(self, table3_like_instance):
+        stamped = table3_like_instance.with_releases({"A": 4.0})
+        result = solve(stamped, "OOMAMR")
+        assert result.schedule["A"].comm_start >= 4.0
+        assert result.online is not None
+
+    def test_arrivals_exclude_batching(self, table3_like_instance):
+        with pytest.raises(ValueError, match="streaming generalises batching"):
+            solve(table3_like_instance, "OS", arrivals=[0, 0, 0, 0], batch_size=2)
+
+    def test_pipelined_requires_batch_size(self, table3_like_instance):
+        with pytest.raises(ValueError, match="batch_size"):
+            solve(table3_like_instance, "OS", pipelined=True)
+
+    def test_batch_mode_composes_with_machine_and_events(self, table3_like_instance):
+        from repro.simulator import MachineModel
+
+        result = solve(
+            table3_like_instance,
+            "LCMR",
+            batch_size=2,
+            machine=MachineModel(link_count=2),
+            record_events=True,
+        )
+        assert result.trace is not None
+        assert result.trace.makespan == pytest.approx(result.makespan)
+
+    def test_pipelined_batches_never_beat_offline_nor_lose_to_barrier_for_os(
+        self, table3_like_instance
+    ):
+        offline = solve(table3_like_instance, "OS")
+        barrier = solve(table3_like_instance, "OS", batch_size=2)
+        piped = solve(table3_like_instance, "OS", batch_size=2, pipelined=True)
+        assert offline.makespan - 1e-9 <= piped.makespan <= barrier.makespan + 1e-9
+
+
+class TestStudyArrivals:
+    def test_arrivals_fill_online_columns(self, traces):
+        from repro.simulator import PoissonArrivals
+
+        results = (
+            Study()
+            .traces(traces[0])
+            .capacities(1.5)
+            .solvers("LCMR", "OOMAMR")
+            .arrivals(PoissonArrivals(load=2.0), seed=4)
+            .run()
+        )
+        assert len(results) == 2
+        assert all(r.mean_response_time > 0 for r in results)
+        assert all(r.avg_queue_length > 0 for r in results)
+
+    def test_offline_rows_carry_nan_online_columns(self, traces):
+        import math
+
+        results = Study().traces(traces[0]).capacities(1.5).solvers("OS").run()
+        assert all(math.isnan(r.mean_response_time) for r in results)
+
+    def test_arrival_pattern_is_shared_across_capacity_factors(self, traces):
+        from repro.simulator import PoissonArrivals
+
+        results = (
+            Study()
+            .traces(traces[0])
+            .capacities(1.0, 2.0)
+            .solvers("OS")
+            .arrivals(PoissonArrivals(load=1.0), seed=1)
+            .run()
+        )
+        # Same releases at both factors: only the capacity differs, so the
+        # response times are comparable (and the capacity=2mc run is never
+        # slower than capacity=mc).
+        tight, loose = results[0], results[1]
+        assert tight.capacity_factor == 1.0 and loose.capacity_factor == 2.0
+        assert loose.makespan <= tight.makespan + 1e-9
+
+    def test_pipelined_study_runs(self, traces):
+        barrier = (
+            Study().traces(traces[0]).capacities(1.5).solvers("OS").batched(10).run()
+        )
+        piped = (
+            Study()
+            .traces(traces[0])
+            .capacities(1.5)
+            .solvers("OS")
+            .batched(10, pipelined=True)
+            .run()
+        )
+        assert piped[0].makespan <= barrier[0].makespan + 1e-9
+
+    def test_arrivals_and_batching_are_exclusive(self, traces):
+        from repro.simulator import PoissonArrivals
+
+        study = (
+            Study()
+            .traces(traces[0])
+            .capacities(1.5)
+            .solvers("OS")
+            .batched(10)
+            .arrivals(PoissonArrivals())
+        )
+        with pytest.raises(ValueError, match="streaming generalises batching"):
+            study.run()
+
+
+class TestPipelinedValidation:
+    def test_sweeps_reject_pipelined_without_batch_size(self, traces):
+        from repro.api.engine import sweep_instances, sweep_traces
+        from repro.core import Instance, Task
+
+        with pytest.raises(ValueError, match="requires a batch_size"):
+            sweep_traces(
+                [traces[0]], capacity_factors=(1.5,), solver_specs=("OS",), pipelined=True
+            )
+        instance = Instance([Task.from_times("A", 1, 1)], capacity=4)
+        with pytest.raises(ValueError, match="requires a batch_size"):
+            sweep_instances([instance], solver_specs=("OS",), pipelined=True)

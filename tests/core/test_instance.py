@@ -105,3 +105,45 @@ class TestDerivations:
     def test_iteration_matches_submission_order(self):
         instance = make_instance()
         assert [t.name for t in instance] == ["0", "1", "2", "3"]
+
+
+class TestReleases:
+    def test_offline_instance_has_no_releases(self):
+        instance = make_instance()
+        assert not instance.has_releases
+        assert instance.max_release == 0.0
+
+    def test_with_releases_mapping_and_sequence(self):
+        instance = make_instance()
+        stamped = instance.with_releases({"1": 3.0, "3": 5.0})
+        assert stamped.has_releases
+        assert stamped.releases() == {"0": 0.0, "1": 3.0, "2": 0.0, "3": 5.0}
+        aligned = instance.with_releases([0.0, 1.0, 2.0, 3.0])
+        assert aligned.max_release == 3.0
+        with pytest.raises(ValueError, match="release dates"):
+            instance.with_releases([1.0])
+
+    def test_without_releases_strips_dates(self):
+        stamped = make_instance().with_releases([0.0, 1.0, 2.0, 3.0])
+        offline = stamped.without_releases()
+        assert not offline.has_releases
+        # Already-offline instances are returned as-is.
+        assert offline.without_releases() is offline
+
+    def test_batches_carry_release_dates(self):
+        stamped = make_instance(capacity=8).with_releases([0.0, 1.0, 2.0, 3.0])
+        batches = stamped.batches(2)
+        assert [t.release for t in batches[1].tasks] == [2.0, 3.0]
+
+
+class TestBatchNames:
+    def test_unnamed_batches_get_fallback_names(self):
+        batches = make_instance(capacity=8).batches(3)
+        assert [b.name for b in batches] == ["batch-0", "batch-1"]
+
+    def test_named_batches_keep_the_instance_name(self):
+        instance = Instance(make_instance().tasks, capacity=8, name="HF/p007")
+        assert [b.name for b in instance.batches(3)] == [
+            "HF/p007[batch 0]",
+            "HF/p007[batch 1]",
+        ]

@@ -93,3 +93,26 @@ class TestAggregates:
 def test_task_is_exactly_one_kind(comm, comp):
     task = Task.from_times("X", comm, comp)
     assert task.is_compute_intensive != task.is_communication_intensive
+
+
+class TestReleaseDates:
+    def test_default_release_is_zero(self):
+        assert Task.from_times("A", 1, 2).release == 0.0
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError, match="release"):
+            Task("A", 1, 2, release=-0.5)
+
+    def test_released_at_copies(self):
+        task = Task("A", 1, 2, memory=3, tag="x")
+        later = task.released_at(7.5)
+        assert later.release == 7.5
+        assert (later.comm, later.comp, later.memory, later.tag) == (1, 2, 3, "x")
+        assert task.release == 0.0  # original untouched
+
+    def test_max_release(self):
+        from repro.core import max_release
+
+        tasks = [Task("A", 1, 1), Task("B", 1, 1, release=4.0)]
+        assert max_release(tasks) == 4.0
+        assert max_release([]) == 0.0

@@ -81,3 +81,30 @@ class TestStatistics:
 
     def test_summarise_empty(self):
         assert summarise([]) == DistributionSummary.empty()
+
+
+class TestRegimeArrivals:
+    def test_regime_without_arrivals_is_offline(self):
+        trace = synthetic_trace("balanced", tasks=20, seed=1)
+        assert all(t.release_seconds == 0.0 for t in trace.tasks)
+
+    def test_regime_with_arrivals_stamps_releases(self):
+        from repro.simulator import PoissonArrivals
+        from repro.traces import REGIMES
+
+        streaming = REGIMES["balanced"].with_arrivals(PoissonArrivals(load=1.0))
+        trace = synthetic_trace(streaming, tasks=20, seed=1)
+        releases = [t.release_seconds for t in trace.tasks]
+        assert releases[0] == 0.0
+        assert releases == sorted(releases)
+        assert releases[-1] > 0.0
+        assert trace.to_instance().has_releases
+
+    def test_with_arrivals_keeps_the_statistics(self):
+        from repro.simulator import PoissonArrivals
+        from repro.traces import REGIMES
+
+        base = REGIMES["compute-heavy"]
+        streaming = base.with_arrivals(PoissonArrivals(load=2.0))
+        assert streaming.intensity_median == base.intensity_median
+        assert streaming.name == base.name

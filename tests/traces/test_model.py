@@ -86,3 +86,45 @@ class TestEnsemble:
         subset = ensemble.subset(2)
         assert len(subset) == 2
         assert subset[1].process == 1
+
+
+class TestTraceArrivals:
+    def test_trace_task_release_defaults_to_zero(self):
+        task = TraceTask(name="t", volume_bytes=8.0, comm_seconds=1.0, comp_seconds=2.0)
+        assert task.release_seconds == 0.0
+        assert task.to_task().release == 0.0
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError, match="release"):
+            TraceTask(
+                name="t",
+                volume_bytes=8.0,
+                comm_seconds=1.0,
+                comp_seconds=2.0,
+                release_seconds=-1.0,
+            )
+
+    def test_release_carries_into_instances(self):
+        trace = make_trace(count=3)
+        stamped = trace.with_arrivals([0.0, 2.0, 4.0])
+        instance = stamped.to_instance()
+        assert instance.has_releases
+        assert [t.release for t in instance.tasks] == [0.0, 2.0, 4.0]
+        # The original trace is untouched.
+        assert not trace.to_instance().has_releases
+
+    def test_with_arrivals_process_is_deterministic(self):
+        from repro.simulator import PoissonArrivals
+
+        trace = make_trace(count=10)
+        a = trace.with_arrivals(PoissonArrivals(load=1.0), seed=5)
+        b = trace.with_arrivals(PoissonArrivals(load=1.0), seed=5)
+        assert [t.release_seconds for t in a.tasks] == [t.release_seconds for t in b.tasks]
+
+    def test_with_arrivals_partial_mapping_keeps_other_releases(self):
+        trace = make_trace(count=3)
+        stamped = trace.with_arrivals({"t1": 2.5})
+        assert [t.release_seconds for t in stamped.tasks] == [0.0, 2.5, 0.0]
+        # Re-stamping preserves dates the mapping does not touch.
+        again = stamped.with_arrivals({"t0": 1.0})
+        assert [t.release_seconds for t in again.tasks] == [1.0, 2.5, 0.0]
