@@ -17,7 +17,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from conftest import RESULTS_DIR
 from repro.core import Instance, Task

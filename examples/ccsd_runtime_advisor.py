@@ -43,7 +43,7 @@ def main() -> None:
     characteristics = characterise_trace(trace)
     print(f"CCSD trace {trace.label}: {len(trace)} tasks, "
           f"largest single-task footprint {trace.min_capacity_bytes / 1e9:.2f} GB")
-    print(f"maximum hideable fraction of the sequential time: "
+    print("maximum hideable fraction of the sequential time: "
           f"{characteristics.max_overlap_fraction:.0%}\n")
 
     header = f"{'budget':>9} {'best strategy':>14} {'ratio to OMIM':>14} {'runner-up':>12}"

@@ -16,6 +16,8 @@ Molecular Chemistry Kernels"* (Kumar, Eyraud-Dubois, Krishnamoorthy, ICPP
 * :mod:`repro.simulator` — memory-aware executors turning orders into
   feasible schedules;
 * :mod:`repro.milp` — the mixed-integer formulation and the windowed lp.k solver;
+* :mod:`repro.portfolio` — instance featurization, Table 6 algorithm
+  selection, parallel solver racing and the persistent result cache;
 * :mod:`repro.chemistry` — simulated NWChem Hartree–Fock and CCSD workloads;
 * :mod:`repro.traces` — trace model, IO, generators and workload statistics;
 * :mod:`repro.experiments` — the capacity sweeps regenerating every figure;
@@ -82,6 +84,16 @@ from .core import (
     validate_schedule,
 )
 from .heuristics import Category, Heuristic, all_heuristics, get_heuristic
+from .portfolio import (
+    CachedSolver,
+    EmpiricalSelector,
+    InstanceFeatures,
+    PortfolioSolver,
+    ResultCache,
+    SelectingSolver,
+    Table6Selector,
+    featurize,
+)
 from .simulator import (
     BurstyArrivals,
     EventTrace,
@@ -97,7 +109,7 @@ from .simulator import (
     simulate_in_batches,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Task",
@@ -146,5 +158,14 @@ __all__ = [
     "evaluate_online",
     "run_online",
     "simulate_in_batches",
+    # portfolio layer
+    "CachedSolver",
+    "EmpiricalSelector",
+    "InstanceFeatures",
+    "PortfolioSolver",
+    "ResultCache",
+    "SelectingSolver",
+    "Table6Selector",
+    "featurize",
     "__version__",
 ]

@@ -1,0 +1,61 @@
+"""``python -m repro`` — the registered-solver table (the Table 6 view).
+
+Prints every solver the registry knows — name, category, aliases and its
+favorable situation — so users can discover what ``solve(instance, name)``
+accepts without reading source.  ``--category`` filters one family::
+
+    python -m repro
+    python -m repro --category dynamic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .api import available_solvers
+from .heuristics import Category
+
+
+def render_solver_table(category: str | None = None) -> str:
+    """The solver table as text (one row per registered solver)."""
+    infos = list(available_solvers().values())
+    if category is not None:
+        wanted = Category(category.lower())
+        infos = [info for info in infos if info.category is wanted]
+        if not infos:
+            raise ValueError(f"no registered solvers in category {wanted.value!r}")
+    name_width = max(len(info.name) for info in infos)
+    category_width = max(len(str(info.category)) for info in infos)
+    lines = [
+        f"{len(infos)} registered solvers (repro.solve accepts any name or alias)",
+        "",
+        f"{'solver':<{name_width}}  {'category':<{category_width}}  favorable situation",
+    ]
+    for info in infos:
+        situation = info.favorable_situation or "-"
+        lines.append(f"{info.name:<{name_width}}  {str(info.category):<{category_width}}  {situation}")
+        if info.aliases:
+            lines.append(f"{'':<{name_width}}  {'':<{category_width}}  aliases: {', '.join(info.aliases)}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="List the registered solvers and their favorable situations (Table 6).",
+    )
+    parser.add_argument(
+        "--category",
+        choices=[c.value for c in Category],
+        default=None,
+        help="only show one solver family",
+    )
+    args = parser.parse_args(argv)
+    print(render_solver_table(args.category))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -79,3 +79,58 @@ for _window in _MILP_WINDOWS:
         ),
         favorable_situation="Very small task batches, where the window covers the whole problem.",
     )(_milp_factory(_window))
+
+
+# --------------------------------------------------------------------- #
+# Portfolio layer: racing, Table 6 selection, persistent caching
+# --------------------------------------------------------------------- #
+def _race_factory(**params):
+    from ..portfolio.race import PortfolioSolver
+
+    return PortfolioSolver(**params)
+
+
+def _select_factory(**params):
+    from ..portfolio.selector import SelectingSolver
+
+    return SelectingSolver(**params)
+
+
+def _cached_factory(**params):
+    from ..portfolio.cache import CachedSolver
+
+    return CachedSolver(**params)
+
+
+register_solver(
+    "portfolio.race",
+    category=Category.PORTFOLIO,
+    aliases=("RACE", "PORTFOLIO"),
+    description=(
+        "Race K member solvers concurrently with incumbent/lower-bound "
+        "pruning and keep the virtual-best schedule."
+    ),
+    favorable_situation="Unknown or shifting regimes: hedge across the members' situations.",
+)(_race_factory)
+
+register_solver(
+    "portfolio.select",
+    category=Category.PORTFOLIO,
+    aliases=("SELECT", "TABLE6"),
+    description=(
+        "Featurize the instance and run the single heuristic whose Table 6 "
+        "favorable situation matches its regime."
+    ),
+    favorable_situation="Any regime Table 6 describes, at single-solver cost.",
+)(_select_factory)
+
+register_solver(
+    "portfolio.cached",
+    category=Category.PORTFOLIO,
+    aliases=("CACHED",),
+    description=(
+        "Serve repeated solves of the same canonical instance from a "
+        "persistent content-addressed schedule cache."
+    ),
+    favorable_situation="Repeated traffic over recurring instances (sweeps, services).",
+)(_cached_factory)

@@ -103,6 +103,10 @@ def run_solvers_on_instance(
             schedule, instance, heuristic=solver.name, reference=reference, trace=trace
         )
         online_metrics = evaluate_online(schedule) if online else None
+        # Batched execution runs the solver once per window, so last_outcome
+        # only describes the final batch — leave the attribution columns
+        # empty rather than recording a misleading partial answer.
+        outcome = getattr(solver, "last_outcome", None) if batch_size is None else None
         records.append(
             RunRecord(
                 application=application,
@@ -121,6 +125,12 @@ def run_solvers_on_instance(
                 mean_stretch=online_metrics.mean_stretch if online_metrics else math.nan,
                 avg_queue_length=(
                     online_metrics.avg_queue_length if online_metrics else math.nan
+                ),
+                selected_solver=outcome.selected if outcome is not None else "",
+                cache_hit=(
+                    math.nan
+                    if outcome is None or outcome.cache_hit is None
+                    else float(outcome.cache_hit)
                 ),
             )
         )

@@ -126,11 +126,17 @@ def _known_names() -> list[str]:
 
 
 def _unknown(name: str) -> UnknownSolverError:
-    known = _known_names()
-    suggestions = difflib.get_close_matches(name.upper(), [k.upper() for k in known], n=3)
-    hint = f"; did you mean {', '.join(sorted(set(suggestions)))}?" if suggestions else ""
+    # Match case-insensitively but suggest the *registered* spelling: the
+    # registry accepts any casing, yet error messages should hand back names
+    # that read like the documentation (e.g. "lp.4", never "LP.4").
+    by_upper: dict[str, str] = {}
+    for known in _known_names():
+        by_upper.setdefault(known.upper(), known)
+    matches = difflib.get_close_matches(name.upper(), list(by_upper), n=3)
+    suggestions = sorted({by_upper[match] for match in matches})
+    hint = f"; did you mean {', '.join(suggestions)}?" if suggestions else ""
     return UnknownSolverError(
-        f"unknown solver {name!r}{hint} known solvers: {sorted(set(known))}"
+        f"unknown solver {name!r}{hint} known solvers: {sorted(set(_known_names()))}"
     )
 
 
@@ -284,10 +290,22 @@ def resolve_solvers(*specs) -> list[Solver]:
             solvers.append(spec())
         elif isinstance(spec, Solver):
             solvers.append(spec)
+        elif callable(spec):
+            # Zero-argument factory: lets sweeps build a *fresh* configured
+            # solver per trace job (Study().portfolio uses this, so racing
+            # state never leaks between concurrent jobs).
+            solver = spec()
+            if not isinstance(solver, Solver):
+                raise TypeError(
+                    f"solver factory {spec!r} returned {solver!r}, "
+                    "which does not satisfy the Solver protocol"
+                )
+            solvers.append(solver)
         else:
             raise TypeError(
                 f"cannot interpret solver spec {spec!r}; expected a name, "
-                "'category:<name>', a Solver instance or a solver class"
+                "'category:<name>', a Solver instance, a solver class or a "
+                "zero-argument factory"
             )
     return solvers
 

@@ -27,7 +27,11 @@ class RunRecord:
 
     The three online columns (mean response time, mean stretch,
     time-averaged queue length) are populated by arrival-aware sweeps and
-    stay ``nan`` for offline runs.
+    stay ``nan`` for offline runs.  The two portfolio columns record what a
+    portfolio solver actually executed: ``selected_solver`` is the member a
+    race/selection run delegated to (empty for plain solvers) and
+    ``cache_hit`` is 1.0/0.0 for cached runs (``nan`` when no cache was
+    involved).
     """
 
     application: str
@@ -43,6 +47,8 @@ class RunRecord:
     mean_response_time: float = math.nan
     mean_stretch: float = math.nan
     avg_queue_length: float = math.nan
+    selected_solver: str = ""
+    cache_hit: float = math.nan
 
     @property
     def key(self) -> tuple[str, float]:
@@ -64,16 +70,36 @@ COLUMNS: tuple[str, ...] = (
     "mean_response_time",
     "mean_stretch",
     "avg_queue_length",
+    "selected_solver",
+    "cache_hit",
 )
 
-#: Online columns may be absent from pre-streaming dumps; loaders fill nan.
-_ONLINE_COLUMNS = frozenset(
-    {"mean_response_time", "mean_stretch", "avg_queue_length"}
-)
+#: Later-vintage columns may be absent from older dumps; loaders fill the
+#: per-column default (``nan`` for measurements, ``""`` for labels).
+_OPTIONAL_DEFAULTS: dict[str, object] = {
+    # pre-streaming dumps (PR 3) lack the online measurement columns
+    "mean_response_time": math.nan,
+    "mean_stretch": math.nan,
+    "avg_queue_length": math.nan,
+    # pre-portfolio dumps (PR 4) lack the attribution columns
+    "selected_solver": "",
+    "cache_hit": math.nan,
+}
+_OPTIONAL_COLUMNS = frozenset(_OPTIONAL_DEFAULTS)
 
 _FLOAT_COLUMNS = frozenset(
-    {"capacity_factor", "capacity", "makespan", "omim", "ratio_to_optimal"}
-) | _ONLINE_COLUMNS
+    {
+        "capacity_factor",
+        "capacity",
+        "makespan",
+        "omim",
+        "ratio_to_optimal",
+        "mean_response_time",
+        "mean_stretch",
+        "avg_queue_length",
+        "cache_hit",
+    }
+)
 _INT_COLUMNS = frozenset({"task_count"})
 
 #: Named reducers accepted by :meth:`ResultSet.aggregate`.
@@ -139,10 +165,11 @@ class ResultSet:
     def from_columns(cls, columns: Mapping[str, Sequence]) -> "ResultSet":
         """Build from a ``{column: values}`` mapping (validated).
 
-        The online columns are optional — dumps written before the
-        streaming runtime lack them and load with ``nan`` fills.
+        The online and portfolio columns are optional — dumps written
+        before those runtimes lack them and load with their defaults
+        (``nan`` fills for measurements, ``""`` for ``selected_solver``).
         """
-        missing = set(COLUMNS) - set(columns) - _ONLINE_COLUMNS
+        missing = set(COLUMNS) - set(columns) - _OPTIONAL_COLUMNS
         extra = set(columns) - set(COLUMNS)
         if missing or extra:
             raise ValueError(
@@ -157,7 +184,7 @@ class ResultSet:
             if name in columns:
                 result._columns[name] = list(columns[name])
             else:
-                result._columns[name] = [math.nan] * count
+                result._columns[name] = [_OPTIONAL_DEFAULTS[name]] * count
         return result
 
     @classmethod
@@ -391,7 +418,7 @@ class ResultSet:
             return cls()
         header = tuple(rows[0])
         unknown = set(header) - set(COLUMNS)
-        missing = set(COLUMNS) - set(header) - _ONLINE_COLUMNS
+        missing = set(COLUMNS) - set(header) - _OPTIONAL_COLUMNS
         if unknown or missing:
             raise ValueError(f"bad CSV header {header}; expected columns {COLUMNS}")
         columns: dict[str, list] = {name: [] for name in header}

@@ -28,6 +28,9 @@ class SolveResult:
     acquire/release; idle intervals and overlap are derived views on it).
     ``online`` carries the arrival-aware metrics (response time, stretch,
     queue length) whenever the instance's tasks have release dates.
+    ``selected_solver``/``cache_hit`` attribute portfolio runs: the member a
+    race or selection actually executed, and whether a cached run was served
+    from the store (both ``None`` for plain solvers).
     """
 
     solver: str
@@ -37,6 +40,8 @@ class SolveResult:
     metrics: ScheduleMetrics
     trace: EventTrace | None = None
     online: OnlineMetrics | None = None
+    selected_solver: str | None = None
+    cache_hit: bool | None = None
 
     @property
     def makespan(self) -> float:
@@ -157,6 +162,9 @@ def solve(
         schedule, instance, heuristic=solver.name, reference=reference, trace=trace
     )
     online = evaluate_online(schedule) if instance.has_releases else None
+    # Batched runs invoke the solver once per window; last_outcome would
+    # describe only the final batch, so no attribution is reported there.
+    outcome = getattr(solver, "last_outcome", None) if batch_size is None else None
     return SolveResult(
         solver=solver.name,
         category=str(solver.category),
@@ -165,4 +173,6 @@ def solve(
         metrics=metrics,
         trace=trace,
         online=online,
+        selected_solver=outcome.selected if outcome is not None else None,
+        cache_hit=outcome.cache_hit if outcome is not None else None,
     )

@@ -107,6 +107,32 @@ class Study:
         self._solver_specs = self._solver_specs + tuple(specs)
         return self
 
+    def portfolio(self, mode: str = "race", **params) -> "Study":
+        """Add a portfolio solver to the line-up.
+
+        ``mode`` is ``"race"`` (run K members concurrently, keep the
+        virtual best — ``members=``, ``prune=``), ``"select"`` (featurize
+        each instance and run the Table 6 match — ``selector=``) or
+        ``"cached"`` (memoise an inner solver in the persistent result
+        cache — ``inner=``, ``directory=``); ``params`` are forwarded to
+        the solver factory.  A *fresh* solver is built per trace job, so
+        parallel sweeps never share racing or attribution state.  Composes
+        with :meth:`machine` and :meth:`arrivals` like any other solver,
+        and fills the ``selected_solver``/``cache_hit`` result columns.
+        """
+        known = ("race", "select", "cached")
+        if mode.lower() not in known:
+            raise ValueError(f"unknown portfolio mode {mode!r}; choose from {list(known)}")
+        name = f"portfolio.{mode.lower()}"
+
+        def factory():
+            from .registry import get_solver
+
+            return get_solver(name, **params)
+
+        self._solver_specs = self._solver_specs + (factory,)
+        return self
+
     def batched(self, batch_size: int, *, pipelined: bool = False) -> "Study":
         """Use Section 6.3 batched execution with windows of ``batch_size`` tasks.
 

@@ -70,6 +70,7 @@ class Category(str, Enum):
     DYNAMIC = "dynamic"
     CORRECTED = "corrected"
     MILP = "milp"
+    PORTFOLIO = "portfolio"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -105,6 +106,18 @@ class Heuristic(abc.ABC):
     @abc.abstractmethod
     def schedule(self, instance: Instance) -> Schedule:
         """Return a feasible schedule of ``instance``."""
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        """Machine-readable form of :attr:`favorable_situation` (Table 6).
+
+        ``features`` is an :class:`~repro.portfolio.features.InstanceFeatures`
+        vector; each Table 6 heuristic overrides this with the explicit
+        predicate its prose row describes, so algorithm selectors
+        (:class:`~repro.portfolio.selector.Table6Selector`) can act on the
+        situation instead of parsing it.  The default claims nothing.
+        """
+        return False
 
     def kernel_policy(self, instance: Instance) -> SelectionPolicy | None:
         """Policy expressing this heuristic on the unified simulation kernel.

@@ -41,6 +41,10 @@ class GilmoreGomory(StaticOrderHeuristic):
     def order(self, instance: Instance) -> Sequence[Task]:
         return gilmore_gomory_order(instance.tasks).order
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_pressure >= 0.95
+
 
 class ExactNoWait(StaticOrderHeuristic):
     """GGX — *exact* no-wait sequence, executed under the memory capacity.
@@ -70,6 +74,10 @@ class ExactNoWait(StaticOrderHeuristic):
         if len(instance.tasks) <= self.exact_limit:
             return held_karp_nowait_order(instance.tasks)[0]
         return gilmore_gomory_order(instance.tasks).order
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_pressure >= 0.95 and features.task_count <= cls.exact_limit
 
 
 def first_fit_bins(tasks: Sequence[Task], capacity: float) -> list[list[Task]]:
@@ -110,3 +118,7 @@ class BinPackingFirstFit(StaticOrderHeuristic):
     def order(self, instance: Instance) -> Sequence[Task]:
         bins = first_fit_bins(instance.tasks, instance.capacity)
         return [task for bucket in bins for task in bucket]
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_pressure >= 0.9

@@ -70,6 +70,10 @@ class CorrectedLargestCommunication(CorrectedHeuristic):
     )
     criterion = staticmethod(largest_communication)
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_moderate and features.significant_communication_share
+
 
 class CorrectedSmallestCommunication(CorrectedHeuristic):
     """OOSCMR — OMIM order, corrected with the smallest-communication rule."""
@@ -80,6 +84,10 @@ class CorrectedSmallestCommunication(CorrectedHeuristic):
         "Moderate memory capacity and a significant percentage of compute-intensive tasks."
     )
     criterion = staticmethod(smallest_communication)
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_moderate and features.significant_compute_share
 
 
 class CorrectedMaximumAcceleration(CorrectedHeuristic):
@@ -94,3 +102,7 @@ class CorrectedMaximumAcceleration(CorrectedHeuristic):
         "communication intensive tasks."
     )
     criterion = staticmethod(maximum_acceleration)
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_moderate and features.highly_intense_mix

@@ -70,6 +70,10 @@ class LargestCommunicationFirst(DynamicHeuristic):
     )
     criterion = staticmethod(largest_communication)
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_tight and features.large_comm_compute_fraction >= 0.5
+
 
 class SmallestCommunicationFirst(DynamicHeuristic):
     """SCMR — smallest communication task respecting the memory restriction."""
@@ -82,6 +86,10 @@ class SmallestCommunicationFirst(DynamicHeuristic):
     )
     criterion = staticmethod(smallest_communication)
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_tight and features.small_comm_compute_fraction >= 0.5
+
 
 class MaximumAccelerationFirst(DynamicHeuristic):
     """MAMR — maximum computation-to-communication ratio."""
@@ -92,3 +100,7 @@ class MaximumAccelerationFirst(DynamicHeuristic):
     )
     favorable_situation = "Limited memory capacity and a significant percentage of tasks of both types."
     criterion = staticmethod(maximum_acceleration)
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_tight and features.mixed_intensity

@@ -120,6 +120,10 @@ class OptimalOrderInfiniteMemory(StaticOrderHeuristic):
     def order(self, instance: Instance) -> Sequence[Task]:
         return johnson_order(instance.tasks)
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_relaxed
+
 
 class IncreasingCommunication(_KeySortedHeuristic):
     """IOCMS — non-decreasing communication time."""
@@ -130,6 +134,10 @@ class IncreasingCommunication(_KeySortedHeuristic):
         "Memory capacity is not a restriction and tasks are compute intensive (optimal)."
     )
     key = staticmethod(lambda task: task.comm)
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_relaxed and features.mostly_compute_intensive
 
 
 class DecreasingComputation(_KeySortedHeuristic):
@@ -143,6 +151,10 @@ class DecreasingComputation(_KeySortedHeuristic):
     key = staticmethod(lambda task: task.comp)
     reverse = True
 
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_relaxed and features.mostly_communication_intensive
+
 
 class IncreasingCommPlusComp(_KeySortedHeuristic):
     """IOCCS — non-decreasing communication plus computation time."""
@@ -151,6 +163,10 @@ class IncreasingCommPlusComp(_KeySortedHeuristic):
     description = "Tasks sorted by non-decreasing communication + computation time."
     favorable_situation = "Moderate memory capacity and most tasks are highly compute intensive."
     key = staticmethod(lambda task: task.total_time)
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_moderate and features.mostly_highly_compute_intensive
 
 
 class DecreasingCommPlusComp(_KeySortedHeuristic):
@@ -163,3 +179,7 @@ class DecreasingCommPlusComp(_KeySortedHeuristic):
     )
     key = staticmethod(lambda task: task.total_time)
     reverse = True
+
+    @classmethod
+    def favors(cls, features) -> bool:
+        return features.memory_moderate and features.mostly_highly_communication_intensive

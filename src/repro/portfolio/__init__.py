@@ -1,0 +1,66 @@
+"""Portfolio layer: featurization, algorithm selection, racing, caching.
+
+The paper's central empirical finding (Table 6) is that *no single heuristic
+dominates* — each ordering wins only in its favorable situation.  This
+package turns that finding into runtime capability:
+
+* :mod:`~repro.portfolio.features` — deterministic
+  :class:`~repro.portfolio.features.InstanceFeatures` summarising an
+  instance's regime (memory pressure, intensity mix, heterogeneity,
+  arrival intensity);
+* :mod:`~repro.portfolio.selector` — rule-based
+  :class:`~repro.portfolio.selector.Table6Selector` (the table as code) and
+  the data-driven :class:`~repro.portfolio.selector.EmpiricalSelector`
+  (nearest-regime lookup over recorded sweeps);
+* :mod:`~repro.portfolio.race` —
+  :class:`~repro.portfolio.race.PortfolioSolver`, racing K members
+  concurrently with incumbent/lower-bound pruning;
+* :mod:`~repro.portfolio.cache` — the content-addressed persistent
+  :class:`~repro.portfolio.cache.ResultCache` and the memoising
+  :class:`~repro.portfolio.cache.CachedSolver`.
+
+All three solvers are registered (``"portfolio.race"``,
+``"portfolio.select"``, ``"portfolio.cached"``) and reachable from
+:func:`repro.solve` and :meth:`repro.api.Study.portfolio`.
+"""
+
+from .cache import (
+    CachedSolver,
+    ResultCache,
+    default_cache_dir,
+    instance_fingerprint,
+    solve_key,
+)
+from .features import InstanceFeatures, featurize
+from .outcome import PortfolioOutcome
+from .race import (
+    DEFAULT_RACE_MEMBERS,
+    MemberOutcome,
+    PortfolioSolver,
+    RaceReport,
+)
+from .selector import (
+    DEFAULT_EMPIRICAL_DIMS,
+    EmpiricalSelector,
+    SelectingSolver,
+    Table6Selector,
+)
+
+__all__ = [
+    "DEFAULT_EMPIRICAL_DIMS",
+    "DEFAULT_RACE_MEMBERS",
+    "CachedSolver",
+    "EmpiricalSelector",
+    "InstanceFeatures",
+    "MemberOutcome",
+    "PortfolioOutcome",
+    "PortfolioSolver",
+    "RaceReport",
+    "ResultCache",
+    "SelectingSolver",
+    "Table6Selector",
+    "default_cache_dir",
+    "featurize",
+    "instance_fingerprint",
+    "solve_key",
+]

@@ -1,0 +1,334 @@
+"""Deterministic instance featurization for algorithm selection.
+
+Table 6 of the paper describes each heuristic's *favorable situation* in
+terms of a handful of workload properties: how tight the memory capacity is,
+whether tasks are compute or communication intensive, how heterogeneous the
+task mix is.  :class:`InstanceFeatures` turns those properties into a flat,
+serializable vector computed from an :class:`~repro.core.instance.Instance`
+(plus an optional :class:`~repro.simulator.resources.MachineModel` whose
+capacity override and resource counts shift the picture), so selectors can
+act on them instead of on prose.
+
+The featurizer is
+
+* **cheap** — one pass over the tasks, one sort and one infinite-memory
+  Johnson run for the peak-demand pressure (O(n log n) in total);
+* **pure** — no randomness, no global state, no wall clock;
+* **deterministic** — the same instance yields the identical vector on every
+  run and platform (plain float arithmetic over the submission order, pinned
+  by ``tests/portfolio/test_features.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+
+from ..core.instance import Instance
+from ..flowshop.johnson import johnson_schedule
+from ..simulator.resources import MachineModel
+
+__all__ = [
+    "InstanceFeatures",
+    "featurize",
+    "RATIO_CAP",
+    "RELAXED_PEAK_MAX",
+    "TIGHT_PEAK_MIN",
+    "MEMORY_TIGHT_MIN",
+    "SIGNIFICANT_SHARE",
+    "DOMINANT_SHARE",
+    "HIGHLY_INTENSE_RATIO",
+    "HIGHLY_SIGNIFICANT_SHARE",
+]
+
+#: Cap substituted for the comp/comm ratio of zero-communication tasks.
+RATIO_CAP = 1e9
+
+#: Peak pressure (Johnson-schedule peak demand / capacity) at or below which
+#: the capacity is "not a restriction": the optimal infinite-memory schedule
+#: fits as-is, so OOSIM (and the matching sorts) are optimal.
+RELAXED_PEAK_MAX = 1.02
+
+#: Peak pressure beyond which the capacity is "limited"/tight — less than
+#: half of what the relaxed optimal schedule wants to keep in flight.
+TIGHT_PEAK_MIN = 2.0
+
+#: ``mc / capacity`` at or above which the capacity is tight regardless of
+#: the peak demand (paper: capacity close to ``mc``).
+MEMORY_TIGHT_MIN = 0.80
+
+#: Share of tasks that counts as a "significant percentage" in Table 6.
+SIGNIFICANT_SHARE = 0.35
+
+#: Share of tasks beyond which one intensity class dominates the mix.
+DOMINANT_SHARE = 0.65
+
+#: comp/comm ratio beyond which (or below whose inverse) a task counts as
+#: *highly* compute (resp. communication) intensive.
+HIGHLY_INTENSE_RATIO = 4.0
+
+#: Share of highly-intense tasks that counts as significant (they are much
+#: rarer than plain compute/communication-intensive ones).
+HIGHLY_SIGNIFICANT_SHARE = 0.2
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _moments(values: list[float]) -> tuple[float, float, float]:
+    """``(mean, coefficient of variation, skewness)`` of ``values``.
+
+    Population moments (not sample-corrected), computed in submission order
+    so the float summation order — and therefore the result — is fixed.
+    """
+    if not values:
+        return 0.0, 0.0, 0.0
+    mean = _mean(values)
+    centered = [v - mean for v in values]
+    m2 = _mean([c * c for c in centered])
+    if m2 <= 0.0:
+        return mean, 0.0, 0.0
+    std = math.sqrt(m2)
+    cv = std / mean if mean != 0.0 else 0.0
+    m3 = _mean([c * c * c for c in centered])
+    return mean, cv, m3 / (std * std * std)
+
+
+def _intensity(comm: float, comp: float) -> float:
+    """Guarded comp/comm ratio (zero-communication tasks hit :data:`RATIO_CAP`)."""
+    if comm <= 0.0:
+        return RATIO_CAP if comp > 0.0 else 1.0
+    return min(comp / comm, RATIO_CAP)
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceFeatures:
+    """Flat feature vector of one instance (+ machine) for algorithm selection.
+
+    Every field is a plain int or float, so the vector serializes losslessly
+    (:meth:`to_json` / :meth:`from_json`) and embeds directly into nearest-
+    neighbour lookups (:meth:`as_vector`).  The ``memory_*`` / ``*_intensive``
+    properties express the Table 6 vocabulary as explicit thresholds.
+    """
+
+    #: Number of tasks in the instance.
+    task_count: int
+    #: Effective memory capacity (machine override applied; may be ``inf``).
+    capacity: float
+    #: Largest single-task footprint (``mc`` in the paper).
+    min_capacity: float
+    #: ``mc / capacity`` — 0 for unconstrained instances, 1 at the feasibility edge.
+    memory_pressure: float
+    #: Peak memory demand of the infinite-memory Johnson (OMIM) schedule
+    #: divided by the capacity — at most 1 exactly when the capacity is "not
+    #: a restriction" in the Table 6 sense (0 for unconstrained instances).
+    peak_pressure: float
+    #: Sum of task footprints divided by the capacity (0 when unconstrained).
+    memory_load: float
+    #: Share of tasks with ``comp >= comm`` (compute intensive).
+    compute_fraction: float
+    #: Share of *highly* compute-intensive tasks (ratio >= :data:`HIGHLY_INTENSE_RATIO`).
+    highly_compute_fraction: float
+    #: Share of *highly* communication-intensive tasks (ratio <= 1/:data:`HIGHLY_INTENSE_RATIO`).
+    highly_comm_fraction: float
+    #: Mean of the guarded comp/comm ratio.
+    intensity_mean: float
+    #: Coefficient of variation of the comp/comm ratio.
+    intensity_cv: float
+    #: Skewness of the comp/comm ratio distribution.
+    intensity_skew: float
+    #: Coefficient of variation of the communication times (heterogeneity).
+    comm_cv: float
+    #: Distinct task footprints divided by the task count (batch structure:
+    #: tiled workloads like HF sit near 0, CCSD-like mixes near 1).
+    footprint_diversity: float
+    #: Share of compute-intensive tasks among the above-median-``comm`` half.
+    large_comm_compute_fraction: float
+    #: Share of compute-intensive tasks among the below-median-``comm`` half.
+    small_comm_compute_fraction: float
+    #: Tasks per unit time over ``[0, last release]``; 0 for offline instances.
+    arrival_intensity: float
+    #: Share of tasks with a positive release date.
+    released_fraction: float
+    #: Parallel transfer links of the machine model (1 = the paper's machine).
+    link_count: int = 1
+    #: Parallel processing units of the machine model.
+    cpu_count: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Table 6 vocabulary
+    # ------------------------------------------------------------------ #
+    @property
+    def memory_relaxed(self) -> bool:
+        """Memory capacity is not a restriction: the OMIM schedule fits."""
+        return self.peak_pressure <= RELAXED_PEAK_MAX
+
+    @property
+    def memory_tight(self) -> bool:
+        """Limited memory capacity: close to the feasibility edge, or well
+        under half of what the relaxed optimal schedule keeps in flight."""
+        return not self.memory_relaxed and (
+            self.memory_pressure >= MEMORY_TIGHT_MIN or self.peak_pressure >= TIGHT_PEAK_MIN
+        )
+
+    @property
+    def memory_moderate(self) -> bool:
+        """Moderate memory capacity (between relaxed and tight)."""
+        return not self.memory_relaxed and not self.memory_tight
+
+    @property
+    def mostly_compute_intensive(self) -> bool:
+        return self.compute_fraction >= DOMINANT_SHARE
+
+    @property
+    def mostly_communication_intensive(self) -> bool:
+        return self.compute_fraction <= 1.0 - DOMINANT_SHARE
+
+    @property
+    def significant_compute_share(self) -> bool:
+        return self.compute_fraction >= SIGNIFICANT_SHARE
+
+    @property
+    def significant_communication_share(self) -> bool:
+        return 1.0 - self.compute_fraction >= SIGNIFICANT_SHARE
+
+    @property
+    def mixed_intensity(self) -> bool:
+        """Significant percentage of tasks of both intensity types."""
+        return self.significant_compute_share and self.significant_communication_share
+
+    @property
+    def mostly_highly_compute_intensive(self) -> bool:
+        """Most tasks are *highly* compute intensive (IOCCS's row)."""
+        return self.highly_compute_fraction >= DOMINANT_SHARE
+
+    @property
+    def mostly_highly_communication_intensive(self) -> bool:
+        """Most tasks are *highly* communication intensive (DOCCS's row)."""
+        return self.highly_comm_fraction >= DOMINANT_SHARE
+
+    @property
+    def highly_intense_mix(self) -> bool:
+        """Significant shares of highly compute- *and* communication-intensive
+        tasks coexist (OOMAMR's row)."""
+        return (
+            self.highly_compute_fraction >= HIGHLY_SIGNIFICANT_SHARE
+            and self.highly_comm_fraction >= HIGHLY_SIGNIFICANT_SHARE
+        )
+
+    @property
+    def online(self) -> bool:
+        return self.released_fraction > 0.0
+
+    # ------------------------------------------------------------------ #
+    # Serialization / vector access
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def as_vector(self, dims: tuple[str, ...]) -> tuple[float, ...]:
+        """The named fields as a tuple of floats (nearest-neighbour lookups)."""
+        return tuple(float(getattr(self, name)) for name in dims)
+
+    def to_json(self) -> str:
+        payload = {
+            name: str(value) if isinstance(value, float) and not math.isfinite(value) else value
+            for name, value in self.as_dict().items()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InstanceFeatures":
+        kwargs = {}
+        for f in fields(cls):
+            value = payload[f.name]
+            kwargs[f.name] = int(value) if f.type == "int" else float(value)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InstanceFeatures":
+        return cls.from_dict(json.loads(text))
+
+
+def featurize(instance: Instance, machine: MachineModel | None = None) -> InstanceFeatures:
+    """Compute the :class:`InstanceFeatures` of ``instance`` on ``machine``.
+
+    Pure and deterministic: every aggregate is accumulated in submission
+    order and the only sort (the median-``comm`` split) uses the task values
+    themselves, so identical instances map to identical vectors.
+    """
+    tasks = instance.tasks
+    count = len(tasks)
+    capacity = (
+        machine.effective_capacity(instance.capacity) if machine is not None else instance.capacity
+    )
+    min_capacity = instance.min_capacity
+    if count and math.isfinite(capacity) and capacity > 0:
+        memory_pressure = min_capacity / capacity
+        memory_load = sum(t.memory for t in tasks) / capacity
+        # The capacity the relaxed (infinite-memory) optimum would need:
+        # one Johnson run plus a profile sweep, both O(n log n).
+        peak_pressure = (
+            johnson_schedule(instance.without_memory_constraint()).peak_memory() / capacity
+        )
+    else:
+        memory_pressure = 0.0
+        memory_load = 0.0
+        peak_pressure = 0.0
+
+    intensities = [_intensity(t.comm, t.comp) for t in tasks]
+    intensity_mean, intensity_cv, intensity_skew = _moments(intensities)
+    highly_compute = (
+        sum(1 for r in intensities if r >= HIGHLY_INTENSE_RATIO) / count if count else 0.0
+    )
+    highly_comm = (
+        sum(1 for r in intensities if r <= 1.0 / HIGHLY_INTENSE_RATIO) / count if count else 0.0
+    )
+    _, comm_cv, _ = _moments([t.comm for t in tasks])
+    compute_flags = [t.is_compute_intensive for t in tasks]
+    compute_fraction = sum(compute_flags) / count if count else 0.0
+
+    if count:
+        ordered_comm = sorted(t.comm for t in tasks)
+        mid = count // 2
+        median_comm = (
+            ordered_comm[mid]
+            if count % 2
+            else 0.5 * (ordered_comm[mid - 1] + ordered_comm[mid])
+        )
+        large = [flag for t, flag in zip(tasks, compute_flags) if t.comm >= median_comm]
+        small = [flag for t, flag in zip(tasks, compute_flags) if t.comm <= median_comm]
+        large_fraction = sum(large) / len(large) if large else 0.0
+        small_fraction = sum(small) / len(small) if small else 0.0
+        footprint_diversity = len({t.memory for t in tasks}) / count
+    else:
+        large_fraction = small_fraction = footprint_diversity = 0.0
+
+    max_release = instance.max_release
+    released = sum(1 for t in tasks if t.release > 0.0)
+    arrival_intensity = count / max_release if max_release > 0.0 else 0.0
+
+    return InstanceFeatures(
+        task_count=count,
+        capacity=capacity,
+        min_capacity=min_capacity,
+        memory_pressure=memory_pressure,
+        peak_pressure=peak_pressure,
+        memory_load=memory_load,
+        compute_fraction=compute_fraction,
+        highly_compute_fraction=highly_compute,
+        highly_comm_fraction=highly_comm,
+        intensity_mean=intensity_mean,
+        intensity_cv=intensity_cv,
+        intensity_skew=intensity_skew,
+        comm_cv=comm_cv,
+        footprint_diversity=footprint_diversity,
+        large_comm_compute_fraction=large_fraction,
+        small_comm_compute_fraction=small_fraction,
+        arrival_intensity=arrival_intensity,
+        released_fraction=released / count if count else 0.0,
+        link_count=machine.link_count if machine is not None else 1,
+        cpu_count=machine.cpu_count if machine is not None else 1,
+    )

@@ -5,7 +5,6 @@ import pytest
 from repro.api import (
     ResultSet,
     Study,
-    get_solver,
     register_solver,
     solve,
     unregister_solver,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.chemistry import (
     CASCADE,
-    DOUBLE_BYTES,
     SIOSI,
     URACIL,
     MachineModel,

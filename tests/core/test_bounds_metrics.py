@@ -1,7 +1,5 @@
 """Unit tests for makespan bounds and evaluation metrics."""
 
-import math
-
 import pytest
 
 from repro.core import (
@@ -10,7 +8,6 @@ from repro.core import (
     bounds,
     evaluate,
     idle_fractions,
-    omim,
     overlap_fraction,
     ratio_to_optimal,
     static_example_instance,

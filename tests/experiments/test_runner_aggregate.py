@@ -1,11 +1,8 @@
 """Tests for the experiment runner and aggregation layer."""
 
-import math
-
 import pytest
 
 from repro.experiments import (
-    RunRecord,
     best_variant_per_category,
     best_variant_series,
     group_by_capacity_and_heuristic,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import Instance, Task, tasks_from_pairs, validate_schedule
+from repro.core import Task, tasks_from_pairs, validate_schedule
 from repro.heuristics import BinPackingFirstFit, GilmoreGomory, first_fit_bins
 
 

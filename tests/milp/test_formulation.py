@@ -1,14 +1,12 @@
 """Tests for the MILP formulation (Section 4.5)."""
 
-import math
-
 import pytest
 
 from repro.core import Instance, Task, omim, tasks_from_pairs, validate_schedule
 from repro.core.paper_instances import proposition1_instance, static_example_instance
 from repro.flowshop import best_schedule_allowing_reordering
 from repro.heuristics import all_heuristics
-from repro.milp import DataTransferMilp, solve_exact
+from repro.milp import solve_exact
 
 
 class TestExactSolves:

@@ -1,0 +1,138 @@
+"""Portfolio wiring through the api layer: registry, Study, result columns."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    ResultSet,
+    Study,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    resolve_solvers,
+    solve,
+)
+from repro.core import Instance, tasks_from_pairs
+from repro.traces import regime_trace
+
+
+def small_instance():
+    return Instance(tasks_from_pairs([(3, 2), (1, 3), (4, 4), (2, 1)]), capacity=6)
+
+
+class TestRegistry:
+    def test_portfolio_category_registered(self):
+        infos = available_solvers()
+        portfolio = {name for name, info in infos.items() if str(info.category) == "portfolio"}
+        assert portfolio == {"portfolio.race", "portfolio.select", "portfolio.cached"}
+
+    def test_category_spec_resolves_portfolio(self):
+        names = {solver.name for solver in resolve_solvers("category:portfolio")}
+        assert names == {"portfolio.race", "portfolio.select", "portfolio.cached"}
+
+    def test_aliases(self):
+        assert get_solver("RACE").name == "portfolio.race"
+        assert get_solver("TABLE6").name == "portfolio.select"
+        assert get_solver("CACHED").name == "portfolio.cached"
+
+    def test_suggestions_use_registered_casing(self):
+        # A typo near "lp.4" must suggest "lp.4" (a registered name), never
+        # the upper-cased "LP.4" that is not.
+        with pytest.raises(UnknownSolverError) as excinfo:
+            get_solver("lp.44")
+        message = str(excinfo.value)
+        assert "lp.4" in message
+        assert "LP.4" not in message
+        with pytest.raises(UnknownSolverError, match="portfolio.race"):
+            get_solver("portfolio.rac")
+
+    def test_callable_factory_spec(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return get_solver("LCMR")
+
+        (solver,) = resolve_solvers(factory)
+        assert solver.name == "LCMR" and calls == [1]
+
+    def test_bad_factory_result_raises(self):
+        with pytest.raises(TypeError, match="does not satisfy the Solver protocol"):
+            resolve_solvers(lambda: object())
+
+
+class TestStudyPortfolio:
+    def test_portfolio_modes_sweep_and_attribute(self):
+        trace = regime_trace("mixed-intensity", tasks=25, seed=4)
+        results = (
+            Study()
+            .traces(trace)
+            .capacities(1.0, 2.0)
+            .portfolio("race", members=["OOSIM", "LCMR"])
+            .portfolio("select")
+            .solvers("OS")
+            .run()
+        )
+        assert len(results) == 6
+        race_rows = results.filter(heuristic="portfolio.race")
+        assert all(row.selected_solver in ("OOSIM", "LCMR") for row in race_rows)
+        assert all(row.category == "portfolio" for row in race_rows)
+        os_rows = results.filter(heuristic="OS")
+        assert all(row.selected_solver == "" for row in os_rows)
+        # Racing two members never loses to either of them.
+        for factor in (1.0, 2.0):
+            best_member = min(
+                solve(trace.to_instance(trace.min_capacity_bytes * factor), name).makespan
+                for name in ("OOSIM", "LCMR")
+            )
+            (race_row,) = race_rows.filter(capacity_factor=factor)
+            assert race_row.makespan <= best_member + 1e-9
+
+    def test_portfolio_parallel_matches_sequential(self):
+        traces = [regime_trace("balanced", tasks=15, seed=s) for s in (1, 2, 3)]
+
+        def build() -> Study:
+            return (
+                Study()
+                .traces(traces)
+                .capacities(1.0, 1.5)
+                .portfolio("race", members=["OOSIM", "LCMR"])
+            )
+
+        assert build().parallel(3).run() == build().run()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown portfolio mode"):
+            Study().portfolio("ensemble")
+
+
+class TestResultColumns:
+    def test_new_columns_round_trip(self):
+        results = (
+            Study().instances(small_instance()).portfolio("race", members=["OOSIM", "LCMR"]).run()
+        )
+        assert ResultSet.from_json(results.to_json()) == results
+        assert ResultSet.from_csv(results.to_csv()) == results
+
+    def test_legacy_dumps_load_with_defaults(self):
+        results = Study().instances(small_instance()).solvers("OS").run()
+        payload = json.loads(results.to_json())
+        for column in ("selected_solver", "cache_hit", "mean_stretch"):
+            payload["columns"].pop(column)
+        legacy = ResultSet.from_json(json.dumps(payload))
+        assert len(legacy) == len(results)
+        assert legacy.column("selected_solver") == ("",)
+        assert math.isnan(legacy.column("cache_hit")[0])
+        assert math.isnan(legacy.column("mean_stretch")[0])
+
+    def test_group_by_selected_solver(self):
+        results = (
+            Study()
+            .instances(small_instance())
+            .portfolio("race", members=["OOSIM", "LCMR"])
+            .run()
+        )
+        groups = results.group_by("selected_solver")
+        assert set(groups) <= {"OOSIM", "LCMR"}

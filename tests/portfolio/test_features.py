@@ -1,0 +1,113 @@
+"""Featurizer: determinism, Table 6 vocabulary, serialization."""
+
+import math
+
+import pytest
+
+from repro.core import Instance, Task, tasks_from_pairs
+from repro.portfolio import InstanceFeatures, featurize
+from repro.simulator import MachineModel
+
+
+def make_instance(capacity_factor=1.5):
+    tasks = [
+        Task.from_times("A", comm=3, comp=6),
+        Task.from_times("B", comm=1, comp=4),
+        Task.from_times("C", comm=4, comp=1),
+        Task.from_times("D", comm=2, comp=2),
+    ]
+    instance = Instance(tasks, name="feat")
+    return instance.with_capacity(instance.min_capacity * capacity_factor)
+
+
+class TestDeterminism:
+    def test_same_instance_same_vector(self):
+        a = featurize(make_instance())
+        b = featurize(make_instance())
+        assert a == b
+        assert a.as_dict() == b.as_dict()
+
+    def test_json_round_trip_is_byte_identical(self):
+        features = featurize(make_instance())
+        text = features.to_json()
+        assert text == featurize(make_instance()).to_json()
+        assert InstanceFeatures.from_json(text) == features
+
+    def test_repeated_featurization_of_one_object(self):
+        instance = make_instance()
+        vectors = {featurize(instance).to_json() for _ in range(20)}
+        assert len(vectors) == 1
+
+    def test_instance_name_does_not_matter(self):
+        renamed = Instance(make_instance().tasks, capacity=make_instance().capacity, name="other")
+        assert featurize(renamed) == featurize(make_instance())
+
+    def test_infinite_capacity_round_trips(self):
+        features = featurize(make_instance().without_memory_constraint())
+        assert math.isinf(features.capacity)
+        assert InstanceFeatures.from_json(features.to_json()) == features
+
+
+class TestValues:
+    def test_memory_pressure_bands(self):
+        relaxed = featurize(make_instance().without_memory_constraint())
+        assert relaxed.memory_relaxed and relaxed.peak_pressure == 0.0
+        tight = featurize(make_instance(capacity_factor=1.05))
+        assert tight.memory_tight and not tight.memory_relaxed
+        moderate = featurize(make_instance(capacity_factor=1.5))
+        assert moderate.memory_moderate
+        assert moderate.memory_pressure == pytest.approx(1 / 1.5)
+        # Johnson order is B, D, A, C; its peak in-flight demand is 9 (D+A+C).
+        assert moderate.peak_pressure == pytest.approx(9 / 6)
+
+    def test_relaxed_once_capacity_covers_the_johnson_peak(self):
+        instance = make_instance().with_capacity(9.0)
+        features = featurize(instance)
+        assert features.memory_relaxed and features.peak_pressure == pytest.approx(1.0)
+
+    def test_compute_fraction_and_median_split(self):
+        features = featurize(make_instance())
+        # A (comm 3, compute-int), B (comm 1, compute-int),
+        # C (comm 4, comm-int), D (comm 2, compute-int: comp == comm).
+        assert features.compute_fraction == pytest.approx(0.75)
+        # median comm = 2.5; large half {A, C}: one compute intensive.
+        assert features.large_comm_compute_fraction == pytest.approx(0.5)
+        # small half {B, D}: both compute intensive.
+        assert features.small_comm_compute_fraction == pytest.approx(1.0)
+
+    def test_intensity_moments(self):
+        # Ratios: A=2, B=4, C=0.25, D=1 -> mean 1.8125.
+        features = featurize(make_instance())
+        assert features.intensity_mean == pytest.approx((2 + 4 + 0.25 + 1) / 4)
+        assert features.intensity_cv > 0
+
+    def test_zero_comm_task_is_guarded(self):
+        instance = Instance([Task("Z", comm=0, comp=5, memory=1), Task("Y", comm=1, comp=1)])
+        features = featurize(instance)
+        assert math.isfinite(features.intensity_mean)
+
+    def test_footprint_diversity(self):
+        homogeneous = Instance([Task(f"t{i}", comm=2, comp=1) for i in range(8)])
+        assert featurize(homogeneous).footprint_diversity == pytest.approx(1 / 8)
+        diverse = Instance(tasks_from_pairs([(i + 1, 1) for i in range(8)]))
+        assert featurize(diverse).footprint_diversity == pytest.approx(1.0)
+
+    def test_arrival_features(self):
+        offline = featurize(make_instance())
+        assert offline.arrival_intensity == 0.0 and not offline.online
+        streamed = featurize(make_instance().with_releases([0.0, 1.0, 2.0, 4.0]))
+        assert streamed.released_fraction == pytest.approx(0.75)
+        assert streamed.arrival_intensity == pytest.approx(4 / 4.0)
+        assert streamed.online
+
+    def test_machine_model_shifts_capacity_and_counts(self):
+        instance = make_instance()
+        machine = MachineModel(link_count=2, cpu_count=3, capacity=instance.min_capacity)
+        features = featurize(instance, machine)
+        assert features.memory_pressure == pytest.approx(1.0)
+        assert (features.link_count, features.cpu_count) == (2, 3)
+
+    def test_empty_instance(self):
+        features = featurize(Instance([]))
+        assert features.task_count == 0
+        assert features.memory_pressure == 0.0

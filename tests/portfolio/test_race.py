@@ -1,0 +1,194 @@
+"""Racing: virtual-best guarantee, pruning, attribution, engine options."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import solve
+from repro.core import Instance, Task, omim, tasks_from_pairs, validate_schedule
+from repro.portfolio import DEFAULT_RACE_MEMBERS, PortfolioSolver
+from repro.portfolio.race import Incumbent, PruningPolicy, RacePruned
+from repro.simulator import MachineModel, PoissonArrivals
+
+
+def random_instance(rng: np.random.Generator, tasks: int, capacity_factor: float) -> Instance:
+    comm = rng.uniform(0.1, 10.0, size=tasks)
+    comp = rng.uniform(0.1, 10.0, size=tasks)
+    items = [Task.from_times(f"T{i}", float(comm[i]), float(comp[i])) for i in range(tasks)]
+    instance = Instance(items, name="race-random")
+    return instance.with_capacity(instance.min_capacity * capacity_factor)
+
+
+task_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+capacity_factors = st.floats(min_value=1.0, max_value=2.5, allow_nan=False)
+
+
+def build_instance(pairs, factor):
+    instance = Instance(tasks_from_pairs(pairs))
+    mc = instance.min_capacity
+    if mc == 0:
+        return instance
+    return instance.with_capacity(mc * factor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pairs=task_pairs, factor=capacity_factors)
+def test_race_never_loses_to_any_member(pairs, factor):
+    """The acceptance property: racing returns the members' virtual best."""
+    instance = build_instance(pairs, factor)
+    racer = PortfolioSolver()
+    schedule = racer.schedule(instance)
+    assert validate_schedule(schedule, instance).is_feasible
+    virtual_best = min(
+        solve(instance, member).makespan for member in DEFAULT_RACE_MEMBERS
+    )
+    assert schedule.makespan <= virtual_best + 1e-9
+    # The winner really is a member and its makespan is the race's.
+    report = racer.last_outcome.report
+    assert report.winner in DEFAULT_RACE_MEMBERS
+    assert report.makespan == schedule.makespan
+
+
+def test_pruning_changes_nothing(rng):
+    for _ in range(5):
+        instance = random_instance(rng, tasks=25, capacity_factor=1.3)
+        pruned = PortfolioSolver(prune=True).schedule(instance)
+        full = PortfolioSolver(prune=False).schedule(instance)
+        assert pruned.makespan == full.makespan
+
+
+def test_report_attribution(rng):
+    instance = random_instance(rng, tasks=30, capacity_factor=1.2)
+    racer = PortfolioSolver(members=("OOSIM", "LCMR", "OOMAMR"))
+    racer.schedule(instance)
+    report = racer.last_outcome.report
+    assert [m.solver for m in report.members] == ["OOSIM", "LCMR", "OOMAMR"]
+    assert sum(m.status == "won" for m in report.members) == 1
+    for member in report.members:
+        assert member.status in ("won", "completed", "pruned", "skipped")
+        if member.finished:
+            assert member.makespan >= report.makespan - 1e-9
+    assert report.lower_bound <= report.makespan + 1e-9
+
+
+def test_sequential_race_skips_once_lower_bound_is_reached():
+    # Unconstrained memory: OOSIM reaches OMIM exactly, so with a sequential
+    # race (n_jobs=1) every later member is skipped outright.
+    instance = Instance(tasks_from_pairs([(3, 2), (1, 3), (4, 4), (2, 1)]))
+    racer = PortfolioSolver(members=("OOSIM", "LCMR", "SCMR"), n_jobs=1)
+    schedule = racer.schedule(instance)
+    assert schedule.makespan == pytest.approx(omim(instance))
+    statuses = {m.solver: m.status for m in racer.last_outcome.report.members}
+    assert statuses == {"OOSIM": "won", "LCMR": "skipped", "SCMR": "skipped"}
+
+
+def test_non_kernel_winner_degrades_record_to_traceless():
+    # lp.4's window covers the whole 4-task problem, so the MILP member wins;
+    # it cannot record an event trace, and the race must not crash for that.
+    instance = Instance(tasks_from_pairs([(3, 2), (1, 3), (4, 4), (2, 1)]), capacity=6)
+    result = solve(instance, "portfolio.race", members=["lp.4", "OS"], record_events=True)
+    assert result.selected_solver == "lp.4"
+    assert result.trace is None
+    assert result.makespan <= solve(instance, "OS").makespan + 1e-9
+
+
+def test_failed_member_is_attributed_not_fatal():
+    # The MILP wrapper has no online policy: under arrivals it raises, which
+    # must surface as a 'failed' member outcome, not kill the race.
+    instance = Instance(tasks_from_pairs([(3, 2), (1, 3), (4, 4), (2, 1)]), capacity=6)
+    racer = PortfolioSolver(members=("LCMR", "lp.4"))
+    racer.schedule(instance.with_releases([0.0, 1.0, 2.0, 3.0]))
+    report = racer.last_outcome.report
+    statuses = {m.solver: m.status for m in report.members}
+    assert statuses["LCMR"] == "won"
+    assert statuses["lp.4"] == "failed"
+    assert "online" in next(m.detail for m in report.members if m.solver == "lp.4")
+
+
+def test_all_members_failing_raises_with_details():
+    instance = Instance(tasks_from_pairs([(3, 2), (1, 3)]), capacity=4).with_releases([0.0, 1.0])
+    with pytest.raises(RuntimeError, match="every race member failed.*lp.4"):
+        PortfolioSolver(members=("lp.4",)).schedule(instance)
+
+
+def test_duplicate_members_rejected():
+    with pytest.raises(ValueError, match="duplicate race members"):
+        PortfolioSolver(members=("LCMR", "LCMR")).schedule(
+            Instance(tasks_from_pairs([(1, 1)]))
+        )
+
+
+def test_pruning_policy_raises_once_beaten():
+    class _Policy:
+        name = "stub"
+
+        def select(self, candidates, state):  # pragma: no cover - never reached
+            return candidates[0]
+
+    class _State:
+        time = 5.0
+
+    incumbent = Incumbent()
+    incumbent.offer(2.0)
+    with pytest.raises(RacePruned):
+        PruningPolicy(_Policy(), incumbent).select((), _State())
+
+
+def test_incumbent_only_improves():
+    incumbent = Incumbent(lower_bound=1.0)
+    assert incumbent.offer(3.0)
+    assert not incumbent.offer(4.0)
+    assert not incumbent.settled()
+    assert incumbent.offer(1.0)
+    assert incumbent.settled()
+
+
+class TestEngineOptions:
+    def _instance(self, rng):
+        return random_instance(rng, tasks=20, capacity_factor=1.4)
+
+    def test_machine_model(self, rng):
+        instance = self._instance(rng)
+        dual = solve(instance, "portfolio.race", machine=MachineModel(link_count=2))
+        # The race still returns its members' virtual best on that machine.
+        member_best = min(
+            solve(instance, member, machine=MachineModel(link_count=2)).makespan
+            for member in DEFAULT_RACE_MEMBERS
+        )
+        assert dual.makespan <= member_best + 1e-9
+
+    def test_record_events_returns_the_winning_schedule_with_a_trace(self, rng):
+        instance = self._instance(rng)
+        plain = solve(instance, "portfolio.race")
+        recorded = solve(instance, "portfolio.race", record_events=True)
+        assert recorded.trace is not None
+        assert recorded.schedule == plain.schedule
+        assert recorded.selected_solver == plain.selected_solver
+
+    def test_arrivals_stream_through_members(self, rng):
+        instance = self._instance(rng)
+        result = solve(
+            instance, "portfolio.race", arrivals=PoissonArrivals(load=1.5), arrival_seed=3
+        )
+        assert result.online is not None
+        assert result.selected_solver in DEFAULT_RACE_MEMBERS
+        assert result.makespan > 0
+
+    def test_solve_reports_attribution(self, rng):
+        instance = self._instance(rng)
+        result = solve(instance, "portfolio.race", members=["OOSIM", "LCMR"])
+        assert result.solver == "portfolio.race"
+        assert result.category == "portfolio"
+        assert result.selected_solver in ("OOSIM", "LCMR")
+        assert result.cache_hit is None
+        assert not math.isnan(result.makespan)

@@ -1,0 +1,202 @@
+"""Selectors: the Table 6 mapping as code, and the empirical nearest-regime lookup."""
+
+import pytest
+
+from repro.api import Study, get_solver
+from repro.core import omim
+from repro.portfolio import (
+    EmpiricalSelector,
+    InstanceFeatures,
+    SelectingSolver,
+    Table6Selector,
+    featurize,
+)
+from repro.traces import regime_trace
+
+
+def make_features(**overrides) -> InstanceFeatures:
+    """A hand-built feature vector; overrides select the Table 6 situation."""
+    defaults = dict(
+        task_count=100,
+        capacity=10.0,
+        min_capacity=5.0,
+        memory_pressure=0.5,
+        peak_pressure=1.5,  # moderate band unless overridden
+        memory_load=3.0,
+        compute_fraction=0.5,
+        highly_compute_fraction=0.1,
+        highly_comm_fraction=0.1,
+        intensity_mean=1.0,
+        intensity_cv=0.3,
+        intensity_skew=0.0,
+        comm_cv=0.4,
+        footprint_diversity=0.5,
+        large_comm_compute_fraction=0.5,
+        small_comm_compute_fraction=0.5,
+        arrival_intensity=0.0,
+        released_fraction=0.0,
+    )
+    defaults.update(overrides)
+    return InstanceFeatures(**defaults)
+
+
+#: Table 6 rows: (heuristic, the feature situation its prose describes).
+#: ``peak_pressure`` <= 1 means "memory is not a restriction" (the relaxed
+#: optimum fits); ~1.5 is the moderate band; tight is close to the
+#: feasibility edge or far above the relaxed optimum's demand.
+TABLE6_SITUATIONS = {
+    "OOSIM": dict(memory_pressure=0.4, peak_pressure=0.9),
+    "IOCMS": dict(memory_pressure=0.4, peak_pressure=0.9, compute_fraction=0.85),
+    "DOCPS": dict(memory_pressure=0.4, peak_pressure=0.9, compute_fraction=0.15),
+    "IOCCS": dict(compute_fraction=0.85, highly_compute_fraction=0.7),
+    "DOCCS": dict(compute_fraction=0.15, highly_comm_fraction=0.7),
+    "LCMR": dict(
+        memory_pressure=0.9,
+        peak_pressure=3.0,
+        compute_fraction=0.8,
+        large_comm_compute_fraction=0.8,
+        small_comm_compute_fraction=0.3,
+    ),
+    "SCMR": dict(
+        memory_pressure=0.9,
+        peak_pressure=3.0,
+        compute_fraction=0.8,
+        large_comm_compute_fraction=0.3,
+        small_comm_compute_fraction=0.8,
+    ),
+    "MAMR": dict(
+        memory_pressure=0.9,
+        peak_pressure=3.0,
+        compute_fraction=0.5,
+        large_comm_compute_fraction=0.4,
+        small_comm_compute_fraction=0.4,
+    ),
+    "OOLCMR": dict(compute_fraction=0.45),
+    "OOSCMR": dict(compute_fraction=0.55),
+    "OOMAMR": dict(
+        compute_fraction=0.5, highly_compute_fraction=0.3, highly_comm_fraction=0.3
+    ),
+}
+
+
+class TestTable6Mapping:
+    @pytest.mark.parametrize("heuristic", sorted(TABLE6_SITUATIONS))
+    def test_predicate_matches_its_situation(self, heuristic):
+        features = make_features(**TABLE6_SITUATIONS[heuristic])
+        assert get_solver(heuristic).favors(features), heuristic
+
+    @pytest.mark.parametrize("heuristic", sorted(TABLE6_SITUATIONS))
+    def test_selector_reproduces_the_row(self, heuristic):
+        features = make_features(**TABLE6_SITUATIONS[heuristic])
+        assert Table6Selector().select(features) == heuristic
+
+    def test_predicates_reject_the_opposite_band(self):
+        tight = make_features(memory_pressure=0.95, peak_pressure=4.0)
+        assert not get_solver("OOSIM").favors(tight)
+        relaxed = make_features(memory_pressure=0.3, peak_pressure=0.8, compute_fraction=0.5)
+        for name in ("LCMR", "SCMR", "MAMR", "OOMAMR"):
+            assert not get_solver(name).favors(relaxed), name
+
+    def test_default_when_nothing_matches(self):
+        # Tight memory but neither comm-size class is compute intensive and
+        # the mix is one-sided: no Table 6 row matches.
+        features = make_features(
+            memory_pressure=0.95,
+            peak_pressure=4.0,
+            compute_fraction=0.9,
+            large_comm_compute_fraction=0.2,
+            small_comm_compute_fraction=0.2,
+        )
+        assert Table6Selector().select(features) == "OOMAMR"
+        assert Table6Selector(default="LCMR").select(features) == "LCMR"
+
+    def test_rank_puts_matching_predicates_first(self):
+        features = make_features(**TABLE6_SITUATIONS["IOCMS"])
+        ranked = Table6Selector().rank(features)
+        assert ranked[0] == "IOCMS"
+        assert set(ranked) == set(Table6Selector().candidates)
+
+    def test_candidate_restriction(self):
+        features = make_features(**TABLE6_SITUATIONS["IOCMS"])
+        assert Table6Selector(candidates=("OOSIM", "DOCPS")).select(features) == "OOSIM"
+
+    def test_restricted_candidates_never_yield_an_outside_default(self):
+        # Relaxed band, but only tight-band candidates allowed: the fallback
+        # must stay inside the restriction instead of returning OOMAMR.
+        features = make_features(**TABLE6_SITUATIONS["OOSIM"])
+        assert Table6Selector(candidates=("LCMR", "SCMR")).select(features) in ("LCMR", "SCMR")
+
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            Table6Selector(candidates=())
+
+
+class TestSelectionOnRealWorkloads:
+    """The optimality rows of Table 6, reached through selection."""
+
+    @pytest.mark.parametrize(
+        "regime, expected",
+        [("compute-heavy", "IOCMS"), ("communication-heavy", "DOCPS")],
+    )
+    def test_unconstrained_regimes_select_the_optimal_sort(self, regime, expected):
+        instance = regime_trace(regime, tasks=80, seed=5).to_instance()  # infinite capacity
+        solver = SelectingSolver()
+        assert solver.choose(instance) == expected
+        result = solver.schedule(instance)
+        assert solver.last_outcome.selected == expected
+        assert result.makespan == pytest.approx(omim(instance), rel=1e-9)
+
+
+class TestEmpiricalSelector:
+    def _fit(self):
+        instances = [
+            regime_trace("compute-heavy", tasks=40, seed=1).to_instance(),
+            regime_trace("communication-heavy", tasks=40, seed=2).to_instance(),
+        ]
+        results = (
+            Study()
+            .instances(*instances)
+            .solvers("IOCMS", "DOCPS", "OS")
+            .run()
+        )
+        return EmpiricalSelector.fit(results, instances), instances, results
+
+    def test_fit_and_select_nearest_regime(self):
+        selector, instances, _ = self._fit()
+        assert len(selector) == 2
+        # A fresh draw from each regime lands on that regime's winner.
+        compute = regime_trace("compute-heavy", tasks=40, seed=9).to_instance()
+        comm = regime_trace("communication-heavy", tasks=40, seed=9).to_instance()
+        assert selector.select(featurize(compute)) == "IOCMS"
+        assert selector.select(featurize(comm)) == "DOCPS"
+
+    def test_json_round_trip(self):
+        selector, _, _ = self._fit()
+        restored = EmpiricalSelector.from_json(selector.to_json())
+        assert restored.dims == selector.dims
+        assert restored.points == selector.points
+
+    def test_selecting_solver_accepts_an_empirical_selector(self):
+        selector, _, _ = self._fit()
+        solver = SelectingSolver(selector=selector)
+        instance = regime_trace("compute-heavy", tasks=40, seed=11).to_instance()
+        solver.schedule(instance)
+        assert solver.last_outcome.selected == "IOCMS"
+
+    def test_unfit_selector_raises(self):
+        with pytest.raises(ValueError, match="no training points"):
+            EmpiricalSelector().select(featurize(regime_trace("balanced", tasks=5).to_instance()))
+
+    def test_fit_requires_a_name_match(self):
+        from repro.core import Instance
+
+        _, instances, results = self._fit()
+        stranger = Instance(
+            instances[0].tasks, capacity=instances[0].capacity, name="unrelated"
+        )
+        with pytest.raises(ValueError, match="no ResultSet row matched"):
+            EmpiricalSelector.fit(results, [stranger])
+
+    def test_observe_rejects_empty_rows(self):
+        with pytest.raises(ValueError, match="at least one measurement"):
+            EmpiricalSelector().observe(make_features(), [])

@@ -1,7 +1,5 @@
 """Tests for the unified kernel: policies, machine models, event traces."""
 
-import math
-
 import pytest
 
 from repro.core import Instance, Task, validate_schedule

@@ -1,11 +1,9 @@
 """Tests for the fixed-order executor (semantics pinned by Figure 4)."""
 
-import math
-
 import pytest
 
 from repro.core import Instance, Task, validate_schedule
-from repro.core.paper_instances import proposition1_instance, static_example_instance
+from repro.core.paper_instances import proposition1_instance
 from repro.simulator import InfeasibleOrderError, execute_fixed_order, execute_two_orders
 
 

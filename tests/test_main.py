@@ -1,0 +1,54 @@
+"""``python -m repro`` — the solver discovery table."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main, render_solver_table
+from repro.api import available_solvers
+
+
+def test_table_lists_every_registered_solver():
+    text = render_solver_table()
+    for name, info in available_solvers().items():
+        assert name in text
+        if info.favorable_situation:
+            assert info.favorable_situation in text
+    assert "portfolio.race" in text and "aliases:" in text
+
+
+def test_category_filter():
+    text = render_solver_table("dynamic")
+    assert "LCMR" in text and "SCMR" in text and "MAMR" in text
+    assert "OOSIM" not in text and "portfolio.race" not in text
+
+
+def test_unknown_category_raises():
+    with pytest.raises(ValueError):
+        render_solver_table("no-such-category")
+
+
+def test_main_prints_table(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "registered solvers" in out and "OOMAMR" in out
+
+
+def test_main_category_option(capsys):
+    assert main(["--category", "corrected"]) == 0
+    out = capsys.readouterr().out
+    assert "OOLCMR" in out and "LCMR " not in out.replace("OOLCMR", "")
+
+
+def test_module_entry_point_runs():
+    repo_src = Path(__file__).resolve().parents[1] / "src"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(repo_src), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "favorable situation" in proc.stdout
