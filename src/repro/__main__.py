@@ -1,11 +1,28 @@
-"""``python -m repro`` — the registered-solver table (the Table 6 view).
+"""``python -m repro`` — solver discovery and sweep driving from the shell.
 
-Prints every solver the registry knows — name, category, aliases and its
-favorable situation — so users can discover what ``solve(instance, name)``
-accepts without reading source.  ``--category`` filters one family::
+Two subcommands:
 
-    python -m repro
-    python -m repro --category dynamic
+* ``solvers`` (the default, kept flag-compatible with the original CLI) —
+  print every registered solver, its category, aliases and favorable
+  situation (the Table 6 view)::
+
+      python -m repro
+      python -m repro --category dynamic
+      python -m repro solvers --category portfolio
+
+* ``sweep`` — build a :class:`repro.api.Study` from flags and run it, so
+  the whole sweep engine (trace ensembles, solver/category specs, capacity
+  ranges, arrivals, batching, execution backends) is drivable without
+  writing Python::
+
+      python -m repro sweep --workload mixed-intensity --traces 8 \\
+          --solvers LCMR MAMR category:corrected \\
+          --capacities 1.0 2.0 --steps 9 \\
+          --backend processes --jobs 4 --output sweep.json
+
+  A progress line is written to stderr while the sweep runs (``--quiet``
+  disables it); the aggregate summary goes to stdout and ``--output``
+  writes the full ``ResultSet`` as JSON or CSV by file extension.
 """
 
 from __future__ import annotations
@@ -14,7 +31,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import available_solvers
+from .api import DEFAULT_CAPACITY_FACTORS, Study, available_solvers
 from .heuristics import Category
 
 
@@ -41,7 +58,7 @@ def render_solver_table(category: str | None = None) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def _solvers_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="List the registered solvers and their favorable situations (Table 6).",
@@ -55,6 +72,209 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     print(render_solver_table(args.category))
     return 0
+
+
+# --------------------------------------------------------------------- #
+# sweep subcommand
+# --------------------------------------------------------------------- #
+def _sweep_parser() -> argparse.ArgumentParser:
+    from .traces.generator import REGIMES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Build a Study from flags and run it on the chosen execution backend.",
+    )
+    workload = parser.add_argument_group("workload")
+    workload.add_argument(
+        "--workload",
+        default="mixed-intensity",
+        choices=sorted(REGIMES) + ["hf", "ccsd"],
+        help="synthetic regime, or a simulated chemistry ensemble (hf/ccsd); default: %(default)s",
+    )
+    workload.add_argument(
+        "--traces", type=int, default=4, help="number of per-process traces to sweep (default: %(default)s)"
+    )
+    workload.add_argument(
+        "--tasks", type=int, default=200, help="tasks per synthetic trace (default: %(default)s)"
+    )
+    workload.add_argument(
+        "--processes",
+        type=int,
+        default=150,
+        help="simulated run size for hf/ccsd workloads (default: %(default)s)",
+    )
+    workload.add_argument("--seed", type=int, default=0, help="workload seed (default: %(default)s)")
+    workload.add_argument(
+        "--task-limit", type=int, default=None, help="truncate every trace to its first N tasks"
+    )
+
+    shape = parser.add_argument_group("sweep shape")
+    shape.add_argument(
+        "--solvers",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="solver names, aliases or 'category:<name>' specs "
+        "(default: the paper's Figure 9/11 line-up)",
+    )
+    shape.add_argument(
+        "--capacities",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="capacity factors (multiples of each trace's mc); with --steps, "
+        "exactly two bounds of an inclusive range (default: 1.0..2.0 in 0.125 steps)",
+    )
+    shape.add_argument(
+        "--steps", type=int, default=None, help="linear steps between the two --capacities bounds"
+    )
+    shape.add_argument(
+        "--arrivals",
+        type=float,
+        default=None,
+        metavar="LOAD",
+        help="run on the streaming runtime under Poisson arrivals at this load",
+    )
+    shape.add_argument(
+        "--arrival-seed", type=int, default=0, help="arrival sampling seed (default: %(default)s)"
+    )
+    shape.add_argument(
+        "--batch-size", type=int, default=None, help="Section 6.3 batched execution window"
+    )
+    shape.add_argument(
+        "--pipelined", action="store_true", help="drop the drain barrier between batches"
+    )
+    shape.add_argument(
+        "--no-validate", action="store_true", help="skip per-schedule feasibility checking"
+    )
+
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="execution backend (default: REPRO_BACKEND, else threads when --jobs > 1)",
+    )
+    execution.add_argument(
+        "--jobs", type=int, default=None, help="worker count (default: CPU count, capped by REPRO_NUM_JOBS)"
+    )
+    execution.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="jobs per shard (default: auto; implies parallel execution)",
+    )
+
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the full ResultSet to PATH (.json or .csv, by extension)",
+    )
+    output.add_argument(
+        "--quiet", action="store_true", help="suppress the stderr progress line"
+    )
+    return parser
+
+
+def _sweep_workload(args):
+    if args.workload == "hf":
+        from .chemistry import hf_ensemble
+
+        return hf_ensemble(processes=args.processes, traces=args.traces, seed=args.seed)
+    if args.workload == "ccsd":
+        from .chemistry import ccsd_ensemble
+
+        return ccsd_ensemble(processes=args.processes, traces=args.traces, seed=args.seed)
+    from .traces.generator import synthetic_ensemble
+
+    return synthetic_ensemble(
+        args.workload, processes=args.traces, tasks_per_process=args.tasks, seed=args.seed
+    )
+
+
+def _progress_line(stream=None):
+    """A ``(completed, total)`` callback rendering a one-line stderr ticker."""
+    stream = stream if stream is not None else sys.stderr
+
+    def report(completed: int, total: int) -> None:
+        stream.write(f"\rsweep: {completed}/{total} jobs")
+        if completed >= total:
+            stream.write("\n")
+        stream.flush()
+
+    return report
+
+
+def render_sweep_summary(results) -> str:
+    """Mean ratio-to-OMIM per solver, best solver first — the CLI digest."""
+    if not results:
+        return "0 measurements — nothing to summarise (empty workload?)"
+    means = results.aggregate("ratio_to_optimal", by=("heuristic",), how="mean")
+    width = max(len("solver"), *(len(str(name)) for name in means))
+    lines = [
+        f"{len(results)} measurements "
+        f"({len(set(results.column('trace')))} traces x "
+        f"{len(set(results.column('capacity_factor')))} capacities x "
+        f"{len(means)} solvers)",
+        "",
+        f"{'solver':<{width}}  mean ratio to OMIM",
+    ]
+    for name, value in sorted(means.items(), key=lambda item: item[1]):
+        lines.append(f"{name:<{width}}  {value:.4f}")
+    return "\n".join(lines)
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    args = _sweep_parser().parse_args(argv)
+    if args.output and not args.output.endswith((".json", ".csv")):
+        # Fail in milliseconds, not after a possibly hours-long sweep.
+        raise SystemExit(f"--output must end in .json or .csv, got {args.output!r}")
+    study = Study().traces(_sweep_workload(args))
+    if args.capacities is not None:
+        study.capacities(*args.capacities, steps=args.steps)
+    elif args.steps is not None:
+        study.capacities(DEFAULT_CAPACITY_FACTORS[0], DEFAULT_CAPACITY_FACTORS[-1], steps=args.steps)
+    if args.solvers:
+        study.solvers(*args.solvers)
+    if args.arrivals is not None:
+        from .simulator.arrivals import PoissonArrivals
+
+        study.arrivals(PoissonArrivals(load=args.arrivals), seed=args.arrival_seed)
+    if args.batch_size is not None:
+        study.batched(args.batch_size, pipelined=args.pipelined)
+    elif args.pipelined:
+        raise SystemExit("--pipelined requires --batch-size")
+    if args.task_limit is not None:
+        study.task_limit(args.task_limit)
+    if args.no_validate:
+        study.validate(False)
+    if args.jobs is not None or args.backend is not None or args.chunk_size is not None:
+        study.parallel(args.jobs, backend=args.backend, chunk_size=args.chunk_size)
+    if not args.quiet:
+        study.on_progress(_progress_line())
+
+    results = study.run()
+
+    if args.output:
+        if args.output.endswith(".csv"):
+            results.to_csv(args.output)
+        else:
+            results.to_json(args.output, indent=2)
+        print(f"wrote {len(results)} rows to {args.output}", file=sys.stderr)
+    print(render_sweep_summary(results))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    if argv and argv[0] == "solvers":
+        argv = argv[1:]
+    return _solvers_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

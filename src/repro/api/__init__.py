@@ -14,20 +14,33 @@ methods and the MILP — which previously had to be wired together by hand.
   same namespace as the built-ins.
 """
 
-from .engine import run_solvers_on_instance, sweep_instances, sweep_traces
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SweepJobError,
+    ThreadBackend,
+    resolve_backend,
+)
+from .engine import SweepJob, run_solvers_on_instance, sweep_instances, sweep_traces
 from .registry import (
     PAPER_FIGURE_ORDER,
+    NamedSpec,
     Solver,
     SolverInfo,
     SolverRegistrationError,
     UnknownSolverError,
     available_solvers,
     get_solver,
+    named_spec,
     paper_lineup,
     register_solver,
     resolve_solvers,
     solver_names,
+    spec_to_wire,
     unregister_solver,
+    warm_registry,
+    wire_to_spec,
 )
 from .results import ResultSet, RunRecord
 from .solve import SolveResult, solve
@@ -36,23 +49,35 @@ from .study import DEFAULT_CAPACITY_FACTORS, Study
 __all__ = [
     "DEFAULT_CAPACITY_FACTORS",
     "PAPER_FIGURE_ORDER",
+    "ExecutionBackend",
+    "NamedSpec",
+    "ProcessBackend",
     "ResultSet",
     "RunRecord",
+    "SerialBackend",
     "Solver",
     "SolverInfo",
     "SolverRegistrationError",
     "SolveResult",
     "Study",
+    "SweepJob",
+    "SweepJobError",
+    "ThreadBackend",
     "UnknownSolverError",
     "available_solvers",
     "get_solver",
+    "named_spec",
     "paper_lineup",
     "register_solver",
+    "resolve_backend",
     "resolve_solvers",
     "run_solvers_on_instance",
     "solve",
     "solver_names",
+    "spec_to_wire",
     "sweep_instances",
     "sweep_traces",
     "unregister_solver",
+    "warm_registry",
+    "wire_to_spec",
 ]

@@ -1,0 +1,336 @@
+"""Pluggable execution backends for the sweep engine.
+
+The sweep engine (:mod:`repro.api.engine`) describes its work as a list of
+self-contained, picklable :class:`~repro.api.engine.SweepJob` objects; a
+*backend* decides where those jobs run:
+
+* :class:`SerialBackend` — in the calling thread, one job at a time;
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` fan-out (cheap to start,
+  but the pure-Python kernel is GIL-serialized, so wall-clock gains are
+  limited to validation/IO slack);
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor`` fan-out for true
+  multi-core sweeps.  Jobs are converted to their wire form first
+  (:meth:`SweepJob.to_wire`), so workers rebuild solvers from their own
+  registry and never unpickle live solver state.
+
+Every backend returns the per-job record lists **in submission order** and
+jobs are deterministic, so the merged :class:`~repro.api.results.ResultSet`
+is byte-identical across backends, worker counts and chunk sizes —
+differential-tested in ``tests/api/test_backends.py``.
+
+Selection goes through :func:`resolve_backend`: an explicit backend (name or
+instance) wins, then the ``REPRO_BACKEND`` environment variable, then the
+historical default (threads when parallelism was requested, serial
+otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from .results import RunRecord
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SweepJobError",
+    "ThreadBackend",
+    "auto_chunk_size",
+    "resolve_backend",
+]
+
+#: Environment variable overriding the backend choice for every sweep.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Chunks per worker targeted by :func:`auto_chunk_size`: enough slack for
+#: load-balancing across uneven traces, few enough to amortize the per-chunk
+#: IPC (pickle + queue round-trip) over several jobs.
+_CHUNKS_PER_WORKER = 4
+
+ProgressCallback = Callable[[int, int], None]
+
+
+class SweepJobError(RuntimeError):
+    """One sweep job failed inside a worker.
+
+    Carries the job label and the worker-side traceback as a single string,
+    so it pickles losslessly across the process boundary instead of
+    degrading into a bare ``BrokenProcessPool``.
+    """
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where sweep jobs run.  Implementations must preserve submission order."""
+
+    name: str
+
+    def run(
+        self,
+        jobs: Sequence,
+        *,
+        chunk_size: int | None = None,
+        on_progress: ProgressCallback | None = None,
+    ) -> list[list[RunRecord]]:
+        """Execute every job; returns one record list per job, in job order."""
+        ...
+
+
+def auto_chunk_size(job_count: int, workers: int) -> int:
+    """Default shard size: aim for ``_CHUNKS_PER_WORKER`` chunks per worker."""
+    if job_count <= 0:
+        return 1
+    return max(1, math.ceil(job_count / (max(workers, 1) * _CHUNKS_PER_WORKER)))
+
+
+def _chunked(jobs: Sequence, size: int) -> list[list]:
+    return [list(jobs[start : start + size]) for start in range(0, len(jobs), size)]
+
+
+def _run_chunk(jobs: Sequence) -> list[list[RunRecord]]:
+    """Run one shard of jobs in-process; failures propagate unwrapped.
+
+    The serial and thread backends use this directly, so a failing job
+    raises its *original* exception — same type, same object — exactly as
+    the pre-backend thread pool did.
+    """
+    return [job.run() for job in jobs]
+
+
+def _run_chunk_wrapped(jobs: Sequence) -> list[list[RunRecord]]:
+    """Process-worker entry point: failures become picklable SweepJobErrors.
+
+    Arbitrary exceptions may not survive the trip back through the result
+    queue (unpicklable state degrades into an opaque pool teardown), so the
+    worker re-raises them as a :class:`SweepJobError` naming the job and
+    carrying the worker-side traceback as text.
+    """
+    results: list[list[RunRecord]] = []
+    for job in jobs:
+        try:
+            results.append(job.run())
+        except SweepJobError:
+            raise
+        except Exception as error:
+            raise SweepJobError(
+                f"sweep job {job.label!r} failed: {type(error).__name__}: {error}\n"
+                f"{traceback.format_exc()}"
+            ) from None
+    return results
+
+
+def _checked_chunk_size(chunk_size: int | None) -> int | None:
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size!r}")
+    return chunk_size
+
+
+def _effective_workers(n_jobs: int | None, job_count: int) -> int:
+    from .engine import default_jobs  # lazy: engine imports us
+
+    if n_jobs is None or n_jobs in (0, -1):
+        return default_jobs(job_count)
+    return max(1, min(int(n_jobs), max(job_count, 1)))
+
+
+def _run_pool(
+    pool: Executor,
+    chunks: list[list],
+    job_count: int,
+    on_progress: ProgressCallback | None,
+    runner: Callable[[Sequence], list[list[RunRecord]]] = _run_chunk,
+) -> list[list[list[RunRecord]]]:
+    """Submit every chunk, report progress as chunks finish, keep order."""
+    futures = {pool.submit(runner, chunk): index for index, chunk in enumerate(chunks)}
+    results: list[list[list[RunRecord]] | None] = [None] * len(chunks)
+    done = 0
+    pending = set(futures)
+    try:
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = futures[future]
+                results[index] = future.result()
+                done += len(chunks[index])
+                if on_progress is not None:
+                    on_progress(done, job_count)
+    except BaseException:
+        # First failure wins: drop every not-yet-started chunk so the error
+        # reaches the caller without burning through the rest of the sweep.
+        for future in pending:
+            future.cancel()
+        raise
+    return results  # type: ignore[return-value]  (every slot was filled)
+
+
+class SerialBackend:
+    """Run jobs one after another in the calling thread (the reference)."""
+
+    name = "serial"
+
+    def run(self, jobs, *, chunk_size=None, on_progress=None):
+        _checked_chunk_size(chunk_size)  # same contract as the pool backends
+        results = []
+        for index, job in enumerate(jobs):
+            results.append(job.run())
+            if on_progress is not None:
+                on_progress(index + 1, len(jobs))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialBackend()"
+
+
+class ThreadBackend:
+    """Fan chunks of jobs over a thread pool (the pre-backend behaviour)."""
+
+    name = "threads"
+
+    def __init__(self, n_jobs: int | None = None) -> None:
+        self.n_jobs = n_jobs
+
+    def run(self, jobs, *, chunk_size=None, on_progress=None):
+        chunk_size = _checked_chunk_size(chunk_size)
+        workers = _effective_workers(self.n_jobs, len(jobs))
+        if workers <= 1 or len(jobs) <= 1:
+            return SerialBackend().run(jobs, on_progress=on_progress)
+        size = chunk_size if chunk_size is not None else auto_chunk_size(len(jobs), workers)
+        chunks = _chunked(jobs, size)
+        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            per_chunk = _run_pool(pool, chunks, len(jobs), on_progress)
+        return [records for chunk in per_chunk for records in chunk]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadBackend(n_jobs={self.n_jobs!r})"
+
+
+def _process_worker_init() -> None:
+    """Per-worker warm-up: load the registry, tame nested parallelism.
+
+    ``REPRO_NUM_JOBS`` is defaulted (not forced) to 1 so a thread-racing
+    ``PortfolioSolver`` inside a process-backend sweep does not multiply the
+    already-saturated worker count; exporting the variable in the parent
+    still wins, because children inherit the environment.
+    """
+    from .engine import NUM_JOBS_ENV_VAR  # lazy: engine imports us
+    from .registry import warm_registry
+
+    os.environ.setdefault(NUM_JOBS_ENV_VAR, "1")
+    warm_registry()
+
+
+class ProcessBackend:
+    """Fan chunks of jobs over a process pool — true multi-core sweeps.
+
+    Jobs are sent in wire form (solver specs by registered name + params);
+    each worker warms its own registry once and rebuilds fresh solvers per
+    job, so no solver instance, closure or lock ever crosses the boundary.
+    """
+
+    name = "processes"
+
+    def __init__(self, n_jobs: int | None = None) -> None:
+        self.n_jobs = n_jobs
+
+    def run(self, jobs, *, chunk_size=None, on_progress=None):
+        chunk_size = _checked_chunk_size(chunk_size)
+        wire_jobs = [job.to_wire() for job in jobs]
+        if not wire_jobs:
+            return []
+        # One trial pickle before the pool spins up: sweep jobs share their
+        # solver specs, so an unpicklable parameter almost always breaks
+        # every job — catching it on the first one gives a clear error
+        # without serializing each payload twice.
+        try:
+            pickle.dumps(wire_jobs[0])
+        except Exception as error:
+            raise TypeError(
+                f"sweep job {jobs[0].label!r} cannot be pickled for the process "
+                f"backend ({error}); use picklable solver parameters and "
+                "payloads, or backend='threads'"
+            ) from error
+        workers = _effective_workers(self.n_jobs, len(wire_jobs))
+        size = chunk_size if chunk_size is not None else auto_chunk_size(len(wire_jobs), workers)
+        chunks = _chunked(wire_jobs, size)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)), initializer=_process_worker_init
+            ) as pool:
+                per_chunk = _run_pool(
+                    pool, chunks, len(wire_jobs), on_progress, runner=_run_chunk_wrapped
+                )
+        except BrokenProcessPool as error:
+            raise RuntimeError(
+                "the process-backend worker pool died unexpectedly (a worker was "
+                "killed — out-of-memory, a segfault in an extension, or an "
+                "interpreter crash); re-run with backend='serial' to reproduce "
+                "the failure in-process"
+            ) from error
+        return [records for chunk in per_chunk for records in chunk]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(n_jobs={self.n_jobs!r})"
+
+
+#: Accepted spellings per backend name.
+_BACKEND_ALIASES: dict[str, type] = {
+    "serial": SerialBackend,
+    "sequential": SerialBackend,
+    "threads": ThreadBackend,
+    "thread": ThreadBackend,
+    "threading": ThreadBackend,
+    "processes": ProcessBackend,
+    "process": ProcessBackend,
+    "multiprocessing": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None" = None,
+    *,
+    n_jobs: int | None = None,
+) -> ExecutionBackend:
+    """Pick the execution backend for a sweep.
+
+    Precedence: an explicit ``backend`` (name or instance) wins, then the
+    ``REPRO_BACKEND`` environment variable, then the historical default —
+    threads when ``n_jobs`` requests parallelism, serial otherwise.
+    ``n_jobs`` is forwarded to pool backends built here; an already-built
+    backend instance keeps its own worker count.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+    if backend is None:
+        if n_jobs is None or n_jobs == 1:
+            return SerialBackend()
+        return ThreadBackend(n_jobs)
+    if isinstance(backend, str):
+        try:
+            cls = _BACKEND_ALIASES[backend.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown execution backend {backend!r}; "
+                f"choose from {sorted(set(_BACKEND_ALIASES))}"
+            ) from None
+        if cls is SerialBackend:
+            return SerialBackend()
+        return cls(n_jobs)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    raise TypeError(
+        f"backend must be a name or an ExecutionBackend, got {type(backend).__name__}"
+    )

@@ -1,12 +1,13 @@
 """Sweep engine: run registered solvers over instances, traces and ensembles.
 
 This is the machinery underneath :func:`repro.solve` and
-:class:`repro.api.Study`.  The unit of work is one trace: the OMIM reference
-(Johnson's rule on the unconstrained instance) is computed exactly once per
-trace and shared by every capacity factor — both in the sequential path and
-when trace jobs are fanned out over a ``concurrent.futures`` thread pool.
-Parallel sweeps preserve the submission order of the trace list, so their
-output is identical to the sequential path.
+:class:`repro.api.Study`.  The unit of work is one :class:`SweepJob` — one
+trace (the OMIM reference is computed exactly once and shared by every
+capacity factor) or one raw instance — described entirely by plain data, so
+jobs run unchanged on any :mod:`~repro.api.backends` executor: in the
+calling thread, on a thread pool, or on a process pool.  Backends preserve
+submission order and jobs are deterministic, so every backend produces a
+byte-identical :class:`~repro.api.results.ResultSet`.
 """
 
 from __future__ import annotations
@@ -14,8 +15,8 @@ from __future__ import annotations
 import math
 import os
 import zlib
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..core.metrics import evaluate, evaluate_online
@@ -25,18 +26,48 @@ from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
-from .registry import Solver, resolve_solvers
+from .backends import ExecutionBackend, resolve_backend
+from .registry import Solver, resolve_solvers, spec_to_wire, wire_to_spec
 from .results import ResultSet, RunRecord
 
-__all__ = ["run_solvers_on_instance", "sweep_traces", "sweep_instances", "default_jobs"]
+__all__ = [
+    "run_solvers_on_instance",
+    "sweep_traces",
+    "sweep_instances",
+    "default_jobs",
+    "SweepJob",
+]
 
 #: Application label used when an instance carries no name at all.
 ADHOC_APPLICATION = "adhoc"
 
+#: Environment variable capping the default worker count (CI, containers,
+#: nested parallelism inside process-backend workers).
+NUM_JOBS_ENV_VAR = "REPRO_NUM_JOBS"
 
-def default_jobs() -> int:
-    """Worker count used by ``parallel()`` when none is given."""
-    return max(os.cpu_count() or 1, 1)
+
+def default_jobs(job_count: int | None = None) -> int:
+    """Worker count used by ``parallel()``/pool backends when none is given.
+
+    ``REPRO_NUM_JOBS`` overrides the CPU count (so CI boxes and the workers
+    of a process-backend sweep — which export it — don't oversubscribe), and
+    the result is additionally capped at ``job_count`` when the caller knows
+    how many jobs there are: more workers than jobs only cost start-up time.
+    """
+    override = os.environ.get(NUM_JOBS_ENV_VAR, "").strip()
+    if override:
+        try:
+            jobs = int(override)
+        except ValueError:
+            raise ValueError(
+                f"{NUM_JOBS_ENV_VAR} must be an integer, got {override!r}"
+            ) from None
+        jobs = max(jobs, 1)
+    else:
+        jobs = max(os.cpu_count() or 1, 1)
+    if job_count is not None:
+        jobs = min(jobs, max(int(job_count), 1))
+    return jobs
 
 
 def _arrival_seed(seed: int, label: str) -> list[int]:
@@ -200,6 +231,103 @@ def _sweep_one_trace(
     return records
 
 
+def _sweep_one_instance(
+    instance: Instance,
+    *,
+    solver_specs: Sequence,
+    validate: bool,
+    batch_size: int | None,
+    pipelined: bool,
+    machine: MachineModel | None,
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None",
+    arrival_seed: int,
+) -> list[RunRecord]:
+    """Run the solvers on one raw instance at its own capacity."""
+    solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
+    if arrivals is not None:
+        instance = instance.with_releases(
+            resolve_arrivals(
+                arrivals, instance.tasks, seed=_arrival_seed(arrival_seed, instance.name)
+            )
+        )
+    return run_solvers_on_instance(
+        instance,
+        solvers,
+        validate=validate,
+        batch_size=batch_size,
+        pipelined=pipelined,
+        machine=machine,
+    )
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One self-contained unit of sweep work, executable on any backend.
+
+    The payload is a whole :class:`Trace` (swept over ``capacity_factors``,
+    sharing one OMIM reference and one arrival pattern) or a raw
+    :class:`Instance` (``capacity_factors is None`` — run at its own
+    capacity).  Solver specs are carried *as specs*, never as live solvers:
+    each run re-resolves them through the registry, so concurrent jobs never
+    share solver state and :meth:`to_wire` can rewrite them into plain-data
+    form for a trip across a process boundary.
+    """
+
+    payload: "Trace | Instance"
+    solver_specs: tuple = ()
+    capacity_factors: tuple[float, ...] | None = None
+    validate: bool = True
+    batch_size: int | None = None
+    pipelined: bool = False
+    task_limit: int | None = None
+    machine: MachineModel | None = None
+    arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
+    arrival_seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.payload.label if isinstance(self.payload, Trace) else self.payload.name
+
+    def to_wire(self) -> "SweepJob":
+        """A copy whose solver specs are plain-data wire dicts.
+
+        Raises a :class:`TypeError` naming the offending spec when one
+        cannot be expressed by registered name + parameters (live solver
+        instances, opaque closures) — the process backend calls this before
+        any worker starts, so the error surfaces early and clearly.
+        """
+        return replace(self, solver_specs=tuple(spec_to_wire(s) for s in self.solver_specs))
+
+    def run(self) -> list[RunRecord]:
+        """Execute the job in the current process and return its records."""
+        specs = tuple(
+            wire_to_spec(spec) if isinstance(spec, dict) else spec for spec in self.solver_specs
+        )
+        if isinstance(self.payload, Trace):
+            return _sweep_one_trace(
+                self.payload,
+                capacity_factors=self.capacity_factors or (),
+                solver_specs=specs,
+                validate=self.validate,
+                batch_size=self.batch_size,
+                pipelined=self.pipelined,
+                task_limit=self.task_limit,
+                machine=self.machine,
+                arrivals=self.arrivals,
+                arrival_seed=self.arrival_seed,
+            )
+        return _sweep_one_instance(
+            self.payload,
+            solver_specs=specs,
+            validate=self.validate,
+            batch_size=self.batch_size,
+            pipelined=self.pipelined,
+            machine=self.machine,
+            arrivals=self.arrivals,
+            arrival_seed=self.arrival_seed,
+        )
+
+
 def _flatten_traces(sources: Iterable) -> list[Trace]:
     traces: list[Trace] = []
     for source in sources:
@@ -222,16 +350,24 @@ def sweep_traces(
     pipelined: bool = False,
     task_limit: int | None = None,
     n_jobs: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    chunk_size: int | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
     machine: MachineModel | None = None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
 ) -> ResultSet:
     """Capacity sweep of every solver over every trace of ``sources``.
 
-    ``n_jobs`` > 1 distributes whole-trace jobs over a thread pool (threads,
-    not processes: the workload releases no locks worth fighting over and the
-    solvers stay picklability-free); results are collected in submission
-    order, so the output is identical to a sequential run.
+    ``n_jobs`` > 1 distributes whole-trace :class:`SweepJob` s over an
+    execution backend — threads by default, ``backend="processes"`` (or the
+    ``REPRO_BACKEND`` environment variable) for true multi-core sweeps.
+    Jobs are sharded into chunks of ``chunk_size`` (auto-sized from the job
+    and worker counts when omitted) to amortize inter-process traffic, and
+    results are merged in submission order, so the output is byte-identical
+    to a serial run whatever the backend, worker count or chunking.
+    ``on_progress(completed, total)`` is called from the submitting thread
+    as jobs complete.
     """
     traces = _flatten_traces(sources)
     if machine is not None and machine.capacity is not None:
@@ -250,11 +386,11 @@ def sweep_traces(
         if not (factor > 0 or math.isnan(factor)):
             raise ValueError(f"capacity factors must be positive, got {factor!r}")
 
-    def job(trace: Trace) -> list[RunRecord]:
-        return _sweep_one_trace(
-            trace,
-            capacity_factors=capacity_factors,
-            solver_specs=solver_specs,
+    jobs = [
+        SweepJob(
+            payload=trace,
+            solver_specs=tuple(solver_specs),
+            capacity_factors=tuple(capacity_factors),
             validate=validate,
             batch_size=batch_size,
             pipelined=pipelined,
@@ -263,14 +399,10 @@ def sweep_traces(
             arrivals=arrivals,
             arrival_seed=arrival_seed,
         )
-
-    workers = default_jobs() if n_jobs in (0, -1) else n_jobs
-    if workers is not None and workers > 1 and len(traces) > 1:
-        with ThreadPoolExecutor(max_workers=min(workers, len(traces))) as pool:
-            chunks = list(pool.map(job, traces))
-    else:
-        chunks = [job(trace) for trace in traces]
-    return ResultSet.concat(chunks)
+        for trace in traces
+    ]
+    executor = resolve_backend(backend, n_jobs=n_jobs)
+    return ResultSet.concat(executor.run(jobs, chunk_size=chunk_size, on_progress=on_progress))
 
 
 def sweep_instances(
@@ -281,11 +413,18 @@ def sweep_instances(
     batch_size: int | None = None,
     pipelined: bool = False,
     n_jobs: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    chunk_size: int | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
     machine: MachineModel | None = None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
 ) -> ResultSet:
-    """Run the solvers on raw instances at their own capacity (no factor sweep)."""
+    """Run the solvers on raw instances at their own capacity (no factor sweep).
+
+    Parallelism, backend selection, chunking and progress reporting behave
+    exactly as in :func:`sweep_traces`.
+    """
     instances = list(instances)
     if arrivals is not None and batch_size is not None:
         raise ValueError(
@@ -295,29 +434,19 @@ def sweep_instances(
     if pipelined and batch_size is None:
         raise ValueError("pipelined=True requires a batch_size")
 
-    def job(instance: Instance) -> list[RunRecord]:
-        solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
-        if arrivals is not None:
-            instance = instance.with_releases(
-                resolve_arrivals(
-                    arrivals,
-                    instance.tasks,
-                    seed=_arrival_seed(arrival_seed, instance.name),
-                )
-            )
-        return run_solvers_on_instance(
-            instance,
-            solvers,
+    jobs = [
+        SweepJob(
+            payload=instance,
+            solver_specs=tuple(solver_specs),
+            capacity_factors=None,
             validate=validate,
             batch_size=batch_size,
             pipelined=pipelined,
             machine=machine,
+            arrivals=arrivals,
+            arrival_seed=arrival_seed,
         )
-
-    workers = default_jobs() if n_jobs in (0, -1) else n_jobs
-    if workers is not None and workers > 1 and len(instances) > 1:
-        with ThreadPoolExecutor(max_workers=min(workers, len(instances))) as pool:
-            chunks = list(pool.map(job, instances))
-    else:
-        chunks = [job(instance) for instance in instances]
-    return ResultSet.concat(chunks)
+        for instance in instances
+    ]
+    executor = resolve_backend(backend, n_jobs=n_jobs)
+    return ResultSet.concat(executor.run(jobs, chunk_size=chunk_size, on_progress=on_progress))

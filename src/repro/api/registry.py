@@ -36,12 +36,17 @@ __all__ = [
     "SolverInfo",
     "SolverRegistrationError",
     "UnknownSolverError",
+    "NamedSpec",
+    "named_spec",
     "register_solver",
     "unregister_solver",
     "get_solver",
     "solver_names",
     "available_solvers",
     "resolve_solvers",
+    "spec_to_wire",
+    "wire_to_spec",
+    "warm_registry",
     "paper_lineup",
     "PAPER_FIGURE_ORDER",
 ]
@@ -117,6 +122,17 @@ def _ensure_builtins() -> None:
         from . import _builtin  # noqa: F401  (import performs the registrations)
 
         _BUILTINS_LOADED = True
+
+
+def warm_registry() -> None:
+    """Force-load the built-in registrations.
+
+    Normally the registry fills itself lazily on first lookup; worker
+    processes of the :class:`~repro.api.backends.ProcessBackend` call this
+    from their initializer so the (one-off) import cost is paid at pool
+    start-up instead of inside the first timed job.
+    """
+    _ensure_builtins()
 
 
 def _known_names() -> list[str]:
@@ -308,6 +324,99 @@ def resolve_solvers(*specs) -> list[Solver]:
                 "zero-argument factory"
             )
     return solvers
+
+
+@dataclass(frozen=True)
+class NamedSpec:
+    """A solver spec *by registered name and parameters* — the picklable kind.
+
+    Calling it instantiates a fresh solver through the registry, so it slots
+    into :func:`resolve_solvers` like any zero-argument factory, while —
+    unlike a closure — it survives a trip through :func:`spec_to_wire` /
+    :func:`wire_to_spec` and a process boundary.  ``params`` is a sorted
+    ``(key, value)`` tuple so two specs built from the same keyword
+    arguments compare (and hash their wire form) equal.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self) -> Solver:
+        return get_solver(self.name, **dict(self.params))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = ", ".join(f"{key}={value!r}" for key, value in self.params)
+        return f"named_spec({self.name!r}{', ' + rendered if rendered else ''})"
+
+
+def named_spec(name: str, **params) -> NamedSpec:
+    """Build a :class:`NamedSpec` (the parameters are stored sorted by key)."""
+    return NamedSpec(name=name, params=tuple(sorted(params.items())))
+
+
+def _registered_name_of(factory) -> str | None:
+    """Canonical name under which ``factory`` (a class/callable) is registered."""
+    _ensure_builtins()
+    for registration in _REGISTRY.values():
+        if registration.factory is factory:
+            return registration.info.name
+    return None
+
+
+def spec_to_wire(spec) -> dict:
+    """Encode one solver spec as a plain-data wire dict.
+
+    The wire form contains only strings and plain parameter values, so a
+    :class:`~repro.api.engine.SweepJob` carrying it can cross a process
+    boundary without ever pickling a live solver.  Names, ``"category:"``
+    specs, :class:`NamedSpec` and *registered* classes all encode; solver
+    instances and opaque callables do not — they raise a :class:`TypeError`
+    explaining what to pass instead (the process backend surfaces this
+    before any worker starts).
+    """
+    if isinstance(spec, str):
+        return {"kind": "name", "name": spec}
+    if isinstance(spec, NamedSpec):
+        return {"kind": "named", "name": spec.name, "params": dict(spec.params)}
+    if isinstance(spec, type):
+        name = _registered_name_of(spec)
+        if name is None:
+            raise TypeError(
+                f"solver class {spec.__name__!r} is not registered and cannot be "
+                "sent to a worker process; register it with @register_solver "
+                "(in a module the workers import) and pass its name"
+            )
+        return {"kind": "name", "name": name}
+    if isinstance(spec, Solver) or callable(spec):
+        if not isinstance(spec, Solver):
+            name = _registered_name_of(spec)
+            if name is not None:
+                return {"kind": "name", "name": name}
+        kind = "instance" if isinstance(spec, Solver) else "factory"
+        raise TypeError(
+            f"solver {kind} {spec!r} cannot cross a process boundary; pass a "
+            "registered name, a 'category:<name>' spec, or "
+            "repro.api.named_spec(name, **params) so each worker rebuilds the "
+            "solver from the registry"
+        )
+    raise TypeError(f"cannot interpret solver spec {spec!r}")
+
+
+def wire_to_spec(wire: dict):
+    """Decode a :func:`spec_to_wire` dict back into a resolvable spec.
+
+    Runs inside worker processes: the result is handed to
+    :func:`resolve_solvers`, which instantiates the solver from the (lazily
+    warmed) registry of that worker.
+    """
+    if not isinstance(wire, dict) or "kind" not in wire:
+        raise ValueError(f"not a solver wire spec: {wire!r}")
+    kind = wire["kind"]
+    if kind == "name":
+        return wire["name"]
+    if kind == "named":
+        return named_spec(wire["name"], **wire.get("params", {}))
+    raise ValueError(f"unknown solver wire kind {kind!r}")
 
 
 def paper_lineup(names: Iterable[str] | None = None) -> list[Solver]:

@@ -19,13 +19,15 @@ capacities, raw instances run at their own capacity.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..simulator.arrivals import ArrivalProcess
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
+from .backends import ExecutionBackend
 from .engine import default_jobs, sweep_instances, sweep_traces
+from .registry import named_spec
 from .results import ResultSet
 
 __all__ = ["Study", "DEFAULT_CAPACITY_FACTORS"]
@@ -47,6 +49,9 @@ class Study:
         self._pipelined: bool = False
         self._task_limit: int | None = None
         self._n_jobs: int | None = None
+        self._backend: "str | ExecutionBackend | None" = None
+        self._chunk_size: int | None = None
+        self._on_progress: Callable[[int, int], None] | None = None
         self._machine: MachineModel | None = None
         self._arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
         self._arrival_seed: int = 0
@@ -123,14 +128,11 @@ class Study:
         known = ("race", "select", "cached")
         if mode.lower() not in known:
             raise ValueError(f"unknown portfolio mode {mode!r}; choose from {list(known)}")
-        name = f"portfolio.{mode.lower()}"
-
-        def factory():
-            from .registry import get_solver
-
-            return get_solver(name, **params)
-
-        self._solver_specs = self._solver_specs + (factory,)
+        # A named spec, not a closure: it builds the same fresh-per-job
+        # solver, but also survives the trip to a process-backend worker.
+        self._solver_specs = self._solver_specs + (
+            named_spec(f"portfolio.{mode.lower()}", **params),
+        )
         return self
 
     def batched(self, batch_size: int, *, pipelined: bool = False) -> "Study":
@@ -191,13 +193,47 @@ class Study:
         self._validate = bool(flag)
         return self
 
-    def parallel(self, n_jobs: int | None = None) -> "Study":
-        """Fan trace jobs out over ``n_jobs`` threads (default: CPU count).
+    def parallel(
+        self,
+        n_jobs: int | None = None,
+        *,
+        backend: "str | ExecutionBackend | None" = None,
+        chunk_size: int | None = None,
+    ) -> "Study":
+        """Fan trace jobs out over ``n_jobs`` workers of an execution backend.
 
-        Results are identical to the sequential path, including their order.
+        ``backend`` is ``"threads"`` (the default — cheap to start, but the
+        pure-Python kernel is GIL-serialized), ``"processes"`` (true
+        multi-core sweeps; solver specs travel by registered name, so
+        portfolio modes work cross-process), ``"serial"``, or any
+        :class:`~repro.api.backends.ExecutionBackend` instance; the
+        ``REPRO_BACKEND`` environment variable overrides the default.
+        ``n_jobs`` defaults to the CPU count (capped by ``REPRO_NUM_JOBS``
+        and the job count); jobs are sharded into chunks of ``chunk_size``
+        (auto-sized when omitted) to amortize inter-process traffic.
+
+        Results are byte-identical to the sequential path, including their
+        order, whatever the backend, worker count or chunking.
         ``parallel(1)`` switches back to sequential execution.
         """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size!r}")
         self._n_jobs = default_jobs() if n_jobs is None else int(n_jobs)
+        self._backend = backend
+        self._chunk_size = chunk_size
+        return self
+
+    def on_progress(self, callback: Callable[[int, int], None] | None) -> "Study":
+        """Report sweep progress: ``callback(completed_jobs, total_jobs)``.
+
+        Called from the submitting thread as whole-trace/instance jobs
+        finish (after each chunk on pool backends).  Traces and raw
+        instances are swept as two consecutive passes, each reporting its
+        own totals.  Pass ``None`` to remove a previously set callback.
+        """
+        if callback is not None and not callable(callback):
+            raise TypeError(f"on_progress() accepts a callable or None, got {callback!r}")
+        self._on_progress = callback
         return self
 
     # ------------------------------------------------------------------ #
@@ -219,6 +255,9 @@ class Study:
                     pipelined=self._pipelined,
                     task_limit=self._task_limit,
                     n_jobs=self._n_jobs,
+                    backend=self._backend,
+                    chunk_size=self._chunk_size,
+                    on_progress=self._on_progress,
                     machine=self._machine,
                     arrivals=self._arrivals,
                     arrival_seed=self._arrival_seed,
@@ -233,6 +272,9 @@ class Study:
                     batch_size=self._batch_size,
                     pipelined=self._pipelined,
                     n_jobs=self._n_jobs,
+                    backend=self._backend,
+                    chunk_size=self._chunk_size,
+                    on_progress=self._on_progress,
                     machine=self._machine,
                     arrivals=self._arrivals,
                     arrival_seed=self._arrival_seed,

@@ -42,6 +42,91 @@ def test_main_category_option(capsys):
     assert "OOLCMR" in out and "LCMR " not in out.replace("OOLCMR", "")
 
 
+def test_solvers_subcommand_is_the_default_view(capsys):
+    assert main(["solvers", "--category", "dynamic"]) == 0
+    explicit = capsys.readouterr().out
+    assert main(["--category", "dynamic"]) == 0
+    assert capsys.readouterr().out == explicit
+
+
+class TestSweepCommand:
+    SWEEP = [
+        "sweep",
+        "--workload", "balanced",
+        "--traces", "2",
+        "--tasks", "20",
+        "--solvers", "LCMR", "OS",
+        "--capacities", "1.0", "2.0",
+        "--steps", "2",
+    ]
+
+    def test_prints_summary(self, capsys):
+        assert main([*self.SWEEP, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "8 measurements" in out  # 2 traces x 2 capacities x 2 solvers
+        assert "LCMR" in out and "OS" in out and "mean ratio to OMIM" in out
+
+    def test_progress_line_goes_to_stderr(self, capsys):
+        assert main(self.SWEEP) == 0
+        captured = capsys.readouterr()
+        assert "sweep: 2/2 jobs" in captured.err
+        assert "sweep:" not in captured.out
+
+    def test_writes_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main([*self.SWEEP, "--quiet", "--output", str(out_path)]) == 0
+        from repro.api import ResultSet
+
+        results = ResultSet.from_json(out_path)
+        assert len(results) == 8
+        assert set(results.column("heuristic")) == {"LCMR", "OS"}
+
+    def test_writes_csv_output(self, tmp_path, capsys):
+        out_path = tmp_path / "results.csv"
+        assert main([*self.SWEEP, "--quiet", "--output", str(out_path)]) == 0
+        from repro.api import ResultSet
+
+        assert len(ResultSet.from_csv(out_path)) == 8
+
+    def test_backend_flag_matches_serial(self, tmp_path, capsys):
+        serial, procs = tmp_path / "serial.json", tmp_path / "procs.json"
+        assert main([*self.SWEEP, "--quiet", "--backend", "serial", "--output", str(serial)]) == 0
+        assert (
+            main(
+                [*self.SWEEP, "--quiet", "--backend", "processes", "--jobs", "2",
+                 "--output", str(procs)]
+            )
+            == 0
+        )
+        assert serial.read_text() == procs.read_text()
+
+    def test_chunk_size_alone_implies_parallel(self, tmp_path, capsys):
+        plain, chunked = tmp_path / "plain.json", tmp_path / "chunked.json"
+        assert main([*self.SWEEP, "--quiet", "--output", str(plain)]) == 0
+        assert main([*self.SWEEP, "--quiet", "--chunk-size", "1", "--output", str(chunked)]) == 0
+        assert plain.read_text() == chunked.read_text()
+
+    def test_empty_workload_summarises_cleanly(self, capsys):
+        assert main(["sweep", "--workload", "balanced", "--traces", "0", "--quiet"]) == 0
+        assert "0 measurements" in capsys.readouterr().out
+
+    def test_bad_output_extension(self, capsys):
+        with pytest.raises(SystemExit):
+            main([*self.SWEEP, "--quiet", "--output", "results.parquet"])
+
+    def test_pipelined_requires_batch_size(self):
+        with pytest.raises(SystemExit):
+            main([*self.SWEEP, "--quiet", "--pipelined"])
+
+    def test_arrivals_fill_online_columns(self, tmp_path, capsys):
+        out_path = tmp_path / "arrivals.json"
+        assert main([*self.SWEEP, "--quiet", "--arrivals", "1.5", "--output", str(out_path)]) == 0
+        from repro.api import ResultSet
+
+        results = ResultSet.from_json(out_path)
+        assert all(value == value for value in results.column("mean_response_time"))  # not NaN
+
+
 def test_module_entry_point_runs():
     repo_src = Path(__file__).resolve().parents[1] / "src"
     proc = subprocess.run(
