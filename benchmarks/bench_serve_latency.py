@@ -1,0 +1,198 @@
+"""Serving latency — concurrent clients against a live ``repro serve`` daemon.
+
+Boots the real daemon as a subprocess (``python -m repro serve``), drives it
+with N concurrent HTTP clients issuing ``/solve`` requests over distinct
+instances, and reports client-observed p50/p99/mean latency and aggregate
+throughput.  The run ends with SIGTERM and asserts the graceful-shutdown
+contract: exit code 0 and the "drained" line on stdout.
+
+``REPRO_SCALE=ci`` (or ``--smoke`` from the shell) shrinks the load to a
+few requests per client — enough for CI to prove the server boots, answers
+concurrent clients and drains cleanly, without gating on shared-runner wall
+clock.  Any other scale runs the full load and writes the table to
+``benchmarks/results/serve_latency.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from conftest import RESULTS_DIR
+from repro.core import Instance, Task
+from repro.experiments.config import scaled_config
+from repro.serve import quantile
+from repro.serve.protocol import instance_to_wire
+
+LISTENING = re.compile(r"repro-serve listening on http://([\d.]+):(\d+)")
+
+#: (clients, requests per client, tasks per instance) per scale.
+CI_SHAPE = (8, 4, 30)
+FULL_SHAPE = (8, 40, 120)
+
+WORKERS = 2
+
+
+def make_instance(seed: int, tasks: int) -> Instance:
+    rng = np.random.default_rng(seed)
+    items = [
+        Task.from_times(
+            f"t{i}", float(rng.uniform(0.1, 9.0)), float(rng.uniform(0.1, 9.0))
+        )
+        for i in range(tasks)
+    ]
+    instance = Instance(items, name=f"bench-{seed}")
+    return instance.with_capacity(instance.min_capacity * 1.5)
+
+
+def boot_daemon() -> tuple[subprocess.Popen, str, int]:
+    src = Path(__file__).resolve().parents[1] / "src"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", str(WORKERS), "--queue-limit", "64",
+            "--no-cache", "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+    )
+    line = proc.stdout.readline()
+    match = LISTENING.search(line)
+    assert match, f"daemon did not report a listening address: {line!r}"
+    return proc, match.group(1), int(match.group(2))
+
+
+def post_solve(host: str, port: int, payload: dict, timeout: float = 60.0) -> dict:
+    request = urllib.request.Request(
+        f"http://{host}:{port}/solve",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def run_load(
+    host: str, port: int, *, clients: int, requests_each: int, tasks: int
+) -> tuple[list[float], float]:
+    """Drive the daemon with concurrent clients; returns (latencies, wall)."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        # Distinct instances per request: no cache effects, no shared state.
+        bodies = [
+            {
+                "instance": instance_to_wire(
+                    make_instance(seed=index * 1000 + n, tasks=tasks)
+                ),
+                "solver": "LCMR",
+            }
+            for n in range(requests_each)
+        ]
+        barrier.wait()
+        for body in bodies:
+            started = time.perf_counter()
+            try:
+                answer = post_solve(host, port, body)
+            except Exception as error:  # noqa: BLE001 - recorded, fails the bench
+                errors.append(error)
+                return
+            latencies[index].append(time.perf_counter() - started)
+            assert answer["solver"] == "LCMR" and answer["makespan"] > 0
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    assert not errors, f"{len(errors)} client request(s) failed: {errors[:3]}"
+    flat = [sample for per_client in latencies for sample in per_client]
+    assert len(flat) == clients * requests_each
+    return flat, wall
+
+
+def test_serve_latency():
+    scale_is_ci = scaled_config() is scaled_config("ci")
+    clients, requests_each, tasks = CI_SHAPE if scale_is_ci else FULL_SHAPE
+
+    proc, host, port = boot_daemon()
+    try:
+        latencies, wall = run_load(
+            host, port, clients=clients, requests_each=requests_each, tasks=tasks
+        )
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+
+    total = clients * requests_each
+    report_lines = [
+        "Serving latency: concurrent clients against a live `python -m repro serve`",
+        f"load: {clients} concurrent clients x {requests_each} sequential /solve "
+        f"requests each ({total} total), {tasks}-task instances, solver LCMR",
+        f"daemon: {WORKERS} worker threads, queue limit 64, cache disabled",
+        "",
+        f"{'metric':<22} {'value':>12}",
+        f"{'p50 latency':<22} {quantile(latencies, 0.50) * 1e3:>9.1f} ms",
+        f"{'p99 latency':<22} {quantile(latencies, 0.99) * 1e3:>9.1f} ms",
+        f"{'mean latency':<22} {sum(latencies) / total * 1e3:>9.1f} ms",
+        f"{'max latency':<22} {max(latencies) * 1e3:>9.1f} ms",
+        f"{'throughput':<22} {total / wall:>9.1f} req/s",
+        f"{'wall clock':<22} {wall:>9.2f} s",
+    ]
+
+    # The graceful-shutdown contract is part of the benchmark: SIGTERM must
+    # drain and exit 0 every single run, whatever the load was.
+    proc.send_signal(signal.SIGTERM)
+    out, _err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, f"daemon exited {proc.returncode}"
+    assert "shut down gracefully (drained)" in out
+    report_lines += ["", "graceful shutdown: SIGTERM drained in-flight work, exit 0"]
+
+    import os
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    if cores < 4:
+        report_lines += [
+            "",
+            f"note: this run saw only {cores} usable core(s); the daemon's worker",
+            "threads time-share one core, so latency under concurrency reflects",
+            "queueing rather than parallel service.  Regenerate on a multi-core",
+            "host for service-time-bound numbers.",
+        ]
+    report = "\n".join(report_lines)
+    print()
+    print(report)
+
+    # Smoke mode proves boot/serve/drain; only a full run records the table.
+    if not scale_is_ci:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "serve_latency.txt").write_text(report + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    import os
+
+    if "--smoke" in sys.argv[1:]:
+        os.environ["REPRO_SCALE"] = "ci"
+    test_serve_latency()
+    print("bench_serve_latency: OK")

@@ -1,0 +1,98 @@
+"""Serving: talk to the ``repro serve`` daemon over HTTP.
+
+This example is self-contained: it starts a daemon on a background thread
+(the same server ``python -m repro serve`` runs), then walks through the
+whole client surface —
+
+1. check liveness with ``/healthz``;
+2. schedule one instance with ``POST /solve`` (twice, to see the shared
+   result cache attribute the second answer as a hit);
+3. submit a background capacity sweep with ``POST /sweep`` and follow its
+   progress live over the NDJSON event stream;
+4. read the service metrics from ``/metricsz``.
+
+Run with::
+
+    python examples/serve_client.py
+
+Against an already-running daemon, skip the ``ServerThread`` block and
+point :class:`repro.serve.ServeClient` at its host and port.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import Instance, Task
+from repro.serve import ServeClient, ServeError, ServerThread
+
+
+def main() -> None:
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=3),
+        Task.from_times("C", comm=4, comp=4),
+        Task.from_times("D", comm=2, comp=1),
+    ]
+    instance = Instance(tasks, capacity=6, name="serve-example")
+
+    with tempfile.TemporaryDirectory() as cache_dir, ServerThread(
+        workers=2, cache_dir=cache_dir
+    ) as live:
+        client = ServeClient(live.host, live.port)
+
+        # 1. Liveness.
+        health = client.healthz()
+        print(f"server {health['version']} is {health['status']} "
+              f"({health['workers']} workers)\n")
+
+        # 2. One instance, one solver.  The second call is answered from the
+        #    shared result cache — same bytes, cache.hit flips to true.
+        cold = client.solve(instance, solver="LCMR")
+        warm = client.solve(instance, solver="LCMR")
+        print(f"solve with {cold['solver']}: makespan {cold['makespan']:g}, "
+              f"ratio to OMIM {cold['ratio_to_optimal']:.3f}")
+        print(f"  first call:  cache hit = {cold['cache']['hit']}")
+        print(f"  second call: cache hit = {warm['cache']['hit']} "
+              f"(served from the shared cache)\n")
+
+        # Errors come back structured: branch on error.code, not prose.
+        try:
+            client.solve(instance, solver="not-a-solver")
+        except ServeError as error:
+            print(f"structured rejection: HTTP {error.status}, "
+                  f"code {error.code!r}\n")
+
+        # 3. A background sweep: submit, then stream progress events until
+        #    the job reaches a terminal state.
+        job = client.submit_sweep(
+            workload="balanced", traces=3, tasks=40,
+            solvers=["LCMR", "OS", "MAMR"], capacities=[1.0, 2.0], steps=3,
+        )
+        print(f"submitted {job['job_id']}; streaming progress:")
+        for event in client.stream(job["job_id"]):
+            if event["event"] == "progress":
+                print(f"  {event['completed']}/{event['total']} jobs done")
+            elif event["event"] in ("done", "failed", "cancelled", "end"):
+                print(f"  -> {event['event']}")
+
+        final = client.job(job["job_id"])
+        result = final["result"]
+        print(f"\nsweep finished: {result['rows']} measurements, "
+              f"best solver {result['best_solver']} "
+              f"(mean ratios: " +
+              ", ".join(f"{name} {value:.3f}"
+                        for name, value in result["mean_ratio_to_optimal"].items())
+              + ")\n")
+
+        # 4. The live metrics the daemon exposes at /metricsz.
+        metrics = client.metrics()
+        gauges = metrics["gauges"]
+        print(f"requests served: {metrics['requests_total']}, "
+              f"solve p50 {metrics['latency']['solve']['p50_s'] * 1e3:.1f} ms, "
+              f"cache hit rate {gauges['cache_hit_rate']:.0%}")
+    print("\nserver drained and shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

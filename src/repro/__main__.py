@@ -1,6 +1,6 @@
-"""``python -m repro`` — solver discovery and sweep driving from the shell.
+"""``python -m repro`` — solver discovery, sweeps and serving from the shell.
 
-Two subcommands:
+Three subcommands:
 
 * ``solvers`` (the default, kept flag-compatible with the original CLI) —
   print every registered solver, its category, aliases and favorable
@@ -23,6 +23,17 @@ Two subcommands:
   A progress line is written to stderr while the sweep runs (``--quiet``
   disables it); the aggregate summary goes to stdout and ``--output``
   writes the full ``ResultSet`` as JSON or CSV by file extension.
+
+* ``serve`` — run the :mod:`repro.serve` scheduling daemon: an asyncio HTTP
+  service multiplexing solve/sweep requests over a bounded worker pool with
+  admission control, per-request deadlines, one shared result cache and
+  live ``/metricsz`` metrics::
+
+      python -m repro serve --port 8765 --workers 4 --queue-limit 32
+
+``--version`` prints the package version.  Bad arguments exit with status 2
+(argparse conventions) on every subcommand; unexpected runtime failures
+exit 1.
 """
 
 from __future__ import annotations
@@ -31,7 +42,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import DEFAULT_CAPACITY_FACTORS, Study, available_solvers
+from . import __version__
+from .api import DEFAULT_CAPACITY_FACTORS, Study, UnknownSolverError, available_solvers
 from .heuristics import Category
 
 
@@ -64,6 +76,9 @@ def _solvers_main(argv: Sequence[str]) -> int:
         description="List the registered solvers and their favorable situations (Table 6).",
     )
     parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
         "--category",
         choices=[c.value for c in Category],
         default=None,
@@ -83,6 +98,9 @@ def _sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro sweep",
         description="Build a Study from flags and run it on the chosen execution backend.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     workload = parser.add_argument_group("workload")
     workload.add_argument(
@@ -228,10 +246,11 @@ def render_sweep_summary(results) -> str:
 
 
 def _sweep_main(argv: Sequence[str]) -> int:
-    args = _sweep_parser().parse_args(argv)
+    parser = _sweep_parser()
+    args = parser.parse_args(argv)
     if args.output and not args.output.endswith((".json", ".csv")):
         # Fail in milliseconds, not after a possibly hours-long sweep.
-        raise SystemExit(f"--output must end in .json or .csv, got {args.output!r}")
+        parser.error(f"--output must end in .json or .csv, got {args.output!r}")
     study = Study().traces(_sweep_workload(args))
     if args.capacities is not None:
         study.capacities(*args.capacities, steps=args.steps)
@@ -246,7 +265,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if args.batch_size is not None:
         study.batched(args.batch_size, pipelined=args.pipelined)
     elif args.pipelined:
-        raise SystemExit("--pipelined requires --batch-size")
+        parser.error("--pipelined requires --batch-size")
     if args.task_limit is not None:
         study.task_limit(args.task_limit)
     if args.no_validate:
@@ -268,13 +287,114 @@ def _sweep_main(argv: Sequence[str]) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# serve subcommand
+# --------------------------------------------------------------------- #
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the repro scheduling service (asyncio HTTP daemon).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 binds an ephemeral port, printed on startup (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker threads executing jobs (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admitted executing requests before queueing (default: --workers)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="admitted waiting requests beyond --max-inflight; more get HTTP 429 "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline applied when a request sends none",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown patience before giving up on in-flight work "
+        "(default: %(default)s)",
+    )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="shared result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-dt)",
+    )
+    cache.add_argument("--no-cache", action="store_true", help="disable the shared result cache")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+    return parser
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    parser = _serve_parser()
+    args = parser.parse_args(argv)
+    from .serve import ServerConfig, serve_forever
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            default_deadline_s=args.deadline,
+            drain_timeout_s=args.drain_timeout,
+            cache_dir="" if args.no_cache else args.cache_dir,
+            quiet=args.quiet,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        return serve_forever(config)
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C race
+        return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "sweep":
-        return _sweep_main(argv[1:])
-    if argv and argv[0] == "solvers":
-        argv = argv[1:]
-    return _solvers_main(argv)
+    if argv and argv[0] in ("--version", "-V"):
+        print(f"repro {__version__}")
+        return 0
+    try:
+        if argv and argv[0] == "sweep":
+            return _sweep_main(argv[1:])
+        if argv and argv[0] == "serve":
+            return _serve_main(argv[1:])
+        if argv and argv[0] == "solvers":
+            argv = argv[1:]
+        return _solvers_main(argv)
+    except (ValueError, UnknownSolverError) as error:
+        # Late validation failures (bad category names, unknown solvers,
+        # malformed studies) exit like argparse errors: message on stderr,
+        # status 2.  UnknownSolverError is a KeyError whose str() is quoted.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # `repro ... | head` must not traceback
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

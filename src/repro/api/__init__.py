@@ -18,8 +18,10 @@ from .backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    StopSweep,
     SweepJobError,
     ThreadBackend,
+    guard_progress,
     resolve_backend,
 )
 from .engine import SweepJob, run_solvers_on_instance, sweep_instances, sweep_traces
@@ -59,6 +61,7 @@ __all__ = [
     "SolverInfo",
     "SolverRegistrationError",
     "SolveResult",
+    "StopSweep",
     "Study",
     "SweepJob",
     "SweepJobError",
@@ -66,6 +69,7 @@ __all__ = [
     "UnknownSolverError",
     "available_solvers",
     "get_solver",
+    "guard_progress",
     "named_spec",
     "paper_lineup",
     "register_solver",

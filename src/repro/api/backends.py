@@ -30,6 +30,7 @@ import math
 import os
 import pickle
 import traceback
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -47,9 +48,11 @@ __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "StopSweep",
     "SweepJobError",
     "ThreadBackend",
     "auto_chunk_size",
+    "guard_progress",
     "resolve_backend",
 ]
 
@@ -71,6 +74,53 @@ class SweepJobError(RuntimeError):
     so it pickles losslessly across the process boundary instead of
     degrading into a bare ``BrokenProcessPool``.
     """
+
+
+class StopSweep(Exception):
+    """Deliberate sweep abort, raised from a progress callback.
+
+    Progress callbacks are otherwise *guarded* — an exception inside one is
+    caught and warned about instead of killing the sweep (see
+    :func:`guard_progress`).  Raising ``StopSweep`` is the sanctioned escape
+    hatch: it passes through the guard, every backend cancels its
+    not-yet-started work, and the sweep raises ``StopSweep`` to the caller.
+    The serving layer (:mod:`repro.serve`) uses this for deadline-exceeded
+    sweep cancellation.
+    """
+
+
+def guard_progress(callback: ProgressCallback | None) -> ProgressCallback | None:
+    """Wrap a user progress callback so its bugs cannot kill the sweep.
+
+    The first exception raised by ``callback`` is converted into a
+    ``RuntimeWarning`` naming the callback; later failures are silently
+    dropped (one sweep should warn once, not once per job).
+    :class:`StopSweep` is exempt — it is the deliberate cancellation signal
+    and always propagates.
+    """
+    if callback is None:
+        return None
+    warned = False
+
+    def report(completed: int, total: int) -> None:
+        nonlocal warned
+        try:
+            callback(completed, total)
+        except StopSweep:
+            raise
+        except Exception as error:
+            if not warned:
+                warned = True
+                warnings.warn(
+                    f"sweep progress callback {callback!r} raised "
+                    f"{type(error).__name__}: {error}; the sweep continues and "
+                    "further failures of this callback are suppressed "
+                    "(raise repro.api.StopSweep to abort a sweep on purpose)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    return report
 
 
 @runtime_checkable

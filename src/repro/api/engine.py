@@ -26,7 +26,7 @@ from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
-from .backends import ExecutionBackend, resolve_backend
+from .backends import ExecutionBackend, guard_progress, resolve_backend
 from .registry import Solver, resolve_solvers, spec_to_wire, wire_to_spec
 from .results import ResultSet, RunRecord
 
@@ -402,7 +402,9 @@ def sweep_traces(
         for trace in traces
     ]
     executor = resolve_backend(backend, n_jobs=n_jobs)
-    return ResultSet.concat(executor.run(jobs, chunk_size=chunk_size, on_progress=on_progress))
+    return ResultSet.concat(
+        executor.run(jobs, chunk_size=chunk_size, on_progress=guard_progress(on_progress))
+    )
 
 
 def sweep_instances(
@@ -449,4 +451,6 @@ def sweep_instances(
         for instance in instances
     ]
     executor = resolve_backend(backend, n_jobs=n_jobs)
-    return ResultSet.concat(executor.run(jobs, chunk_size=chunk_size, on_progress=on_progress))
+    return ResultSet.concat(
+        executor.run(jobs, chunk_size=chunk_size, on_progress=guard_progress(on_progress))
+    )

@@ -230,6 +230,12 @@ class Study:
         finish (after each chunk on pool backends).  Traces and raw
         instances are swept as two consecutive passes, each reporting its
         own totals.  Pass ``None`` to remove a previously set callback.
+
+        Callbacks are guarded: an exception raised inside one is reported
+        as a single ``RuntimeWarning`` and the sweep keeps going.  Raising
+        :class:`repro.api.StopSweep` is the exception — it deliberately
+        aborts the sweep (the serving layer uses it to cancel
+        past-deadline sweeps).
         """
         if callback is not None and not callable(callback):
             raise TypeError(f"on_progress() accepts a callable or None, got {callback!r}")

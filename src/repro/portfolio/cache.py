@@ -31,6 +31,7 @@ import json
 import math
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 from ..core.instance import Instance
@@ -132,14 +133,19 @@ class ResultCache:
 
     One JSON file per key under ``directory``; an in-memory layer makes
     repeated hits within a process free.  ``hits``/``misses`` count lookups
-    for observability; :meth:`stats` snapshots them.
+    for observability; :meth:`stats` snapshots them together with the entry
+    count and on-disk footprint.  The counters are guarded by a lock, so a
+    cache shared across threads — every client of one ``repro serve``
+    daemon, or the members of a racing portfolio — reports exact numbers.
     """
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self._memory: dict[str, dict] = {}
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.bytes_written = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -152,8 +158,35 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._memory or self._path(key).is_file()
 
-    def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+    def stats(self) -> dict[str, float]:
+        """Thread-safe counter snapshot: effectiveness plus store footprint.
+
+        ``hits``/``misses`` count :meth:`get` lookups in this process,
+        ``bytes_written`` the payload bytes this process stored, ``entries``
+        and ``bytes`` the on-disk store as it is *now* (shared by every
+        process pointing at the directory), and ``hit_rate`` the fraction of
+        lookups served from the cache (``0.0`` before any lookup).
+        """
+        with self._stats_lock:
+            hits, misses, written = self.hits, self.misses, self.bytes_written
+        entries = 0
+        disk_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:  # entry vanished mid-scan (concurrent clear)
+                    continue
+                entries += 1
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "bytes": disk_bytes,
+            "bytes_written": written,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
     def clear(self) -> None:
         """Drop the in-memory layer and every on-disk entry."""
@@ -198,11 +231,12 @@ class ResultCache:
                 payload = None
                 self._memory.pop(key, None)
                 self._path(key).unlink(missing_ok=True)
-        if payload is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return schedule
+        with self._stats_lock:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return None if payload is None else schedule
 
     def put(self, key: str, schedule: Schedule, *, solver: str = "") -> None:
         """Store ``schedule`` under ``key`` (atomic write, last writer wins)."""
@@ -210,6 +244,8 @@ class ResultCache:
         self._memory[key] = payload
         self.directory.mkdir(parents=True, exist_ok=True)
         text = json.dumps(payload)
+        with self._stats_lock:
+            self.bytes_written += len(text)
         handle, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:

@@ -1,0 +1,60 @@
+"""``repro.serve`` — the solver as infrastructure, not a script.
+
+A stdlib-only asyncio HTTP daemon that serves the whole solver registry to
+concurrent clients: single-instance ``/solve`` calls (answered through one
+shared :class:`~repro.portfolio.cache.ResultCache`), background ``/sweep``
+jobs with polled or streamed progress, admission control with structured
+saturation rejections, per-request deadlines, live ``/metricsz`` metrics
+and graceful drain on SIGTERM.  Start it with ``python -m repro serve``;
+talk to it with :class:`ServeClient` or any HTTP client.
+
+Layers (one module each):
+
+* :mod:`~repro.serve.protocol` — JSON wire shapes and strict request parsing;
+* :mod:`~repro.serve.admission` — the bounded admit-or-reject waiting room;
+* :mod:`~repro.serve.pool` — the shared worker pool, doubling as a PR 5
+  :class:`~repro.api.backends.ExecutionBackend` so sweeps reuse the job plane;
+* :mod:`~repro.serve.jobs` — background job lifecycle and event streams;
+* :mod:`~repro.serve.metrics` — counters, latency quantiles, gauges;
+* :mod:`~repro.serve.server` — the HTTP daemon itself;
+* :mod:`~repro.serve.client` — a dependency-free blocking client.
+"""
+
+from .admission import AdmissionController, AdmissionRejected, Ticket
+from .client import ServeClient, ServeError
+from .metrics import LatencyWindow, ServerMetrics, quantile
+from .pool import PoolBackend, ServePool
+from .protocol import (
+    ProtocolError,
+    SolveRequest,
+    SweepRequest,
+    error_body,
+    instance_from_wire,
+    instance_to_wire,
+    schedule_to_wire,
+)
+from .server import ReproServer, ServerConfig, ServerThread, serve_forever
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "LatencyWindow",
+    "PoolBackend",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServePool",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerThread",
+    "SolveRequest",
+    "SweepRequest",
+    "Ticket",
+    "error_body",
+    "instance_from_wire",
+    "instance_to_wire",
+    "quantile",
+    "schedule_to_wire",
+    "serve_forever",
+]

@@ -1,0 +1,103 @@
+"""Admission control: a bounded waiting room in front of the worker pool.
+
+The server admits at most ``max_inflight + queue_limit`` unfinished
+requests: ``max_inflight`` models the work the pool can usefully execute
+concurrently, ``queue_limit`` the extra requests allowed to wait for a
+worker.  Everything beyond that is *rejected immediately* with a structured
+429-style payload — the queue never grows without bound, latency stays
+predictable, and a saturating burst degrades into fast failures instead of
+a collapse.
+
+An admitted request holds a :class:`Ticket` until it finishes (successfully
+or not).  Tickets are idempotent to finish and thread-safe to touch from
+worker threads, because the job that outlives its deadline is completed by
+a pool thread long after the HTTP handler has answered the client.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionController", "AdmissionRejected", "Ticket"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The controller refused a request; carries the saturation snapshot."""
+
+    def __init__(self, message: str, *, active: int, limit: int):
+        super().__init__(message)
+        self.active = active
+        self.limit = limit
+
+
+class Ticket:
+    """One admitted request's claim on the server's bounded capacity."""
+
+    __slots__ = ("_controller", "_done", "cancelled")
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+        self._done = False
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the request as abandoned (deadline passed, client gone).
+
+        The capacity is *not* released here — a worker may still be burning
+        a slot on the job — but a pool that has not started the job yet
+        checks the flag and skips the work entirely.
+        """
+        self.cancelled = True
+
+    def finish(self) -> None:
+        """Release the admitted slot (idempotent; called from any thread)."""
+        with self._controller._lock:
+            if self._done:
+                return
+            self._done = True
+            self._controller._active -= 1
+
+
+class AdmissionController:
+    """Thread-safe bounded admission: admit-or-reject, never block."""
+
+    def __init__(self, max_inflight: int, queue_limit: int):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._active = 0
+        self._rejected = 0
+
+    @property
+    def limit(self) -> int:
+        return self.max_inflight + self.queue_limit
+
+    @property
+    def active(self) -> int:
+        """Admitted-and-unfinished requests (executing or waiting)."""
+        with self._lock:
+            return self._active
+
+    @property
+    def rejected_total(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    def admit(self) -> Ticket:
+        """Claim a slot or raise :class:`AdmissionRejected` — never waits."""
+        with self._lock:
+            if self._active >= self.limit:
+                self._rejected += 1
+                raise AdmissionRejected(
+                    f"server saturated: {self._active} requests in flight "
+                    f"(limit {self.limit} = {self.max_inflight} executing "
+                    f"+ {self.queue_limit} queued); retry later",
+                    active=self._active,
+                    limit=self.limit,
+                )
+            self._active += 1
+        return Ticket(self)

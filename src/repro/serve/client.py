@@ -1,0 +1,154 @@
+"""Stdlib client for the scheduling service (no dependencies, one class).
+
+Used by the test-suite, the latency benchmark and ``examples/serve_client.py``
+— and small enough to vendor into any consumer::
+
+    client = ServeClient("127.0.0.1", 8765)
+    client.healthz()["status"]                      # "ok"
+    client.solve(instance, solver="LCMR")["makespan"]
+    job = client.submit_sweep(workload="balanced", traces=2, tasks=40)
+    for event in client.stream(job["job_id"]):      # live progress ticks
+        print(event)
+    client.job(job["job_id"])["result"]["best_solver"]
+
+Error responses raise :class:`ServeError` carrying the HTTP status and the
+structured ``error.code``, so callers branch on ``error.code ==
+"saturated"`` / ``"deadline_exceeded"`` instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterator, Mapping
+
+from ..core.instance import Instance
+from .protocol import instance_to_wire
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response; carries the status and structured error body."""
+
+    def __init__(self, status: int, payload: Mapping):
+        error = payload.get("error", {}) if isinstance(payload, Mapping) else {}
+        super().__init__(error.get("message") or f"HTTP {status}")
+        self.status = status
+        self.code = error.get("code", "unknown")
+        self.payload = dict(payload) if isinstance(payload, Mapping) else {}
+
+
+class ServeClient:
+    """Minimal blocking HTTP client for one ``repro serve`` daemon."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: Mapping | None = None) -> Any:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                decoded: Any = json.loads(raw) if raw else {}
+            else:
+                decoded = raw.decode("utf-8")
+            if response.status >= 400:
+                raise ServeError(response.status, decoded if isinstance(decoded, Mapping) else {})
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metricsz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metricsz?format=json")
+
+    def solve(
+        self,
+        instance: Instance | Mapping,
+        *,
+        solver: str = "LCMR",
+        params: Mapping | None = None,
+        deadline_s: float | None = None,
+        cache: bool = True,
+        include_schedule: bool = False,
+    ) -> dict:
+        """Schedule one instance; raises :class:`ServeError` on rejection."""
+        wire = instance_to_wire(instance) if isinstance(instance, Instance) else dict(instance)
+        payload: dict = {
+            "instance": wire,
+            "solver": solver,
+            "cache": cache,
+            "include_schedule": include_schedule,
+        }
+        if params:
+            payload["params"] = dict(params)
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self._request("POST", "/solve", payload)
+
+    def submit_sweep(self, **spec: Any) -> dict:
+        """Submit a background sweep; returns ``{"job_id", "poll", "stream"}``."""
+        return self._request("POST", "/sweep", spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 120.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {snapshot['status']} after {timeout}s")
+            time.sleep(poll_s)
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Follow a job's NDJSON event stream until its terminal event."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw)
+                except ValueError:
+                    decoded = {}
+                raise ServeError(response.status, decoded)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except (socket.timeout, ConnectionError):
+            return
+        finally:
+            connection.close()

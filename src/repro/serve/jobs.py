@@ -1,0 +1,157 @@
+"""Job table for submitted sweeps: status, progress, streamed events.
+
+A ``POST /sweep`` answers immediately with a job id; the work happens in
+the background.  Each :class:`ServeJob` carries the full lifecycle —
+``queued → running → done | failed | cancelled`` — plus an append-only
+event log that ``GET /jobs/<id>/stream`` replays and then follows live
+(the events are exactly the ``Study().on_progress`` ticks, marshalled onto
+the event loop).
+
+All mutation happens on the event loop thread (worker threads hand updates
+over via ``loop.call_soon_threadsafe``), so the table needs no locks; the
+per-job ``asyncio.Condition`` wakes streaming readers whenever the event
+log grows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+__all__ = ["JobTable", "ServeJob", "TERMINAL_STATES"]
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class ServeJob:
+    """One submitted background job and its observable lifecycle."""
+
+    def __init__(self, job_id: str, kind: str, detail: dict | None = None):
+        self.id = job_id
+        self.kind = kind
+        self.detail = detail or {}
+        self.status = QUEUED
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.completed = 0
+        self.total: int | None = None
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self.events: list[dict] = []
+        self._changed = asyncio.Condition()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def snapshot(self, *, include_result: bool = True) -> dict:
+        """The ``GET /jobs/<id>`` view."""
+        body = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_at": self.created_at,
+            "progress": {"completed": self.completed, "total": self.total},
+            **self.detail,
+        }
+        if self.finished_at is not None:
+            body["elapsed_s"] = self.finished_at - self.created_at
+        if self.error is not None:
+            body["error"] = self.error
+        if include_result and self.result is not None:
+            body["result"] = self.result
+        return body
+
+
+class JobTable:
+    """Loop-confined registry of background jobs (newest kept, bounded)."""
+
+    def __init__(self, *, keep: int = 256):
+        self._jobs: dict[str, ServeJob] = {}
+        self._sequence = itertools.count(1)
+        self._keep = keep
+
+    def create(self, kind: str, detail: dict | None = None) -> ServeJob:
+        job = ServeJob(f"{kind}-{next(self._sequence):06d}", kind, detail)
+        self._jobs[job.id] = job
+        self._evict()
+        return job
+
+    def _evict(self) -> None:
+        # Drop the oldest *terminal* jobs beyond the retention bound; live
+        # jobs are never evicted, however many pile up behind admission.
+        excess = len(self._jobs) - self._keep
+        if excess <= 0:
+            return
+        for job_id in [jid for jid, job in self._jobs.items() if job.terminal][:excess]:
+            del self._jobs[job_id]
+
+    def get(self, job_id: str) -> ServeJob | None:
+        return self._jobs.get(job_id)
+
+    def list(self) -> list[dict]:
+        return [job.snapshot(include_result=False) for job in self._jobs.values()]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle transitions (event-loop thread only)
+    # ------------------------------------------------------------------ #
+    def _publish(self, job: ServeJob, event: dict) -> None:
+        job.events.append({"seq": len(job.events), "t": time.time(), **event})
+        self._notify(job)
+
+    def _notify(self, job: ServeJob) -> None:
+        async def wake() -> None:
+            async with job._changed:
+                job._changed.notify_all()
+
+        asyncio.ensure_future(wake())
+
+    def start(self, job: ServeJob) -> None:
+        job.status = RUNNING
+        self._publish(job, {"event": "started"})
+
+    def progress(self, job: ServeJob, completed: int, total: int) -> None:
+        job.completed, job.total = completed, total
+        self._publish(job, {"event": "progress", "completed": completed, "total": total})
+
+    def finish(self, job: ServeJob, result: dict) -> None:
+        job.status = DONE
+        job.result = result
+        job.finished_at = time.time()
+        self._publish(job, {"event": "done", "rows": result.get("rows")})
+
+    def fail(self, job: ServeJob, error: dict) -> None:
+        job.status = FAILED
+        job.error = error
+        job.finished_at = time.time()
+        self._publish(job, {"event": "failed", "error": error})
+
+    def cancel(self, job: ServeJob, error: dict) -> None:
+        job.status = CANCELLED
+        job.error = error
+        job.finished_at = time.time()
+        self._publish(job, {"event": "cancelled", "error": error})
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    async def follow(self, job: ServeJob, *, from_seq: int = 0):
+        """Yield events from ``from_seq`` on, then live until terminal."""
+        cursor = from_seq
+        while True:
+            while cursor < len(job.events):
+                yield job.events[cursor]
+                cursor += 1
+            if job.terminal:
+                return
+            async with job._changed:
+                if cursor >= len(job.events) and not job.terminal:
+                    await job._changed.wait()

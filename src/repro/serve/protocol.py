@@ -1,0 +1,444 @@
+"""Wire protocol of the scheduling service: JSON codecs and request parsing.
+
+Everything a client sends or receives is plain JSON.  This module owns the
+shapes:
+
+* instances travel as ``{"capacity": ..., "tasks": [{"name", "comm",
+  "comp", "memory", "release", "tag"}, ...]}`` — the same quantities as
+  :class:`repro.core.task.Task`, floats as numbers;
+* schedules come back as one entry per task with ``comm_start`` /
+  ``comp_start`` (ends are derived client-side from the task times);
+* every error response is ``{"error": {"code": ..., "message": ...}}`` with
+  machine-readable codes (``bad_request``, ``saturated``, ``draining``,
+  ``deadline_exceeded``, ``not_found``, ``internal``) so clients branch on
+  the code, never on prose.
+
+Parsing is strict: unknown fields raise, wrong types raise, and the raised
+:class:`ProtocolError` carries the HTTP status the server should answer
+with.  The sweep request deliberately mirrors the ``python -m repro sweep``
+flags (workload/solvers/capacities/arrivals/batching), so anything you can
+sweep from the shell you can submit to the daemon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..api import Study
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.task import Task
+
+__all__ = [
+    "ERROR_BAD_REQUEST",
+    "ERROR_DEADLINE",
+    "ERROR_DRAINING",
+    "ERROR_INTERNAL",
+    "ERROR_NOT_FOUND",
+    "ERROR_SATURATED",
+    "ProtocolError",
+    "SolveRequest",
+    "SweepRequest",
+    "build_sweep_study",
+    "build_workload",
+    "error_body",
+    "instance_from_wire",
+    "instance_to_wire",
+    "parse_solve_request",
+    "parse_sweep_request",
+    "schedule_to_wire",
+]
+
+#: Machine-readable error codes (the ``error.code`` field of every failure).
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_SATURATED = "saturated"
+ERROR_DRAINING = "draining"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_NOT_FOUND = "not_found"
+ERROR_INTERNAL = "internal"
+
+#: Workloads the sweep endpoint can synthesize server-side.
+CHEMISTRY_WORKLOADS = ("hf", "ccsd")
+
+
+class ProtocolError(ValueError):
+    """A request the server refuses to run, with its HTTP status and code."""
+
+    def __init__(self, message: str, *, status: int = 400, code: str = ERROR_BAD_REQUEST):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def error_body(code: str, message: str, **details: Any) -> dict:
+    """The uniform error envelope: ``{"error": {"code", "message", ...}}``."""
+    body = {"code": code, "message": message}
+    body.update(details)
+    return {"error": body}
+
+
+# --------------------------------------------------------------------- #
+# Instance / schedule codecs
+# --------------------------------------------------------------------- #
+def _number(value: Any, label: str, *, minimum: float | None = None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{label} must be a number, got {value!r}")
+    number = float(value)
+    if not math.isfinite(number):
+        raise ProtocolError(f"{label} must be finite, got {value!r}")
+    if minimum is not None and number < minimum:
+        raise ProtocolError(f"{label} must be >= {minimum}, got {value!r}")
+    return number
+
+
+def instance_to_wire(instance: Instance) -> dict:
+    """Encode an :class:`Instance` as the request/response JSON shape."""
+    return {
+        "name": instance.name,
+        "capacity": instance.capacity,
+        "tasks": [
+            {
+                "name": task.name,
+                "comm": task.comm,
+                "comp": task.comp,
+                "memory": task.memory,
+                "release": task.release,
+                "tag": task.tag,
+            }
+            for task in instance.tasks
+        ],
+    }
+
+
+def instance_from_wire(payload: Any) -> Instance:
+    """Decode and validate the instance shape of a solve request."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"instance must be an object, got {type(payload).__name__}")
+    tasks_wire = payload.get("tasks")
+    if not isinstance(tasks_wire, list) or not tasks_wire:
+        raise ProtocolError("instance.tasks must be a non-empty list")
+    tasks = []
+    for index, item in enumerate(tasks_wire):
+        if not isinstance(item, Mapping):
+            raise ProtocolError(f"instance.tasks[{index}] must be an object")
+        unknown = set(item) - {"name", "comm", "comp", "memory", "release", "tag"}
+        if unknown:
+            raise ProtocolError(
+                f"instance.tasks[{index}] has unknown fields {sorted(unknown)}"
+            )
+        name = item.get("name", f"t{index}")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(f"instance.tasks[{index}].name must be a non-empty string")
+        try:
+            tasks.append(
+                Task(
+                    name=name,
+                    comm=_number(item.get("comm", 0.0), f"instance.tasks[{index}].comm"),
+                    comp=_number(item.get("comp", 0.0), f"instance.tasks[{index}].comp"),
+                    memory=(
+                        _number(item["memory"], f"instance.tasks[{index}].memory")
+                        if "memory" in item
+                        else math.nan
+                    ),
+                    release=_number(
+                        item.get("release", 0.0), f"instance.tasks[{index}].release"
+                    ),
+                    tag=str(item.get("tag", "")),
+                )
+            )
+        except ValueError as error:  # Task's own invariants (negative times, ...)
+            raise ProtocolError(f"instance.tasks[{index}]: {error}") from None
+    capacity = payload.get("capacity")
+    if capacity is None:
+        raise ProtocolError("instance.capacity is required")
+    name = payload.get("name", "")
+    if not isinstance(name, str):
+        raise ProtocolError("instance.name must be a string")
+    try:
+        return Instance(
+            tasks, capacity=_number(capacity, "instance.capacity"), name=name
+        )
+    except ValueError as error:
+        raise ProtocolError(f"invalid instance: {error}") from None
+
+
+def schedule_to_wire(schedule: Schedule) -> list[dict]:
+    """Encode a schedule as one JSON entry per task, in execution order."""
+    return [
+        {
+            "task": entry.task.name,
+            "comm_start": entry.comm_start,
+            "comm_end": entry.comm_end,
+            "comp_start": entry.comp_start,
+            "comp_end": entry.comp_end,
+        }
+        for entry in schedule
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------- #
+def _parse_deadline(payload: Mapping, label: str) -> float | None:
+    deadline = payload.get("deadline_s")
+    if deadline is None:
+        return None
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise ProtocolError(f"{label}.deadline_s must be a number of seconds")
+    # Zero and negative deadlines are accepted: they mean "already past",
+    # and the server answers with the structured timeout without running.
+    return float(deadline)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One parsed ``POST /solve`` body."""
+
+    instance: Instance
+    solver: str = "LCMR"
+    params: dict = field(default_factory=dict)
+    deadline_s: float | None = None
+    use_cache: bool = True
+    include_schedule: bool = False
+
+
+def parse_solve_request(payload: Any) -> SolveRequest:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("solve request body must be a JSON object")
+    unknown = set(payload) - {
+        "instance",
+        "solver",
+        "params",
+        "deadline_s",
+        "cache",
+        "include_schedule",
+    }
+    if unknown:
+        raise ProtocolError(f"solve request has unknown fields {sorted(unknown)}")
+    if "instance" not in payload:
+        raise ProtocolError("solve request needs an 'instance'")
+    solver = payload.get("solver", "LCMR")
+    if not isinstance(solver, str) or not solver:
+        raise ProtocolError("solver must be a non-empty solver name")
+    if solver.lower().startswith("category:"):
+        raise ProtocolError(
+            "solve runs a single solver; submit a sweep to run a whole category"
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ProtocolError("params must be an object of solver keyword arguments")
+    use_cache = payload.get("cache", True)
+    include_schedule = payload.get("include_schedule", False)
+    if not isinstance(use_cache, bool):
+        raise ProtocolError("cache must be true or false")
+    if not isinstance(include_schedule, bool):
+        raise ProtocolError("include_schedule must be true or false")
+    return SolveRequest(
+        instance=instance_from_wire(payload["instance"]),
+        solver=solver,
+        params=dict(params),
+        deadline_s=_parse_deadline(payload, "solve"),
+        use_cache=use_cache,
+        include_schedule=include_schedule,
+    )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One parsed ``POST /sweep`` body — the daemon-side ``repro sweep``."""
+
+    workload: str = "mixed-intensity"
+    traces: int = 4
+    tasks: int = 200
+    processes: int = 150
+    seed: int = 0
+    task_limit: int | None = None
+    solvers: tuple[str, ...] = ()
+    capacities: tuple[float, ...] | None = None
+    steps: int | None = None
+    arrivals_load: float | None = None
+    arrival_seed: int = 0
+    batch_size: int | None = None
+    pipelined: bool = False
+    validate: bool = True
+    deadline_s: float | None = None
+    include_rows: bool = False
+
+
+def _parse_int(payload: Mapping, key: str, default: int, *, minimum: int = 1) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"sweep.{key} must be an integer")
+    if value < minimum:
+        raise ProtocolError(f"sweep.{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_sweep_request(payload: Any) -> SweepRequest:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("sweep request body must be a JSON object")
+    known = {
+        "workload",
+        "traces",
+        "tasks",
+        "processes",
+        "seed",
+        "task_limit",
+        "solvers",
+        "capacities",
+        "steps",
+        "arrivals_load",
+        "arrival_seed",
+        "batch_size",
+        "pipelined",
+        "validate",
+        "deadline_s",
+        "include_rows",
+    }
+    unknown = set(payload) - known
+    if unknown:
+        raise ProtocolError(f"sweep request has unknown fields {sorted(unknown)}")
+
+    from ..traces.generator import REGIMES
+
+    workload = payload.get("workload", "mixed-intensity")
+    allowed = sorted(REGIMES) + list(CHEMISTRY_WORKLOADS)
+    if workload not in allowed:
+        raise ProtocolError(f"unknown workload {workload!r}; choose from {allowed}")
+
+    solvers = payload.get("solvers", [])
+    if not isinstance(solvers, list) or not all(
+        isinstance(item, str) and item for item in solvers
+    ):
+        raise ProtocolError("sweep.solvers must be a list of solver names")
+
+    capacities = payload.get("capacities")
+    if capacities is not None:
+        if not isinstance(capacities, list) or not capacities:
+            raise ProtocolError("sweep.capacities must be a non-empty list of factors")
+        capacities = tuple(
+            _number(item, f"sweep.capacities[{index}]", minimum=1e-12)
+            for index, item in enumerate(capacities)
+        )
+    steps = payload.get("steps")
+    if steps is not None:
+        if isinstance(steps, bool) or not isinstance(steps, int) or steps < 2:
+            raise ProtocolError("sweep.steps must be an integer >= 2")
+        if capacities is None or len(capacities) != 2:
+            raise ProtocolError("sweep.steps needs exactly two capacities bounds")
+
+    arrivals_load = payload.get("arrivals_load")
+    if arrivals_load is not None:
+        arrivals_load = _number(arrivals_load, "sweep.arrivals_load", minimum=1e-12)
+    batch_size = payload.get("batch_size")
+    if batch_size is not None:
+        batch_size = _parse_int(payload, "batch_size", batch_size)
+    if arrivals_load is not None and batch_size is not None:
+        raise ProtocolError("sweep cannot combine arrivals_load and batch_size")
+    pipelined = payload.get("pipelined", False)
+    if not isinstance(pipelined, bool):
+        raise ProtocolError("sweep.pipelined must be true or false")
+    if pipelined and batch_size is None:
+        raise ProtocolError("sweep.pipelined requires batch_size")
+    validate = payload.get("validate", True)
+    if not isinstance(validate, bool):
+        raise ProtocolError("sweep.validate must be true or false")
+    include_rows = payload.get("include_rows", False)
+    if not isinstance(include_rows, bool):
+        raise ProtocolError("sweep.include_rows must be true or false")
+    task_limit = payload.get("task_limit")
+    if task_limit is not None:
+        task_limit = _parse_int(payload, "task_limit", task_limit)
+
+    return SweepRequest(
+        workload=workload,
+        traces=_parse_int(payload, "traces", 4),
+        tasks=_parse_int(payload, "tasks", 200),
+        processes=_parse_int(payload, "processes", 150),
+        seed=_parse_int(payload, "seed", 0, minimum=0),
+        task_limit=task_limit,
+        solvers=tuple(solvers),
+        capacities=capacities,
+        steps=steps,
+        arrivals_load=arrivals_load,
+        arrival_seed=_parse_int(payload, "arrival_seed", 0, minimum=0),
+        batch_size=batch_size,
+        pipelined=pipelined,
+        validate=validate,
+        deadline_s=_parse_deadline(payload, "sweep"),
+        include_rows=include_rows,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Workload synthesis (shared with the CLI)
+# --------------------------------------------------------------------- #
+def build_workload(
+    workload: str, *, traces: int, tasks: int, processes: int, seed: int
+):
+    """Materialize a named workload: a synthetic regime or hf/ccsd ensemble."""
+    if workload == "hf":
+        from ..chemistry import hf_ensemble
+
+        return hf_ensemble(processes=processes, traces=traces, seed=seed)
+    if workload == "ccsd":
+        from ..chemistry import ccsd_ensemble
+
+        return ccsd_ensemble(processes=processes, traces=traces, seed=seed)
+    from ..traces.generator import synthetic_ensemble
+
+    return synthetic_ensemble(
+        workload, processes=traces, tasks_per_process=tasks, seed=seed
+    )
+
+
+def build_sweep_study(request: SweepRequest) -> Study:
+    """Translate a parsed sweep request into a runnable :class:`Study`.
+
+    Execution concerns — backend, progress callback, chunking — are left to
+    the server, which attaches its shared worker pool before running.
+    """
+    study = Study().traces(
+        build_workload(
+            request.workload,
+            traces=request.traces,
+            tasks=request.tasks,
+            processes=request.processes,
+            seed=request.seed,
+        )
+    )
+    if request.capacities is not None:
+        study.capacities(*request.capacities, steps=request.steps)
+    if request.solvers:
+        study.solvers(*request.solvers)
+    if request.arrivals_load is not None:
+        from ..simulator.arrivals import PoissonArrivals
+
+        study.arrivals(PoissonArrivals(load=request.arrivals_load), seed=request.arrival_seed)
+    if request.batch_size is not None:
+        study.batched(request.batch_size, pipelined=request.pipelined)
+    if request.task_limit is not None:
+        study.task_limit(request.task_limit)
+    study.validate(request.validate)
+    return study
+
+
+def summarize_results(results, *, include_rows: bool = False) -> dict:
+    """The sweep result payload: counts, per-solver means, optional rows."""
+    if not len(results):
+        return {"rows": 0, "mean_ratio_to_optimal": {}, "best_solver": None}
+    means = results.aggregate("ratio_to_optimal", by=("heuristic",), how="mean")
+    flat = {str(name): value for name, value in means.items()}
+    summary = {
+        "rows": len(results),
+        "traces": len(set(results.column("trace"))),
+        "capacities": len(set(results.column("capacity_factor"))),
+        "solvers": sorted(flat),
+        "mean_ratio_to_optimal": flat,
+        "best_solver": min(flat, key=flat.get),
+    }
+    if include_rows:
+        summary["columns"] = results.to_columns()
+    return summary

@@ -1,0 +1,688 @@
+"""The asyncio HTTP daemon: ``python -m repro serve``.
+
+Stdlib only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
+(request line + headers + Content-Length body; responses close the
+connection), an admission-controlled shared worker pool executing the
+actual scheduling work, and a small job table for background sweeps.
+
+Endpoints
+---------
+=======  ==================  ==================================================
+method   path                what it does
+=======  ==================  ==================================================
+GET      /healthz            liveness + drain state + inflight counts
+GET      /metricsz           text metrics (``?format=json`` for the snapshot)
+POST     /solve              schedule one instance with one solver, cached
+POST     /sweep              submit a background sweep, answers a job id
+GET      /jobs               list known jobs
+GET      /jobs/<id>          job status, progress and (when done) the result
+GET      /jobs/<id>/stream   NDJSON event stream: progress ticks until terminal
+=======  ==================  ==================================================
+
+Operational guarantees (each covered by ``tests/serve/``):
+
+* **admission control** — beyond ``max_inflight + queue_limit`` unfinished
+  requests, new work is rejected *immediately* with HTTP 429 and a
+  structured ``saturated`` error; the queue cannot collapse;
+* **deadlines** — a request whose ``deadline_s`` elapses is answered with a
+  structured ``deadline_exceeded`` error, never a hung connection; queued
+  work is cancelled outright, running sweeps are aborted cooperatively at
+  the next job boundary (:class:`~repro.api.backends.StopSweep`);
+* **graceful shutdown** — SIGTERM/SIGINT stop accepting work (new requests
+  get a ``draining`` rejection) and drain in-flight requests before exit;
+* **shared cache** — one :class:`~repro.portfolio.cache.ResultCache` serves
+  every client, and each ``/solve`` response reports whether it hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from ..api import StopSweep, solve
+from ..portfolio.cache import CachedSolver, ResultCache
+from . import protocol
+from .admission import AdmissionController, AdmissionRejected
+from .jobs import JobTable, ServeJob
+from .metrics import ServerMetrics
+from .pool import ServePool
+from .protocol import ProtocolError, error_body
+
+__all__ = ["ReproServer", "ServerConfig", "ServerThread", "serve_forever"]
+
+#: Hard caps on the HTTP layer, independent of admission control.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``python -m repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765  # 0 binds an ephemeral port (printed on startup)
+    workers: int = 2  # worker threads executing solve/sweep jobs
+    max_inflight: int | None = None  # admitted executing requests; default: workers
+    queue_limit: int = 16  # admitted-but-waiting requests beyond max_inflight
+    default_deadline_s: float | None = None  # applied when a request sends none
+    drain_timeout_s: float = 30.0  # graceful-shutdown patience
+    cache_dir: str | None = None  # None: default cache dir; "" disables caching
+    quiet: bool = False  # suppress the per-request stderr log lines
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with this status/code/message."""
+
+    def __init__(self, status: int, code: str, message: str, **details):
+        super().__init__(message)
+        self.status = status
+        self.body = error_body(code, message, **details)
+
+
+class ReproServer:
+    """One serving daemon: bounded pool + admission + jobs + metrics."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.pool = ServePool(self.config.workers)
+        self.admission = AdmissionController(
+            self.config.max_inflight or self.config.workers, self.config.queue_limit
+        )
+        self.jobs = JobTable()
+        self.metrics = ServerMetrics()
+        self.cache: ResultCache | None = (
+            None if self.config.cache_dir == "" else ResultCache(self.config.cache_dir or None)
+        )
+        self.port: int | None = None  # actual bound port, set once listening
+        self.ready = threading.Event()
+        self.draining = False
+        self.exit_code = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._background: set[asyncio.Task] = set()
+        self._register_gauges()
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def _register_gauges(self) -> None:
+        self.metrics.add_gauge("inflight_requests", lambda: self.admission.active)
+        self.metrics.add_gauge(
+            "queue_depth", lambda: max(0, self.admission.active - self.pool.size)
+        )
+        self.metrics.add_gauge("rejected_total", lambda: self.admission.rejected_total)
+        self.metrics.add_gauge("workers", lambda: self.pool.size)
+        self.metrics.add_gauge("workers_busy", lambda: self.pool.busy)
+        self.metrics.add_gauge("worker_utilization", self.pool.utilization)
+        self.metrics.add_gauge("jobs_completed_total", lambda: self.pool.completed_total)
+        if self.cache is not None:
+            for key in ("hits", "misses", "entries", "bytes", "hit_rate"):
+                self.metrics.add_gauge(
+                    f"cache_{key}", lambda key=key: self.cache.stats()[key]
+                )
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(f"[repro.serve] {message}", file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def serve(self) -> int:
+        """Run until a shutdown signal; returns the process exit code."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        # The one line harnesses parse — keep the shape stable.
+        print(
+            f"repro-serve listening on http://{self.config.host}:{self.port}",
+            flush=True,
+        )
+        self._log(
+            f"workers={self.pool.size} max_inflight={self.admission.max_inflight} "
+            f"queue_limit={self.admission.queue_limit} "
+            f"cache={'off' if self.cache is None else str(self.cache.directory)}"
+        )
+        # Signal-driven drain only works on the main thread (set_wakeup_fd);
+        # embedded servers (ServerThread) are stopped via request_shutdown().
+        for signame in ("SIGTERM", "SIGINT"):
+            with contextlib.suppress(NotImplementedError, AttributeError, RuntimeError, ValueError):
+                self._loop.add_signal_handler(
+                    getattr(signal, signame), self.request_shutdown
+                )
+        self.ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self.draining = True
+            server.close()
+            await server.wait_closed()
+            drained = await self._drain()
+            self.pool.shutdown(wait=False)
+            self.ready.clear()
+            if drained:
+                print("repro-serve shut down gracefully (drained)", flush=True)
+            else:
+                self.exit_code = 1
+                print(
+                    f"repro-serve shut down with {self.admission.active} request(s) "
+                    f"still in flight after {self.config.drain_timeout_s:.0f}s",
+                    flush=True,
+                )
+        return self.exit_code
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (signal handler / ServerThread entry)."""
+        if self._stop is not None and not self._stop.is_set():
+            self._log("shutdown requested; draining in-flight work")
+            self._stop.set()
+
+    async def _drain(self) -> bool:
+        """Wait for admitted work and background tasks; True when clean."""
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            if self.admission.active == 0 and not self._background:
+                return True
+            await asyncio.sleep(0.02)
+        return self.admission.active == 0 and not self._background
+
+    # ------------------------------------------------------------------ #
+    # HTTP layer
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        started = time.perf_counter()
+        endpoint, outcome = "http", "error"
+        try:
+            method, path, query, body = await self._read_request(reader)
+            endpoint, outcome = await self._route(method, path, query, body, writer)
+        except _HttpError as error:
+            endpoint, outcome = "http", error.body["error"]["code"]
+            await self._respond_json(writer, error.status, error.body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            outcome = "disconnected"
+        except Exception:
+            self._log(f"internal error:\n{traceback.format_exc()}")
+            with contextlib.suppress(Exception):
+                await self._respond_json(
+                    writer,
+                    500,
+                    error_body(protocol.ERROR_INTERNAL, "internal server error"),
+                )
+            outcome = protocol.ERROR_INTERNAL
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.observe(endpoint, outcome, elapsed)
+            if endpoint != "http" or outcome != "disconnected":
+                self._log(f"{endpoint} -> {outcome} ({elapsed * 1e3:.1f} ms)")
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, protocol.ERROR_BAD_REQUEST, "headers too large") from None
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, protocol.ERROR_BAD_REQUEST, "headers too large")
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(
+                400, protocol.ERROR_BAD_REQUEST, "malformed request line"
+            ) from None
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(
+                    400, protocol.ERROR_BAD_REQUEST, "bad Content-Length"
+                ) from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, protocol.ERROR_BAD_REQUEST, f"body larger than {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return method.upper(), parts.path, query, body
+
+    async def _respond(
+        self, writer, status: int, payload: bytes, content_type: str
+    ) -> None:
+        reason = _REASONS.get(status, "")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _respond_json(self, writer, status: int, body: dict) -> None:
+        await self._respond(
+            writer, status, json.dumps(body).encode("utf-8"), "application/json"
+        )
+
+    async def _respond_text(self, writer, status: int, text: str) -> None:
+        await self._respond(
+            writer, status, text.encode("utf-8"), "text/plain; charset=utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _route(self, method, path, query, body, writer) -> tuple[str, str]:
+        """Dispatch one request; returns (endpoint, outcome) for metrics."""
+        if path == "/healthz" and method == "GET":
+            return "healthz", await self._handle_healthz(writer)
+        if path == "/metricsz" and method == "GET":
+            return "metricsz", await self._handle_metricsz(writer, query)
+        if path == "/solve":
+            if method != "POST":
+                raise _HttpError(405, protocol.ERROR_BAD_REQUEST, "POST /solve")
+            return "solve", await self._handle_solve(writer, self._json_body(body))
+        if path == "/sweep":
+            if method != "POST":
+                raise _HttpError(405, protocol.ERROR_BAD_REQUEST, "POST /sweep")
+            return "sweep", await self._handle_sweep(writer, self._json_body(body))
+        if path == "/jobs" and method == "GET":
+            await self._respond_json(writer, 200, {"jobs": self.jobs.list()})
+            return "jobs", "ok"
+        if path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/stream"):
+                return "jobs.stream", await self._handle_stream(
+                    writer, rest[: -len("/stream")].rstrip("/")
+                )
+            return "jobs.get", await self._handle_job(writer, rest)
+        raise _HttpError(
+            404, protocol.ERROR_NOT_FOUND, f"no such endpoint: {method} {path}"
+        )
+
+    def _json_body(self, body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, protocol.ERROR_BAD_REQUEST, "request body required")
+        try:
+            return json.loads(body)
+        except ValueError as error:
+            raise _HttpError(
+                400, protocol.ERROR_BAD_REQUEST, f"invalid JSON body: {error}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Admission / deadlines
+    # ------------------------------------------------------------------ #
+    def _admit(self, writer):
+        if self.draining:
+            raise _HttpError(
+                503,
+                protocol.ERROR_DRAINING,
+                "server is draining for shutdown; not accepting new work",
+            )
+        try:
+            return self.admission.admit()
+        except AdmissionRejected as rejected:
+            raise _HttpError(
+                429,
+                protocol.ERROR_SATURATED,
+                str(rejected),
+                inflight=rejected.active,
+                limit=rejected.limit,
+            ) from None
+
+    def _deadline_of(self, requested: float | None) -> float | None:
+        deadline_s = (
+            requested if requested is not None else self.config.default_deadline_s
+        )
+        return None if deadline_s is None else deadline_s
+
+    # ------------------------------------------------------------------ #
+    # /healthz and /metricsz
+    # ------------------------------------------------------------------ #
+    async def _handle_healthz(self, writer) -> str:
+        from .. import __version__
+
+        await self._respond_json(
+            writer,
+            200 if not self.draining else 503,
+            {
+                "status": "draining" if self.draining else "ok",
+                "version": __version__,
+                "uptime_s": time.time() - self.metrics.started_at,
+                "inflight": self.admission.active,
+                "workers": self.pool.size,
+                "workers_busy": self.pool.busy,
+            },
+        )
+        return "ok"
+
+    async def _handle_metricsz(self, writer, query) -> str:
+        if query.get("format") == "json":
+            await self._respond_json(writer, 200, self.metrics.snapshot())
+        else:
+            await self._respond_text(writer, 200, self.metrics.render())
+        return "ok"
+
+    # ------------------------------------------------------------------ #
+    # /solve
+    # ------------------------------------------------------------------ #
+    def _build_solver(self, request: protocol.SolveRequest):
+        from ..api.registry import UnknownSolverError
+
+        try:
+            if self.cache is not None and request.use_cache:
+                return CachedSolver(
+                    inner=request.solver, cache=self.cache, **request.params
+                )
+            from ..api import get_solver
+
+            return get_solver(request.solver, **request.params)
+        except UnknownSolverError as error:
+            raise _HttpError(400, protocol.ERROR_BAD_REQUEST, str(error)) from None
+        except TypeError as error:
+            raise _HttpError(
+                400, protocol.ERROR_BAD_REQUEST, f"bad solver parameters: {error}"
+            ) from None
+
+    async def _handle_solve(self, writer, payload) -> str:
+        try:
+            request = protocol.parse_solve_request(payload)
+        except ProtocolError as error:
+            raise _HttpError(error.status, error.code, str(error)) from None
+        solver = self._build_solver(request)
+        ticket = self._admit(writer)
+        deadline_s = self._deadline_of(request.deadline_s)
+        started = time.perf_counter()
+
+        def work():
+            if ticket.cancelled:
+                raise StopSweep("request abandoned before execution")
+            result = solve(request.instance, solver, validate=True)
+            body = {
+                # Echo the requested name: the cache path wraps the solver,
+                # and the wrapper's own name is an implementation detail.
+                "solver": request.solver,
+                "category": result.category,
+                "makespan": result.makespan,
+                "omim": result.metrics.omim,
+                "ratio_to_optimal": result.ratio_to_optimal,
+                "task_count": len(request.instance),
+                "capacity": request.instance.capacity,
+                "cache": {
+                    "enabled": self.cache is not None and request.use_cache,
+                    "hit": bool(result.cache_hit),
+                },
+                "selected_solver": result.selected_solver,
+            }
+            if request.include_schedule:
+                body["schedule"] = protocol.schedule_to_wire(result.schedule)
+            return body
+
+        if deadline_s is not None and deadline_s <= 0:
+            ticket.cancel()
+            ticket.finish()
+            raise _HttpError(
+                504,
+                protocol.ERROR_DEADLINE,
+                f"deadline of {deadline_s}s was already past on arrival; "
+                "the job was cancelled before execution",
+                cancelled=True,
+            )
+        future = self.pool.submit(work)
+        future.add_done_callback(lambda _f: ticket.finish())
+        try:
+            body = await asyncio.wait_for(asyncio.wrap_future(future), deadline_s)
+        except asyncio.TimeoutError:
+            ticket.cancel()
+            cancelled_before_start = future.cancel()
+            raise _HttpError(
+                504,
+                protocol.ERROR_DEADLINE,
+                f"deadline of {deadline_s}s exceeded after "
+                f"{time.perf_counter() - started:.3f}s; the job was "
+                + ("cancelled before execution" if cancelled_before_start
+                   else "abandoned (its worker slot frees when it finishes)"),
+                cancelled=True,
+            ) from None
+        except StopSweep:
+            raise _HttpError(
+                504, protocol.ERROR_DEADLINE, "request abandoned before execution",
+                cancelled=True,
+            ) from None
+        except (ValueError, TypeError) as error:
+            raise _HttpError(400, protocol.ERROR_BAD_REQUEST, str(error)) from None
+        body["elapsed_s"] = time.perf_counter() - started
+        await self._respond_json(writer, 200, body)
+        return "ok"
+
+    # ------------------------------------------------------------------ #
+    # /sweep and /jobs
+    # ------------------------------------------------------------------ #
+    async def _handle_sweep(self, writer, payload) -> str:
+        try:
+            request = protocol.parse_sweep_request(payload)
+        except ProtocolError as error:
+            raise _HttpError(error.status, error.code, str(error)) from None
+        ticket = self._admit(writer)
+        job = self.jobs.create(
+            "sweep", {"workload": request.workload, "solvers": list(request.solvers)}
+        )
+        task = asyncio.ensure_future(self._run_sweep(job, request, ticket))
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+        await self._respond_json(
+            writer,
+            202,
+            {
+                "job_id": job.id,
+                "status": job.status,
+                "poll": f"/jobs/{job.id}",
+                "stream": f"/jobs/{job.id}/stream",
+            },
+        )
+        return "ok"
+
+    async def _run_sweep(self, job: ServeJob, request, ticket) -> None:
+        loop = asyncio.get_running_loop()
+        cancel = threading.Event()
+        deadline_s = self._deadline_of(request.deadline_s)
+
+        def on_progress(completed: int, total: int) -> None:
+            # Runs on the orchestrator thread: marshal the tick onto the
+            # loop, then enforce the deadline cooperatively.
+            loop.call_soon_threadsafe(self.jobs.progress, job, completed, total)
+            if cancel.is_set():
+                raise StopSweep(f"sweep {job.id} cancelled (deadline exceeded)")
+
+        def run():
+            study = protocol.build_sweep_study(request)
+            study.on_progress(on_progress)
+            # chunk_size=1 on the shared pool: every trace is its own unit,
+            # so concurrent clients interleave and cancellation is prompt.
+            study.parallel(self.pool.size, backend=self.pool.backend(cancel), chunk_size=1)
+            return protocol.summarize_results(
+                study.run(), include_rows=request.include_rows
+            )
+
+        self.jobs.start(job)
+        timer = (
+            loop.call_later(deadline_s, cancel.set) if deadline_s is not None else None
+        )
+        if deadline_s is not None and deadline_s <= 0:
+            cancel.set()
+        try:
+            if cancel.is_set():
+                raise StopSweep(f"sweep {job.id} cancelled before it started")
+            # The orchestrator coordinates, it does not work: run it off the
+            # shared pool (its *jobs* go there), or a 1-worker server would
+            # deadlock against its own sweep.
+            result = await asyncio.to_thread(run)
+        except StopSweep:
+            self.jobs.cancel(
+                job,
+                error_body(
+                    protocol.ERROR_DEADLINE,
+                    f"sweep deadline of {deadline_s}s exceeded; "
+                    "the job was cancelled at the next job boundary",
+                )["error"],
+            )
+        except Exception as error:  # incl. SweepJobError from the job plane
+            self.jobs.fail(
+                job,
+                error_body(
+                    protocol.ERROR_INTERNAL, f"{type(error).__name__}: {error}"
+                )["error"],
+            )
+        else:
+            self.jobs.finish(job, result)
+        finally:
+            if timer is not None:
+                timer.cancel()
+            ticket.finish()
+
+    async def _handle_job(self, writer, job_id: str) -> str:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(
+                404, protocol.ERROR_NOT_FOUND, f"unknown job {job_id!r}"
+            )
+        await self._respond_json(writer, 200, job.snapshot())
+        return "ok"
+
+    async def _handle_stream(self, writer, job_id: str) -> str:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(
+                404, protocol.ERROR_NOT_FOUND, f"unknown job {job_id!r}"
+            )
+        # Close-delimited NDJSON: no Content-Length, one event per line.
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        async for event in self.jobs.follow(job):
+            writer.write(json.dumps(event).encode("utf-8") + b"\n")
+            await writer.drain()
+        writer.write(
+            json.dumps({"event": "end", "status": job.status}).encode("utf-8") + b"\n"
+        )
+        await writer.drain()
+        return "ok"
+
+
+def serve_forever(config: ServerConfig | None = None) -> int:
+    """Blocking entry point: run the daemon until SIGTERM/SIGINT."""
+    return asyncio.run(ReproServer(config).serve())
+
+
+class ServerThread:
+    """A live server on a background thread — tests, benchmarks, examples.
+
+    ::
+
+        with ServerThread(workers=2) as live:
+            client = ServeClient(*live.address)
+            ...
+
+    The context manager waits for the listening socket before returning and
+    performs the same graceful drain as SIGTERM on exit.
+    """
+
+    def __init__(self, config: ServerConfig | None = None, **config_kwargs):
+        if config is not None and config_kwargs:
+            raise ValueError("pass either a ServerConfig or keyword overrides, not both")
+        if config is None:
+            config_kwargs.setdefault("port", 0)
+            config_kwargs.setdefault("quiet", True)
+            config = ServerConfig(**config_kwargs)
+        self.server = ReproServer(config)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.server.port is not None, "server is not listening yet"
+        return self.server.config.host, self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=serve_forever_on, args=(self.server,), daemon=True
+        )
+        self._thread.start()
+        if not self.server.ready.wait(timeout=10):
+            raise RuntimeError("server failed to start listening within 10s")
+        return self
+
+    def stop(self) -> None:
+        loop = self.server._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=self.server.config.drain_timeout_s + 10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_forever_on(server: ReproServer) -> int:
+    """Run an already-built :class:`ReproServer` to completion."""
+    return asyncio.run(server.serve())

@@ -369,3 +369,54 @@ class TestSweepJob:
         assert SweepJob(payload=trace).label == trace.label
         instance = trace.to_instance(trace.min_capacity_bytes * 2)
         assert SweepJob(payload=instance).label == instance.name
+
+
+# --------------------------------------------------------------------- #
+# SweepJobError across the process boundary
+# --------------------------------------------------------------------- #
+class TestSweepJobErrorPickling:
+    def test_round_trip_preserves_type_and_message(self):
+        error = SweepJobError(
+            "sweep job 'trace-3 @ 1.25x' failed in a processes worker\n"
+            "worker traceback:\nRuntimeError: boom"
+        )
+        restored = pickle.loads(pickle.dumps(error))
+        assert type(restored) is SweepJobError
+        assert restored.args == error.args
+        assert "worker traceback" in str(restored)
+
+    def test_error_raised_across_a_real_process_boundary_pickles_again(self, ensemble):
+        # The exception object that surfaces in the parent after a worker
+        # crash must itself survive another pickle hop (e.g. a process-pool
+        # test harness re-raising it), not just the first crossing.
+        register_solver("test.crash2", category="static", replace=True)(_CrashingSolver)
+        try:
+            study = Study().traces(ensemble).capacities(1.25).solvers("test.crash2")
+            with pytest.raises(SweepJobError) as excinfo:
+                study.parallel(2, backend="processes").run()
+        finally:
+            unregister_solver("test.crash2")
+        rehopped = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(rehopped, SweepJobError)
+        assert str(rehopped) == str(excinfo.value)
+        assert "intentional crash" in str(rehopped)
+
+
+class TestResolveBackendPrecedence:
+    """The documented chain in one place: explicit arg > env > n_jobs default."""
+
+    def test_full_precedence_chain(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        # 1. n_jobs alone picks the parallel default (threads) or serial.
+        assert isinstance(resolve_backend(None, n_jobs=4), ThreadBackend)
+        assert isinstance(resolve_backend(None, n_jobs=1), SerialBackend)
+        # 2. The env var overrides the n_jobs default...
+        monkeypatch.setenv("REPRO_BACKEND", "processes")
+        assert isinstance(resolve_backend(None, n_jobs=4), ProcessBackend)
+        assert isinstance(resolve_backend(None, n_jobs=1), ProcessBackend)
+        # 3. ...and an explicit argument overrides the env var.
+        assert isinstance(resolve_backend("threads", n_jobs=4), ThreadBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        # Live backend instances pass through untouched, beating everything.
+        explicit = ThreadBackend(2)
+        assert resolve_backend(explicit, n_jobs=8) is explicit

@@ -273,3 +273,61 @@ class TestMultiProcessConvergence:
         # The parent process never computed anything, yet hits immediately.
         assert solver.schedule(instance) is not None
         assert solver.last_outcome.cache_hit is True
+
+
+class TestStats:
+    """``ResultCache.stats()``: effectiveness counters + store footprint."""
+
+    def test_lifecycle_counters(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        instance = random_instance(tasks=6)
+        solver = CachedSolver(inner="OS", cache=cache)
+        empty = cache.stats()
+        assert empty == {
+            "hits": 0, "misses": 0, "entries": 0, "bytes": 0,
+            "bytes_written": 0, "hit_rate": 0.0,
+        }
+        solver.schedule(instance)  # miss + write
+        solver.schedule(instance)  # hit
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0 and stats["bytes_written"] > 0
+        # On-disk footprint matches what this process wrote (single writer).
+        assert stats["bytes"] == stats["bytes_written"]
+
+    def test_disk_footprint_tracks_the_shared_store(self, cache_dir):
+        # `entries`/`bytes` describe the directory as it is now, even when
+        # another process (here: a second cache object) wrote the entries.
+        writer = CachedSolver(inner="LCMR", directory=cache_dir)
+        writer.schedule(random_instance(tasks=6))
+        observer = ResultCache(cache_dir)
+        stats = observer.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert stats["hits"] == stats["misses"] == stats["bytes_written"] == 0
+
+    def test_counters_are_thread_safe(self, cache_dir):
+        import threading
+
+        cache = ResultCache(cache_dir)
+        schedule = get_solver("OS").schedule(random_instance(tasks=5))
+        per_thread, threads = 50, 8
+
+        def hammer(worker: int):
+            for i in range(per_thread):
+                cache.get(f"missing-{worker}-{i}")      # always a miss
+                cache.put(f"key-{worker}-{i}", schedule, solver="OS")
+                cache.get(f"key-{worker}-{i}")          # always a hit
+
+        pool = [threading.Thread(target=hammer, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stats = cache.stats()
+        assert stats["misses"] == per_thread * threads
+        assert stats["hits"] == per_thread * threads
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == per_thread * threads
+        assert stats["bytes_written"] > 0

@@ -1,0 +1,83 @@
+"""Admission control: bounded admit-or-reject, idempotent ticket release."""
+
+import threading
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionRejected
+
+
+class TestAdmission:
+    def test_admits_up_to_the_limit(self):
+        controller = AdmissionController(2, 1)
+        tickets = [controller.admit() for _ in range(3)]
+        assert controller.active == 3 == controller.limit
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+        for ticket in tickets:
+            ticket.finish()
+        assert controller.active == 0
+
+    def test_rejection_carries_the_saturation_snapshot(self):
+        controller = AdmissionController(1, 0)
+        controller.admit()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit()
+        assert excinfo.value.active == 1 and excinfo.value.limit == 1
+        assert "saturated" in str(excinfo.value)
+        assert controller.rejected_total == 1
+
+    def test_finish_is_idempotent(self):
+        controller = AdmissionController(1, 0)
+        ticket = controller.admit()
+        ticket.finish()
+        ticket.finish()
+        assert controller.active == 0
+        controller.admit()  # the double-finish did not free a phantom slot
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+
+    def test_cancel_marks_but_does_not_release(self):
+        # An abandoned request still burns its slot until the worker that
+        # may be running it actually finishes.
+        controller = AdmissionController(1, 0)
+        ticket = controller.admit()
+        ticket.cancel()
+        assert ticket.cancelled
+        assert controller.active == 1
+        ticket.finish()
+        assert controller.active == 0
+
+    def test_release_reopens_admission(self):
+        controller = AdmissionController(1, 0)
+        first = controller.admit()
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+        first.finish()
+        controller.admit()  # does not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(0, 4)
+        with pytest.raises(ValueError, match="queue_limit"):
+            AdmissionController(1, -1)
+
+    def test_concurrent_admits_never_exceed_the_limit(self):
+        controller = AdmissionController(4, 4)
+        admitted, rejected = [], []
+        barrier = threading.Barrier(16)
+
+        def attempt():
+            barrier.wait()
+            try:
+                admitted.append(controller.admit())
+            except AdmissionRejected:
+                rejected.append(1)
+
+        threads = [threading.Thread(target=attempt) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 8 and len(rejected) == 8
+        assert controller.active == 8 and controller.rejected_total == 8

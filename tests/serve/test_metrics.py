@@ -1,0 +1,104 @@
+"""Metrics layer: nearest-rank quantiles, bounded windows, gauges, rendering."""
+
+import math
+
+import pytest
+
+from repro.serve import LatencyWindow, ServerMetrics, quantile
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 11)]  # 1..10
+        assert quantile(samples, 0.5) == 5.0
+        assert quantile(samples, 0.99) == 10.0
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 1.0) == 10.0
+
+    def test_single_sample(self):
+        assert quantile([7.5], 0.5) == 7.5 == quantile([7.5], 0.99)
+
+    def test_unsorted_input(self):
+        assert quantile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile([], 0.5))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            quantile([1.0], 1.5)
+
+
+class TestLatencyWindow:
+    def test_snapshot_fields(self):
+        window = LatencyWindow()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            window.observe(value)
+        snap = window.snapshot()
+        assert snap["count"] == 4
+        assert snap["p50_s"] == 0.2
+        assert snap["p99_s"] == 0.4
+        assert snap["max_s"] == 0.4
+        assert snap["mean_s"] == pytest.approx(0.25)
+
+    def test_window_is_bounded_but_count_is_lifetime(self):
+        window = LatencyWindow(maxlen=4)
+        for _ in range(10):
+            window.observe(1.0)
+        window.observe(100.0)
+        snap = window.snapshot()
+        assert snap["count"] == 11
+        # Only the most recent 4 samples shape the quantiles.
+        assert snap["p99_s"] == 100.0 and snap["p50_s"] == 1.0
+
+    def test_empty_snapshot_is_nan(self):
+        snap = LatencyWindow().snapshot()
+        assert snap["count"] == 0
+        assert math.isnan(snap["p50_s"]) and math.isnan(snap["mean_s"])
+
+
+class TestServerMetrics:
+    def test_counts_by_endpoint_and_outcome(self):
+        metrics = ServerMetrics()
+        metrics.observe("solve", "ok", 0.01)
+        metrics.observe("solve", "ok", 0.02)
+        metrics.observe("solve", "saturated", 0.001)
+        metrics.observe("healthz", "ok", 0.0005)
+        snap = metrics.snapshot()
+        assert snap["requests"]["solve"] == {"ok": 2, "saturated": 1}
+        assert snap["requests_total"] == 4
+        assert snap["latency"]["solve"]["count"] == 3
+        assert snap["uptime_s"] >= 0
+
+    def test_gauges_are_sampled_live(self):
+        metrics = ServerMetrics()
+        value = {"depth": 3}
+        metrics.add_gauge("queue_depth", lambda: value["depth"])
+        assert metrics.snapshot()["gauges"]["queue_depth"] == 3.0
+        value["depth"] = 7
+        assert metrics.snapshot()["gauges"]["queue_depth"] == 7.0
+
+    def test_dead_gauge_degrades_to_nan(self):
+        metrics = ServerMetrics()
+
+        def broken():
+            raise RuntimeError("gauge backend gone")
+
+        metrics.add_gauge("broken", broken)
+        metrics.add_gauge("fine", lambda: 1.0)
+        gauges = metrics.snapshot()["gauges"]
+        assert math.isnan(gauges["broken"]) and gauges["fine"] == 1.0
+        assert "repro_broken NaN" in metrics.render()
+
+    def test_render_is_prometheus_shaped(self):
+        metrics = ServerMetrics()
+        metrics.observe("solve", "ok", 0.25)
+        metrics.add_gauge("workers", lambda: 2)
+        text = metrics.render()
+        assert 'repro_requests{endpoint="solve",outcome="ok"} 1' in text
+        assert 'repro_request_latency_seconds{endpoint="solve",quantile="0.5"} 0.250000' in text
+        assert 'repro_request_latency_seconds{endpoint="solve",quantile="0.99"} 0.250000' in text
+        assert 'repro_request_latency_count{endpoint="solve"} 1' in text
+        assert "repro_workers 2" in text
+        assert "repro_requests_total 1" in text
+        assert text.endswith("\n")

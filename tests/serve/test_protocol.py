@@ -1,0 +1,235 @@
+"""Wire protocol: codecs round-trip, strict parsing, structured errors."""
+
+import math
+
+import pytest
+
+from repro.api import solve
+from repro.core import Instance, Task
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ProtocolError,
+    error_body,
+    instance_from_wire,
+    instance_to_wire,
+    parse_solve_request,
+    parse_sweep_request,
+    schedule_to_wire,
+)
+
+
+@pytest.fixture
+def instance():
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=3),
+        Task.from_times("C", comm=4, comp=4),
+    ]
+    return Instance(tasks, capacity=6, name="wire-test")
+
+
+class TestInstanceCodec:
+    def test_round_trip(self, instance):
+        restored = instance_from_wire(instance_to_wire(instance))
+        assert restored.name == instance.name
+        assert restored.capacity == instance.capacity
+        assert [t.name for t in restored.tasks] == [t.name for t in instance.tasks]
+        assert [t.comm for t in restored.tasks] == [t.comm for t in instance.tasks]
+        assert [t.comp for t in restored.tasks] == [t.comp for t in instance.tasks]
+
+    def test_round_trip_solves_identically(self, instance):
+        original = solve(instance, "LCMR")
+        restored = solve(instance_from_wire(instance_to_wire(instance)), "LCMR")
+        assert restored.makespan == original.makespan
+
+    def test_unknown_task_field_raises(self, instance):
+        wire = instance_to_wire(instance)
+        wire["tasks"][0]["colour"] = "red"
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            instance_from_wire(wire)
+
+    def test_missing_capacity_raises(self, instance):
+        wire = instance_to_wire(instance)
+        del wire["capacity"]
+        with pytest.raises(ProtocolError, match="capacity is required"):
+            instance_from_wire(wire)
+
+    def test_non_numeric_time_raises(self, instance):
+        wire = instance_to_wire(instance)
+        wire["tasks"][1]["comm"] = "three"
+        with pytest.raises(ProtocolError, match=r"tasks\[1\].comm must be a number"):
+            instance_from_wire(wire)
+
+    def test_booleans_are_not_numbers(self, instance):
+        wire = instance_to_wire(instance)
+        wire["capacity"] = True
+        with pytest.raises(ProtocolError, match="must be a number"):
+            instance_from_wire(wire)
+
+    def test_non_finite_time_raises(self, instance):
+        wire = instance_to_wire(instance)
+        wire["tasks"][0]["comp"] = math.inf
+        with pytest.raises(ProtocolError, match="must be finite"):
+            instance_from_wire(wire)
+
+    def test_empty_tasks_raises(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            instance_from_wire({"capacity": 4, "tasks": []})
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            instance_from_wire([1, 2, 3])
+
+    def test_schedule_wire_shape(self, instance):
+        result = solve(instance, "LCMR")
+        wire = schedule_to_wire(result.schedule)
+        assert len(wire) == len(instance)
+        for entry in wire:
+            assert set(entry) == {"task", "comm_start", "comm_end", "comp_start", "comp_end"}
+            assert entry["comm_end"] >= entry["comm_start"]
+            assert entry["comp_end"] >= entry["comp_start"]
+
+
+class TestErrorEnvelope:
+    def test_error_body_shape(self):
+        body = error_body(protocol.ERROR_SATURATED, "busy", inflight=4, limit=4)
+        assert body == {
+            "error": {"code": "saturated", "message": "busy", "inflight": 4, "limit": 4}
+        }
+
+    def test_protocol_error_carries_status_and_code(self):
+        error = ProtocolError("nope", status=404, code=protocol.ERROR_NOT_FOUND)
+        assert error.status == 404 and error.code == "not_found"
+        assert ProtocolError("bad").status == 400
+
+
+class TestParseSolveRequest:
+    def test_defaults(self, instance):
+        request = parse_solve_request({"instance": instance_to_wire(instance)})
+        assert request.solver == "LCMR"
+        assert request.params == {}
+        assert request.deadline_s is None
+        assert request.use_cache is True
+        assert request.include_schedule is False
+
+    def test_unknown_field_raises(self, instance):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            parse_solve_request({"instance": instance_to_wire(instance), "turbo": True})
+
+    def test_missing_instance_raises(self):
+        with pytest.raises(ProtocolError, match="needs an 'instance'"):
+            parse_solve_request({"solver": "LCMR"})
+
+    def test_category_spec_is_rejected(self, instance):
+        with pytest.raises(ProtocolError, match="single solver"):
+            parse_solve_request(
+                {"instance": instance_to_wire(instance), "solver": "category:dynamic"}
+            )
+
+    def test_bad_params_type(self, instance):
+        with pytest.raises(ProtocolError, match="params must be an object"):
+            parse_solve_request({"instance": instance_to_wire(instance), "params": [1]})
+
+    def test_deadline_must_be_numeric(self, instance):
+        with pytest.raises(ProtocolError, match="deadline_s"):
+            parse_solve_request(
+                {"instance": instance_to_wire(instance), "deadline_s": "soon"}
+            )
+
+    def test_past_deadlines_are_accepted(self, instance):
+        # <= 0 means "already past": parsed, answered with the structured
+        # timeout by the server rather than rejected as malformed.
+        request = parse_solve_request(
+            {"instance": instance_to_wire(instance), "deadline_s": -1}
+        )
+        assert request.deadline_s == -1.0
+
+
+class TestParseSweepRequest:
+    def test_defaults(self):
+        request = parse_sweep_request({})
+        assert request.workload == "mixed-intensity"
+        assert request.traces == 4 and request.tasks == 200
+        assert request.solvers == () and request.capacities is None
+        assert request.validate is True
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            parse_sweep_request({"worklod": "balanced"})
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            parse_sweep_request({"workload": "quantum"})
+
+    def test_steps_needs_two_bounds(self):
+        with pytest.raises(ProtocolError, match="two capacities bounds"):
+            parse_sweep_request({"steps": 5, "capacities": [1.0, 1.5, 2.0]})
+
+    def test_pipelined_requires_batch_size(self):
+        with pytest.raises(ProtocolError, match="requires batch_size"):
+            parse_sweep_request({"pipelined": True})
+
+    def test_arrivals_and_batching_conflict(self):
+        with pytest.raises(ProtocolError, match="cannot combine"):
+            parse_sweep_request({"arrivals_load": 1.5, "batch_size": 4})
+
+    def test_bad_solver_list(self):
+        with pytest.raises(ProtocolError, match="solvers must be a list"):
+            parse_sweep_request({"solvers": "LCMR"})
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ProtocolError, match="traces must be >= 1"):
+            parse_sweep_request({"traces": 0})
+
+    def test_full_request_parses(self):
+        request = parse_sweep_request(
+            {
+                "workload": "balanced",
+                "traces": 2,
+                "tasks": 30,
+                "solvers": ["LCMR", "OS"],
+                "capacities": [1.0, 2.0],
+                "steps": 3,
+                "deadline_s": 30,
+                "include_rows": True,
+            }
+        )
+        assert request.capacities == (1.0, 2.0) and request.steps == 3
+        assert request.solvers == ("LCMR", "OS")
+        assert request.deadline_s == 30.0 and request.include_rows
+
+
+class TestBuildAndSummarize:
+    def test_build_sweep_study_runs(self):
+        request = parse_sweep_request(
+            {
+                "workload": "balanced",
+                "traces": 2,
+                "tasks": 20,
+                "solvers": ["LCMR", "OS"],
+                "capacities": [1.0, 2.0],
+            }
+        )
+        results = protocol.build_sweep_study(request).run()
+        summary = protocol.summarize_results(results)
+        assert summary["rows"] == len(results) == 8  # 2 traces x 2 caps x 2 solvers
+        assert summary["traces"] == 2 and summary["capacities"] == 2
+        assert summary["solvers"] == ["LCMR", "OS"]
+        assert summary["best_solver"] in ("LCMR", "OS")
+        assert all(value >= 1.0 for value in summary["mean_ratio_to_optimal"].values())
+        assert "columns" not in summary
+
+    def test_include_rows_adds_columns(self):
+        request = parse_sweep_request(
+            {"workload": "balanced", "traces": 1, "tasks": 10, "solvers": ["OS"],
+             "capacities": [1.5], "include_rows": True}
+        )
+        summary = protocol.summarize_results(
+            protocol.build_sweep_study(request).run(), include_rows=True
+        )
+        assert summary["columns"]["heuristic"] == ["OS"]
+
+    def test_empty_results_summarize(self):
+        from repro.api import ResultSet
+
+        assert protocol.summarize_results(ResultSet())["best_solver"] is None

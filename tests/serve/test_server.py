@@ -1,0 +1,311 @@
+"""The live daemon: round trips, admission, deadlines, cache, streaming.
+
+Every test here talks HTTP to a real server on a background thread
+(:class:`repro.serve.ServerThread`), exactly as an external client would —
+nothing reaches into the server's internals except to make assertions
+deterministic (a registered ``test.slow`` solver whose latency we control).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import register_solver, solve, unregister_solver
+from repro.core import Instance, Task
+from repro.serve import ServeClient, ServeError, ServerThread
+
+SLOW_S = 0.6
+
+
+class _SlowSolver:
+    """Delegates to OS after a deterministic sleep — a controllable worker hog."""
+
+    name = "test.slow"
+    category = "static"
+
+    def __init__(self, delay: float = SLOW_S):
+        self.delay = delay
+
+    def schedule(self, instance):
+        from repro.api import get_solver
+
+        time.sleep(self.delay)
+        return get_solver("OS").schedule(instance)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _slow_solver():
+    register_solver("test.slow", category="static", replace=True)(_SlowSolver)
+    yield
+    unregister_solver("test.slow")
+
+
+@pytest.fixture
+def instance():
+    tasks = [
+        Task.from_times("A", comm=3, comp=2),
+        Task.from_times("B", comm=1, comp=3),
+        Task.from_times("C", comm=4, comp=4),
+        Task.from_times("D", comm=2, comp=1),
+    ]
+    return Instance(tasks, capacity=6, name="serve-test")
+
+
+@pytest.fixture
+def live():
+    with ServerThread(workers=2, cache_dir="") as server:
+        yield ServeClient(server.host, server.port)
+
+
+SWEEP = {
+    "workload": "balanced",
+    "traces": 2,
+    "tasks": 20,
+    "solvers": ["LCMR", "OS"],
+    "capacities": [1.0, 2.0],
+}
+
+
+class TestRoundTrips:
+    def test_healthz(self, live):
+        health = live.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        from repro import __version__
+
+        assert health["version"] == __version__
+
+    def test_solve_matches_local_solve(self, live, instance):
+        body = live.solve(instance, solver="LCMR", include_schedule=True)
+        local = solve(instance, "LCMR")
+        assert body["solver"] == "LCMR"
+        assert body["makespan"] == local.makespan
+        assert body["ratio_to_optimal"] == local.ratio_to_optimal
+        assert body["task_count"] == len(instance)
+        assert len(body["schedule"]) == len(instance)
+        assert body["cache"] == {"enabled": False, "hit": False}
+        assert body["elapsed_s"] >= 0
+
+    def test_solve_unknown_solver_is_structured_400(self, live, instance):
+        with pytest.raises(ServeError) as excinfo:
+            live.solve(instance, solver="no-such-solver")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_malformed_body_is_structured_400(self, live):
+        import http.client
+
+        connection = http.client.HTTPConnection(live.host, live.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/solve", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b'"bad_request"' in response.read()
+        finally:
+            connection.close()
+
+    def test_unknown_endpoint_is_404(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live._request("GET", "/schedule-me")
+        assert excinfo.value.status == 404 and excinfo.value.code == "not_found"
+
+    def test_wrong_method_is_405(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live._request("GET", "/solve")
+        assert excinfo.value.status == 405
+
+    def test_unknown_job_is_404(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.job("sweep-999999")
+        assert excinfo.value.status == 404 and excinfo.value.code == "not_found"
+
+    def test_metrics_track_requests(self, live, instance):
+        live.solve(instance)
+        snapshot = live.metrics()
+        assert snapshot["requests"]["solve"]["ok"] >= 1
+        assert snapshot["latency"]["solve"]["p50_s"] >= 0
+        gauges = snapshot["gauges"]
+        assert gauges["workers"] == 2 and gauges["rejected_total"] == 0
+        text = live.metrics_text()
+        assert 'repro_requests{endpoint="solve",outcome="ok"}' in text
+
+
+class TestSweepJobs:
+    def test_submit_poll_and_result(self, live):
+        submitted = live.submit_sweep(**SWEEP)
+        assert submitted["job_id"].startswith("sweep-")
+        assert submitted["poll"] == f"/jobs/{submitted['job_id']}"
+        final = live.wait(submitted["job_id"])
+        assert final["status"] == "done"
+        assert final["progress"]["completed"] == final["progress"]["total"] == 2
+        result = final["result"]
+        assert result["rows"] == 8 and result["solvers"] == ["LCMR", "OS"]
+        assert live.jobs()[0]["id"] == submitted["job_id"]
+
+    def test_stream_replays_and_follows_to_terminal(self, live):
+        submitted = live.submit_sweep(**SWEEP)
+        events = list(live.stream(submitted["job_id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "started"
+        assert kinds[-2:] == ["done", "end"]
+        progress = [e for e in events if e["event"] == "progress"]
+        assert [p["completed"] for p in progress] == [1, 2]
+        # A second stream replays the full history of the finished job.
+        replay = [event["event"] for event in live.stream(submitted["job_id"])]
+        assert replay[:-1] == kinds[:-1]
+
+    def test_sweep_results_match_direct_study(self, live):
+        from repro.serve.protocol import build_sweep_study, parse_sweep_request
+
+        final = live.wait(live.submit_sweep(**SWEEP)["job_id"])
+        direct = build_sweep_study(parse_sweep_request(dict(SWEEP))).run()
+        means = direct.aggregate("ratio_to_optimal", by=("heuristic",), how="mean")
+        assert final["result"]["mean_ratio_to_optimal"] == {
+            str(name): value for name, value in means.items()
+        }
+
+    def test_bad_sweep_spec_is_structured_400(self, live):
+        with pytest.raises(ServeError) as excinfo:
+            live.submit_sweep(workload="quantum")
+        assert excinfo.value.status == 400 and excinfo.value.code == "bad_request"
+
+
+class TestAdmissionControl:
+    def test_saturating_burst_gets_structured_rejections(self, instance):
+        # Capacity 1 (one executing, zero queued): while a slow solve holds
+        # the only slot, every further request must be answered immediately
+        # with 429/saturated — not queued, not hung.
+        with ServerThread(workers=1, max_inflight=1, queue_limit=0, cache_dir="") as server:
+            client = ServeClient(server.host, server.port)
+            results = {}
+
+            def slow_call():
+                results["slow"] = client.solve(instance, solver="test.slow")
+
+            holder = threading.Thread(target=slow_call)
+            holder.start()
+            deadline = time.monotonic() + 5
+            while client.healthz()["inflight"] == 0:
+                assert time.monotonic() < deadline, "slow solve never admitted"
+                time.sleep(0.01)
+
+            rejections = []
+            for _ in range(4):
+                with pytest.raises(ServeError) as excinfo:
+                    client.solve(instance, solver="LCMR")
+                rejections.append(excinfo.value)
+            holder.join()
+
+            for rejected in rejections:
+                assert rejected.status == 429
+                assert rejected.code == "saturated"
+                assert rejected.payload["error"]["limit"] == 1
+                assert rejected.payload["error"]["inflight"] >= 1
+            # The burst degraded, the admitted request still succeeded.
+            assert results["slow"]["solver"] == "test.slow"
+            assert client.metrics()["gauges"]["rejected_total"] == 4.0
+            # Capacity is released: the next request sails through.
+            assert client.solve(instance, solver="LCMR")["makespan"] > 0
+
+    def test_draining_server_rejects_new_work(self, instance):
+        server = ServerThread(workers=1, cache_dir="")
+        server.start()
+        client = ServeClient(server.host, server.port)
+        client.solve(instance)
+        server.stop()
+        with pytest.raises((ServeError, ConnectionError, OSError)):
+            # Once drained the listener is gone; during the drain window the
+            # structured "draining" rejection is the answer.
+            client.solve(instance)
+
+
+class TestDeadlines:
+    def test_past_deadline_is_rejected_without_running(self, live, instance):
+        before = live.metrics()["gauges"]["jobs_completed_total"]
+        with pytest.raises(ServeError) as excinfo:
+            live.solve(instance, deadline_s=0.0)
+        error = excinfo.value
+        assert error.status == 504
+        assert error.code == "deadline_exceeded"
+        assert error.payload["error"]["cancelled"] is True
+        assert "cancelled before execution" in str(error)
+        assert live.metrics()["gauges"]["jobs_completed_total"] == before
+        assert live.healthz()["inflight"] == 0  # the ticket was released
+
+    def test_running_solve_times_out_with_structured_error(self, instance):
+        with ServerThread(workers=1, cache_dir="") as server:
+            client = ServeClient(server.host, server.port)
+            started = time.monotonic()
+            with pytest.raises(ServeError) as excinfo:
+                client.solve(instance, solver="test.slow", deadline_s=0.15)
+            elapsed = time.monotonic() - started
+            error = excinfo.value
+            assert error.status == 504 and error.code == "deadline_exceeded"
+            assert error.payload["error"]["cancelled"] is True
+            # The client got its answer at the deadline, not after the work.
+            assert elapsed < SLOW_S
+
+    def test_queued_solve_is_cancelled_outright(self, instance):
+        # One worker, deep queue: the second slow request is still queued
+        # when its deadline fires, so the server cancels the future itself
+        # and says so.
+        with ServerThread(workers=1, max_inflight=1, queue_limit=4, cache_dir="") as server:
+            client = ServeClient(server.host, server.port)
+            holder = threading.Thread(
+                target=lambda: client.solve(instance, solver="test.slow")
+            )
+            holder.start()
+            deadline = time.monotonic() + 5
+            while client.healthz()["inflight"] == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            with pytest.raises(ServeError) as excinfo:
+                client.solve(instance, solver="test.slow", deadline_s=0.1)
+            holder.join()
+            assert excinfo.value.code == "deadline_exceeded"
+            assert "cancelled before execution" in str(excinfo.value)
+
+    def test_sweep_deadline_cancels_the_job(self, live):
+        submitted = live.submit_sweep(
+            workload="balanced", traces=3, tasks=10,
+            solvers=["test.slow"], capacities=[1.5], deadline_s=0.2,
+        )
+        final = live.wait(submitted["job_id"])
+        assert final["status"] == "cancelled"
+        assert final["error"]["code"] == "deadline_exceeded"
+        # Cooperative cancellation stopped the sweep before all jobs ran.
+        assert final["progress"]["completed"] < 3
+
+    def test_past_sweep_deadline_cancels_before_start(self, live):
+        submitted = live.submit_sweep(**SWEEP, deadline_s=0.0)
+        final = live.wait(submitted["job_id"])
+        assert final["status"] == "cancelled"
+        assert final["progress"]["completed"] == 0
+
+
+class TestSharedCache:
+    def test_hits_are_attributed_across_clients(self, tmp_path, instance):
+        with ServerThread(workers=2, cache_dir=str(tmp_path / "cache")) as server:
+            first = ServeClient(server.host, server.port)
+            second = ServeClient(server.host, server.port)
+            cold = first.solve(instance, solver="LCMR")
+            assert cold["cache"] == {"enabled": True, "hit": False}
+            warm = second.solve(instance, solver="LCMR")
+            assert warm["cache"] == {"enabled": True, "hit": True}
+            assert warm["selected_solver"] == "LCMR"
+            assert warm["makespan"] == cold["makespan"]
+            gauges = second.metrics()["gauges"]
+            assert gauges["cache_hits"] == 1.0 and gauges["cache_misses"] == 1.0
+            assert gauges["cache_hit_rate"] == 0.5
+            assert gauges["cache_entries"] == 1.0 and gauges["cache_bytes"] > 0
+
+    def test_cache_opt_out_per_request(self, tmp_path, instance):
+        with ServerThread(workers=1, cache_dir=str(tmp_path / "cache")) as server:
+            client = ServeClient(server.host, server.port)
+            client.solve(instance, solver="LCMR")
+            bypassed = client.solve(instance, solver="LCMR", cache=False)
+            assert bypassed["cache"] == {"enabled": False, "hit": False}

@@ -1,0 +1,150 @@
+"""Graceful shutdown of the real process: SIGTERM drains, then exit 0."""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+LISTENING = re.compile(r"repro-serve listening on http://([\d.]+):(\d+)")
+
+
+@pytest.fixture
+def daemon():
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1", "--no-cache", "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+    )
+    try:
+        match = LISTENING.search(proc.stdout.readline())
+        assert match, "daemon did not print its listening line"
+        yield proc, match.group(1), int(match.group(2))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def _post(host, port, path, payload, timeout=30):
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(host, port, path, timeout=10):
+    with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+class TestSigterm:
+    def test_idle_server_exits_zero_and_reports_drained(self, daemon):
+        proc, host, port = daemon
+        assert _get(host, port, "/healthz")["status"] == "ok"
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "shut down gracefully (drained)" in out
+
+    def test_inflight_sweep_is_drained_before_exit(self, daemon):
+        proc, host, port = daemon
+        submitted = _post(
+            host, port, "/sweep",
+            {"workload": "balanced", "traces": 2, "tasks": 60,
+             "solvers": ["LCMR", "OS"], "capacities": [1.0, 2.0]},
+        )
+        assert submitted["status"] == "queued"
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        # The background sweep finished inside the drain window: clean exit.
+        assert proc.returncode == 0, err
+        assert "shut down gracefully (drained)" in out
+
+    def test_sigint_behaves_like_sigterm(self, daemon):
+        proc, host, port = daemon
+        proc.send_signal(signal.SIGINT)
+        out, _err = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "shut down gracefully (drained)" in out
+
+
+class TestCliContract:
+    def test_bad_serve_flags_exit_2(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--workers", "0"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "workers must be >= 1" in proc.stderr
+
+    def test_port_zero_prints_the_bound_port(self, daemon):
+        proc, _host, port = daemon
+        assert port > 0
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+
+
+def test_drain_timeout_gives_up_with_exit_1(tmp_path):
+    # A worker stuck past the drain window must not hang shutdown forever:
+    # the daemon exits 1 and says what it abandoned.  Driven in-process so
+    # the stuck job can be a deliberate sleep.
+    import threading
+
+    from repro.api import register_solver, unregister_solver
+    from repro.serve import ServeClient, ServerConfig, ServerThread
+
+    class _StuckSolver:
+        name = "test.stuck"
+        category = "static"
+
+        def schedule(self, instance):
+            time.sleep(2.0)
+            from repro.api import get_solver
+
+            return get_solver("OS").schedule(instance)
+
+    register_solver("test.stuck", category="static", replace=True)(_StuckSolver)
+    try:
+        server = ServerThread(
+            ServerConfig(port=0, workers=1, drain_timeout_s=0.2, cache_dir="", quiet=True)
+        )
+        server.start()
+        client = ServeClient(server.host, server.port)
+        from repro.core import Instance, Task
+
+        instance = Instance([Task.from_times("A", comm=1, comp=1)], capacity=2)
+
+        def abandoned_solve():
+            # The server exits before answering; the dropped connection is
+            # exactly what this test provokes.
+            try:
+                client.solve(instance, solver="test.stuck")
+            except Exception:
+                pass
+
+        runner = threading.Thread(target=abandoned_solve, daemon=True)
+        runner.start()
+        deadline = time.monotonic() + 5
+        while client.healthz()["inflight"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        server.stop()
+        assert server.server.exit_code == 1
+    finally:
+        unregister_solver("test.stuck")

@@ -137,3 +137,60 @@ def test_module_entry_point_runs():
     )
     assert proc.returncode == 0, proc.stderr
     assert "favorable situation" in proc.stdout
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        assert main(["-V"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_matches_pyproject(self):
+        import tomllib
+
+        from repro import __version__
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        with pyproject.open("rb") as handle:
+            assert tomllib.load(handle)["project"]["version"] == __version__
+
+    def test_every_subcommand_accepts_version(self, capsys):
+        from repro import __version__
+
+        for argv in (["solvers", "--version"], ["sweep", "--version"], ["serve", "--version"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 0
+            assert __version__ in capsys.readouterr().out
+
+    def test_bad_arguments_exit_2_everywhere(self, capsys):
+        cases = [
+            ["--category", "nope"],
+            ["solvers", "--category", "nope"],
+            ["sweep", "--workload", "nope"],
+            ["sweep", "--pipelined"],  # needs --batch-size
+            [*TestSweepCommand.SWEEP, "--output", "results.parquet"],
+            ["serve", "--workers", "0"],
+            ["serve", "--queue-limit", "-1"],
+            ["serve", "--deadline", "0"],
+            ["serve", "--cache-dir", "/tmp/x", "--no-cache"],  # mutually exclusive
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            capsys.readouterr()  # drain argparse's stderr between cases
+
+    def test_runtime_value_errors_exit_2(self, capsys):
+        # Non-argparse validation failures follow the same convention.
+        assert main(["--category", "dynamic"]) == 0
+        capsys.readouterr()
+        import repro.__main__ as entry
+
+        assert entry.main(["sweep", "--workload", "balanced", "--traces", "2",
+                           "--tasks", "10", "--capacities", "1.0", "--quiet",
+                           "--solvers", "no.such.solver"]) == 2
+        assert "error:" in capsys.readouterr().err
