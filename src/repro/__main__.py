@@ -169,6 +169,15 @@ def _sweep_parser() -> argparse.ArgumentParser:
 
     execution = parser.add_argument_group("execution")
     execution.add_argument(
+        "--engine",
+        choices=["auto", "object", "columnar"],
+        default=None,
+        help="execution engine: 'auto' picks the columnar fast path for large "
+        "instances, 'columnar' requests it explicitly (falls back when "
+        "unsupported), 'object' forces the event kernel "
+        "(default: the legacy recording path)",
+    )
+    execution.add_argument(
         "--backend",
         choices=["serial", "threads", "processes"],
         default=None,
@@ -270,6 +279,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
         study.task_limit(args.task_limit)
     if args.no_validate:
         study.validate(False)
+    if args.engine is not None:
+        study.engine(args.engine)
     if args.jobs is not None or args.backend is not None or args.chunk_size is not None:
         study.parallel(args.jobs, backend=args.backend, chunk_size=args.chunk_size)
     if not args.quiet:

@@ -24,6 +24,7 @@ from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
 from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
+from ..simulator.columnar import resolve_engine
 from ..simulator.resources import MachineModel
 from ..traces.model import Trace, TraceEnsemble
 from .backends import ExecutionBackend, guard_progress, resolve_backend
@@ -90,6 +91,7 @@ def run_solvers_on_instance(
     batch_size: int | None = None,
     pipelined: bool = False,
     machine: MachineModel | None = None,
+    engine: str | None = None,
 ) -> list[RunRecord]:
     """Run every solver on one instance and return the measurements.
 
@@ -100,15 +102,26 @@ def run_solvers_on_instance(
     the online measurement columns.  ``machine`` selects a custom machine
     model (kernel-backed solvers only).  Kernel-backed solvers run with
     event recording on, so the metrics are read from the structured trace
-    instead of re-derived from the schedule.
+    instead of re-derived from the schedule — unless ``engine`` requests
+    the columnar fast path (``"auto"``/``"columnar"``), which does not
+    record events: recording is dropped there so the fast path can engage,
+    and the metrics are derived from the schedule instead.
     """
     reference = omim_makespan(instance) if reference is None else reference
     application = application or instance.name.split("/")[0] or ADHOC_APPLICATION
     online = instance.has_releases
+    extra = {} if engine is None else {"engine": engine}
+    # The REPRO_ENGINE override must be able to force a whole sweep onto the
+    # columnar path, so the recording decision looks at the *resolved* engine:
+    # a "columnar" resolution (explicit or via the environment) drops event
+    # recording, exactly like an explicit engine="columnar"/"auto" request.
+    wants_object = engine in (None, "object") and resolve_engine(engine) != "columnar"
     records = []
     for solver in solvers:
         trace = None
+        ran_engine = ""
         runs_on_kernel = bool(getattr(solver, "runs_on_kernel", False))
+        record = runs_on_kernel and wants_object
         if batch_size is not None:
             result = simulate_in_batches(
                 instance,
@@ -116,12 +129,15 @@ def run_solvers_on_instance(
                 batch_size=batch_size,
                 pipelined=pipelined,
                 machine=machine,
-                record=runs_on_kernel,
+                record=record,
+                engine=engine,
             )
             schedule, trace = result.schedule, result.trace
+            ran_engine = getattr(result, "engine", "")
         elif hasattr(solver, "simulate"):
-            result = solver.simulate(instance, machine=machine, record=runs_on_kernel)
+            result = solver.simulate(instance, machine=machine, record=record, **extra)
             schedule, trace = result.schedule, result.trace
+            ran_engine = getattr(result, "engine", "")
         else:
             if machine is not None:
                 raise ValueError(
@@ -163,6 +179,7 @@ def run_solvers_on_instance(
                     if outcome is None or outcome.cache_hit is None
                     else float(outcome.cache_hit)
                 ),
+                engine=ran_engine or "",
             )
         )
     return records
@@ -191,6 +208,7 @@ def _sweep_one_trace(
     machine: MachineModel | None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None",
     arrival_seed: int,
+    engine: str | None = None,
 ) -> list[RunRecord]:
     """Capacity sweep of one trace; the OMIM reference is computed once.
 
@@ -226,6 +244,7 @@ def _sweep_one_trace(
                 batch_size=batch_size,
                 pipelined=pipelined,
                 machine=machine,
+                engine=engine,
             )
         )
     return records
@@ -241,6 +260,7 @@ def _sweep_one_instance(
     machine: MachineModel | None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None",
     arrival_seed: int,
+    engine: str | None = None,
 ) -> list[RunRecord]:
     """Run the solvers on one raw instance at its own capacity."""
     solvers = resolve_solvers(*solver_specs) if solver_specs else resolve_solvers()
@@ -257,6 +277,7 @@ def _sweep_one_instance(
         batch_size=batch_size,
         pipelined=pipelined,
         machine=machine,
+        engine=engine,
     )
 
 
@@ -283,6 +304,7 @@ class SweepJob:
     machine: MachineModel | None = None
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
     arrival_seed: int = 0
+    engine: str | None = None
 
     @property
     def label(self) -> str:
@@ -315,6 +337,7 @@ class SweepJob:
                 machine=self.machine,
                 arrivals=self.arrivals,
                 arrival_seed=self.arrival_seed,
+                engine=self.engine,
             )
         return _sweep_one_instance(
             self.payload,
@@ -325,6 +348,7 @@ class SweepJob:
             machine=self.machine,
             arrivals=self.arrivals,
             arrival_seed=self.arrival_seed,
+            engine=self.engine,
         )
 
 
@@ -356,6 +380,7 @@ def sweep_traces(
     machine: MachineModel | None = None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
+    engine: str | None = None,
 ) -> ResultSet:
     """Capacity sweep of every solver over every trace of ``sources``.
 
@@ -398,6 +423,7 @@ def sweep_traces(
             machine=machine,
             arrivals=arrivals,
             arrival_seed=arrival_seed,
+            engine=engine,
         )
         for trace in traces
     ]
@@ -421,6 +447,7 @@ def sweep_instances(
     machine: MachineModel | None = None,
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
+    engine: str | None = None,
 ) -> ResultSet:
     """Run the solvers on raw instances at their own capacity (no factor sweep).
 
@@ -447,6 +474,7 @@ def sweep_instances(
             machine=machine,
             arrivals=arrivals,
             arrival_seed=arrival_seed,
+            engine=engine,
         )
         for instance in instances
     ]

@@ -31,7 +31,9 @@ class RunRecord:
     portfolio solver actually executed: ``selected_solver`` is the member a
     race/selection run delegated to (empty for plain solvers) and
     ``cache_hit`` is 1.0/0.0 for cached runs (``nan`` when no cache was
-    involved).
+    involved).  ``engine`` records the execution engine that produced the
+    schedule (``"object"`` / ``"columnar"``, empty when the run bypassed
+    the kernel).
     """
 
     application: str
@@ -49,6 +51,7 @@ class RunRecord:
     avg_queue_length: float = math.nan
     selected_solver: str = ""
     cache_hit: float = math.nan
+    engine: str = ""
 
     @property
     def key(self) -> tuple[str, float]:
@@ -72,6 +75,7 @@ COLUMNS: tuple[str, ...] = (
     "avg_queue_length",
     "selected_solver",
     "cache_hit",
+    "engine",
 )
 
 #: Later-vintage columns may be absent from older dumps; loaders fill the
@@ -84,6 +88,8 @@ _OPTIONAL_DEFAULTS: dict[str, object] = {
     # pre-portfolio dumps (PR 4) lack the attribution columns
     "selected_solver": "",
     "cache_hit": math.nan,
+    # pre-columnar dumps (PR 7) lack the engine column
+    "engine": "",
 }
 _OPTIONAL_COLUMNS = frozenset(_OPTIONAL_DEFAULTS)
 

@@ -31,6 +31,9 @@ class SolveResult:
     ``selected_solver``/``cache_hit`` attribute portfolio runs: the member a
     race or selection actually executed, and whether a cached run was served
     from the store (both ``None`` for plain solvers).
+    ``engine`` records which execution engine produced the schedule
+    (``"object"`` or ``"columnar"``; ``"mixed"`` when batched windows
+    disagree, ``None`` when the run bypassed the kernel entirely).
     """
 
     solver: str
@@ -42,6 +45,7 @@ class SolveResult:
     online: OnlineMetrics | None = None
     selected_solver: str | None = None
     cache_hit: bool | None = None
+    engine: str | None = None
 
     @property
     def makespan(self) -> float:
@@ -70,6 +74,7 @@ def solve(
     reference: float | None = None,
     machine: MachineModel | None = None,
     record_events: bool = False,
+    engine: str | None = None,
     **solver_params,
 ) -> SolveResult:
     """Schedule ``instance`` with one registered solver and evaluate it.
@@ -110,6 +115,14 @@ def solve(
     record_events:
         Attach the kernel's structured :class:`EventTrace` to the result
         (kernel-backed solvers only).
+    engine:
+        Execution engine: ``"auto"`` (default) picks the columnar
+        array-native fast path for large instances when the configuration
+        supports it, ``"columnar"`` requests it explicitly (still falling
+        back to the object kernel when unsupported — e.g. event recording
+        or multi-CPU machines), ``"object"`` forces the event kernel.
+        Kernel-backed solvers only; the chosen engine is recorded on
+        :attr:`SolveResult.engine`.
     """
     if isinstance(method, str):
         if method.lower().startswith("category:"):
@@ -134,6 +147,7 @@ def solve(
         )
 
     trace = None
+    ran_engine: str | None = None
     if batch_size is not None:
         result = simulate_in_batches(
             instance,
@@ -142,17 +156,30 @@ def solve(
             pipelined=pipelined,
             machine=machine,
             record=record_events,
+            engine=engine,
         )
         schedule, trace = result.schedule, result.trace
+        ran_engine = getattr(result, "engine", None) or None
     elif pipelined:
         raise ValueError("pipelined=True requires batch_size")
-    elif machine is not None or record_events or instance.has_releases:
+    elif (
+        machine is not None
+        or record_events
+        or instance.has_releases
+        or engine is not None
+    ):
         if not hasattr(solver, "simulate"):
             raise ValueError(
                 f"solver {solver.name!r} does not run on the simulation kernel"
             )
-        result = solver.simulate(instance, machine=machine, record=record_events)
+        # Only pass engine= when requested: simulate() surfaces predating
+        # the engine option (external solvers) keep working untouched.
+        extra = {} if engine is None else {"engine": engine}
+        result = solver.simulate(
+            instance, machine=machine, record=record_events, **extra
+        )
         schedule, trace = result.schedule, result.trace
+        ran_engine = getattr(result, "engine", None) or None
     else:
         schedule = solver.schedule(instance)
     if validate:
@@ -175,4 +202,5 @@ def solve(
         online=online,
         selected_solver=outcome.selected if outcome is not None else None,
         cache_hit=outcome.cache_hit if outcome is not None else None,
+        engine=ran_engine,
     )

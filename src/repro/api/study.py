@@ -55,6 +55,7 @@ class Study:
         self._machine: MachineModel | None = None
         self._arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
         self._arrival_seed: int = 0
+        self._engine: str | None = None
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -193,6 +194,29 @@ class Study:
         self._validate = bool(flag)
         return self
 
+    def engine(self, engine: str) -> "Study":
+        """Select the execution engine for every kernel run of the sweep.
+
+        ``"auto"`` picks the columnar array-native fast path for large
+        instances when the configuration supports it; ``"columnar"``
+        requests it explicitly (still falling back to the object kernel
+        when unsupported); ``"object"`` forces the event kernel.  The
+        engine each run actually used is recorded in the ``engine`` result
+        column.  Note the trade-off: the default (never calling this)
+        records structured event traces for kernel solvers, while
+        ``"auto"``/``"columnar"`` sweeps skip event recording so the fast
+        path can engage.
+        """
+        from ..simulator.columnar import ENGINE_CHOICES
+
+        choice = str(engine).lower()
+        if choice not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {list(ENGINE_CHOICES)}"
+            )
+        self._engine = choice
+        return self
+
     def parallel(
         self,
         n_jobs: int | None = None,
@@ -267,6 +291,7 @@ class Study:
                     machine=self._machine,
                     arrivals=self._arrivals,
                     arrival_seed=self._arrival_seed,
+                    engine=self._engine,
                 )
             )
         if self._instances:
@@ -284,6 +309,7 @@ class Study:
                     machine=self._machine,
                     arrivals=self._arrivals,
                     arrival_seed=self._arrival_seed,
+                    engine=self._engine,
                 )
             )
         return results

@@ -161,6 +161,7 @@ class Heuristic(abc.ABC):
         *,
         machine: MachineModel | None = None,
         record: bool = False,
+        engine: str | None = None,
     ) -> SimulationResult:
         """Run this heuristic on the kernel, optionally on a custom machine.
 
@@ -168,7 +169,11 @@ class Heuristic(abc.ABC):
         :class:`~repro.simulator.events.EventTrace` of the run.  Instances
         whose tasks carry release (arrival) dates are routed through the
         heuristic's :meth:`online_policy` — arrival-awareness is a property
-        of the data, not a separate execution mode.
+        of the data, not a separate execution mode.  ``engine`` selects the
+        execution engine (``"auto"`` | ``"object"`` | ``"columnar"``, see
+        :func:`repro.simulator.columnar.resolve_engine`); the columnar fast
+        path is used when it supports the configuration, falling back to
+        the object kernel otherwise.
         """
         if instance.has_releases:
             policy = self.online_policy(instance)
@@ -178,7 +183,7 @@ class Heuristic(abc.ABC):
                     "schedule release-dated instances; drop the release dates "
                     "(Instance.without_releases()) for an offline plan"
                 )
-            return _simulate(instance, policy, machine=machine, record=record)
+            return _simulate(instance, policy, machine=machine, record=record, engine=engine)
         policy = self.kernel_policy(instance)
         if policy is None:
             if machine is not None:
@@ -192,7 +197,7 @@ class Heuristic(abc.ABC):
                     "and cannot record an event trace"
                 )
             return SimulationResult(schedule=self.schedule(instance), trace=None)
-        return _simulate(instance, policy, machine=machine, record=record)
+        return _simulate(instance, policy, machine=machine, record=record, engine=engine)
 
     def __call__(self, instance: Instance) -> Schedule:
         return self.schedule(instance)

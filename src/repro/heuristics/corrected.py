@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..flowshop.johnson import johnson_order
+from ..simulator.columnar import columnar_johnson_order
 from ..simulator.online import OnlineCorrectedPolicy, WindowedCorrectedPolicy
 from ..simulator.policies import (
     CorrectedOrderPolicy,
@@ -37,7 +38,10 @@ class CorrectedHeuristic(Heuristic):
     criterion = staticmethod(smallest_communication)
 
     def kernel_policy(self, instance: Instance) -> CorrectedOrderPolicy:
-        order = tuple(task.name for task in johnson_order(instance.tasks))
+        ordered = columnar_johnson_order(instance)
+        if ordered is None:
+            ordered = johnson_order(instance.tasks)
+        order = tuple(task.name for task in ordered)
         return CorrectedOrderPolicy(order=order, criterion=type(self).criterion, name=self.name)
 
     def online_policy(self, instance: Instance) -> OnlineCorrectedPolicy:

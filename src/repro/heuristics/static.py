@@ -25,6 +25,7 @@ from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..core.task import Task
 from ..flowshop.johnson import johnson_order
+from ..simulator.columnar import columnar_johnson_order, columnar_key_order
 from ..simulator.engine import resolve_order
 from ..simulator.online import OnlinePlanPolicy, WindowedPlanPolicy
 from ..simulator.policies import FixedOrderPolicy
@@ -102,8 +103,16 @@ class _KeySortedHeuristic(StaticOrderHeuristic):
     #: Key function; ties are always broken by task name for determinism.
     key: Callable[[Task], float] = staticmethod(lambda task: 0.0)
     reverse: bool = False
+    #: Column name of the key (``"comm"``/``"comp"``/``"total"``): lets
+    #: large instances sort via the columnar argsort fast path, which is
+    #: differential-tested to produce the identical permutation.
+    columnar_key: str | None = None
 
     def order(self, instance: Instance) -> Sequence[Task]:
+        if self.columnar_key is not None:
+            fast = columnar_key_order(instance, key=self.columnar_key, reverse=self.reverse)
+            if fast is not None:
+                return fast
         key = type(self).key
         if self.reverse:
             return sorted(instance.tasks, key=lambda t: (-key(t), t.name))
@@ -118,6 +127,9 @@ class OptimalOrderInfiniteMemory(StaticOrderHeuristic):
     favorable_situation = "Memory capacity is not a restriction (optimal in that case)."
 
     def order(self, instance: Instance) -> Sequence[Task]:
+        fast = columnar_johnson_order(instance)
+        if fast is not None:
+            return fast
         return johnson_order(instance.tasks)
 
     @classmethod
@@ -134,6 +146,7 @@ class IncreasingCommunication(_KeySortedHeuristic):
         "Memory capacity is not a restriction and tasks are compute intensive (optimal)."
     )
     key = staticmethod(lambda task: task.comm)
+    columnar_key = "comm"
 
     @classmethod
     def favors(cls, features) -> bool:
@@ -150,6 +163,7 @@ class DecreasingComputation(_KeySortedHeuristic):
     )
     key = staticmethod(lambda task: task.comp)
     reverse = True
+    columnar_key = "comp"
 
     @classmethod
     def favors(cls, features) -> bool:
@@ -163,6 +177,7 @@ class IncreasingCommPlusComp(_KeySortedHeuristic):
     description = "Tasks sorted by non-decreasing communication + computation time."
     favorable_situation = "Moderate memory capacity and most tasks are highly compute intensive."
     key = staticmethod(lambda task: task.total_time)
+    columnar_key = "total"
 
     @classmethod
     def favors(cls, features) -> bool:
@@ -179,6 +194,7 @@ class DecreasingCommPlusComp(_KeySortedHeuristic):
     )
     key = staticmethod(lambda task: task.total_time)
     reverse = True
+    columnar_key = "total"
 
     @classmethod
     def favors(cls, features) -> bool:

@@ -359,10 +359,20 @@ class CachedSolver(OutcomeMixin):
         return solve_key(instance, self._inner.name, self._params, machine)
 
     def _solve_fresh(
-        self, instance: Instance, machine: MachineModel | None, record: bool
+        self,
+        instance: Instance,
+        machine: MachineModel | None,
+        record: bool,
+        engine: str | None,
     ) -> SimulationResult:
         if hasattr(self._inner, "simulate"):
-            return self._inner.simulate(instance, machine=machine, record=record)
+            extra = {} if engine is None else {"engine": engine}
+            return self._inner.simulate(instance, machine=machine, record=record, **extra)
+        if engine is not None and engine != "auto":
+            raise ValueError(
+                f"solver {self._inner.name!r} does not run on the simulation kernel "
+                "and cannot target a specific execution engine"
+            )
         if machine is not None:
             raise ValueError(
                 f"solver {self._inner.name!r} does not run on the simulation kernel "
@@ -381,6 +391,7 @@ class CachedSolver(OutcomeMixin):
         *,
         machine: MachineModel | None = None,
         record: bool = False,
+        engine: str | None = None,
     ) -> SimulationResult:
         key = self.key(instance, machine)
         if not record:
@@ -390,7 +401,7 @@ class CachedSolver(OutcomeMixin):
                     PortfolioOutcome(selected=self._inner.name, cache_hit=True)
                 )
                 return SimulationResult(schedule=cached, trace=None)
-        result = self._solve_fresh(instance, machine, record)
+        result = self._solve_fresh(instance, machine, record, engine)
         self.cache.put(key, result.schedule, solver=self._inner.name)
         self._record_outcome(PortfolioOutcome(selected=self._inner.name, cache_hit=False))
         return result

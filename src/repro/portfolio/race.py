@@ -306,7 +306,10 @@ class PortfolioSolver(OutcomeMixin):
         *,
         machine: MachineModel | None = None,
         record: bool = False,
+        engine: str | None = None,
     ) -> SimulationResult:
+        # engine= is accepted for interface uniformity; the race itself runs
+        # its members through their own simulate() dispatch (auto engine).
         schedule, report = self.race(instance, machine=machine)
         self._record_outcome(PortfolioOutcome(selected=report.winner, report=report))
         if record:

@@ -311,12 +311,14 @@ class SelectingSolver(OutcomeMixin):
         *,
         machine: MachineModel | None = None,
         record: bool = False,
+        engine: str | None = None,
     ) -> SimulationResult:
         from ..api.registry import get_solver  # lazy: avoid a registry import cycle
 
         choice = self.choose(instance, machine)
         solver = get_solver(choice)
-        result = solver.simulate(instance, machine=machine, record=record)
+        extra = {} if engine is None else {"engine": engine}
+        result = solver.simulate(instance, machine=machine, record=record, **extra)
         self._record_outcome(PortfolioOutcome(selected=solver.name))
         return result
 

@@ -27,6 +27,18 @@ from .arrivals import (
     resolve_arrivals,
 )
 from .batch import DEFAULT_BATCH_SIZE, execute_in_batches, simulate_in_batches
+from .columnar import (
+    COLUMNAR_AUTO_THRESHOLD,
+    ColumnarInstance,
+    ColumnarSchedule,
+    columnar_johnson_order,
+    columnar_key_order,
+    columnar_supported,
+    columnar_view,
+    resolve_engine,
+    simulate_columnar,
+    unsupported_reason,
+)
 from .dynamic_executor import execute_with_policy
 from .engine import (
     DeadlockError,
@@ -66,10 +78,13 @@ from .resources import (
 from .static_executor import execute_fixed_order, execute_two_orders
 
 __all__ = [
+    "COLUMNAR_AUTO_THRESHOLD",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MACHINE",
     "ArrivalProcess",
     "BurstyArrivals",
+    "ColumnarInstance",
+    "ColumnarSchedule",
     "CorrectedOrderPolicy",
     "CriterionPolicy",
     "DeadlockError",
@@ -93,6 +108,10 @@ __all__ = [
     "WindowedCorrectedPolicy",
     "WindowedCriterionPolicy",
     "WindowedPlanPolicy",
+    "columnar_johnson_order",
+    "columnar_key_order",
+    "columnar_supported",
+    "columnar_view",
     "execute_fixed_order",
     "execute_in_batches",
     "execute_two_orders",
@@ -101,9 +120,12 @@ __all__ = [
     "maximum_acceleration",
     "minimum_idle_filter",
     "resolve_arrivals",
+    "resolve_engine",
     "resolve_order",
     "run_online",
     "simulate",
+    "simulate_columnar",
     "simulate_in_batches",
     "smallest_communication",
+    "unsupported_reason",
 ]

@@ -51,6 +51,7 @@ class _CallableScheduler:
         *,
         machine: MachineModel | None = None,
         record: bool = False,
+        engine: str | None = None,
     ) -> SimulationResult:
         if machine is not None:
             raise ValueError(
@@ -61,6 +62,11 @@ class _CallableScheduler:
             raise ValueError(
                 f"scheduler {self.name!r} is a plain callable and cannot "
                 "record an event trace"
+            )
+        if engine is not None and engine != "auto":
+            raise ValueError(
+                f"scheduler {self.name!r} is a plain callable and cannot "
+                "target a specific execution engine"
             )
         return SimulationResult(schedule=self._fn(instance), trace=None)
 
@@ -73,6 +79,7 @@ def simulate_in_batches(
     pipelined: bool = False,
     machine: MachineModel | None = None,
     record: bool = False,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run ``solver`` over successive batches of ``batch_size`` tasks.
 
@@ -81,6 +88,9 @@ def simulate_in_batches(
     callable (barrier mode only, without engine options).  ``machine`` and
     ``record`` compose with batching in both modes; solvers that do not run
     on the kernel reject them explicitly instead of silently ignoring them.
+    ``engine`` selects the execution engine per window (barrier mode; the
+    merged result reports ``"mixed"`` when windows ran on different
+    engines) or for the continuous run (pipelined mode).
 
     ``pipelined=True`` drops the drain barrier: one continuous kernel run in
     which batch ``k+1``'s transfers start as soon as memory frees.
@@ -104,8 +114,8 @@ def simulate_in_batches(
         )
 
     if pipelined:
-        return _simulate_pipelined(instance, runner, batch_size, machine, record)
-    return _simulate_barrier(instance, runner, batch_size, machine, record)
+        return _simulate_pipelined(instance, runner, batch_size, machine, record, engine)
+    return _simulate_barrier(instance, runner, batch_size, machine, record, engine)
 
 
 def _simulate_barrier(
@@ -114,21 +124,36 @@ def _simulate_barrier(
     batch_size: int,
     machine: MachineModel | None,
     record: bool,
+    engine: str | None,
 ) -> SimulationResult:
     """One kernel run per batch, each shifted to the previous drain instant."""
     entries = []
     traces: list[EventTrace] = []
+    engines: set[str] = set()
     offset = 0.0
+    # Only pass engine= when requested: simulate() surfaces predating the
+    # engine option (external solvers) keep working untouched.
+    extra = {} if engine is None else {"engine": engine}
     for batch in instance.batches(batch_size):
-        result = solver.simulate(batch, machine=machine, record=record)
+        result = solver.simulate(batch, machine=machine, record=record, **extra)
         shifted = result.schedule.shifted(offset)
         entries.extend(shifted.entries)
+        batch_engine = getattr(result, "engine", "")
+        if batch_engine:
+            engines.add(batch_engine)
         if record:
             traces.append(result.trace.shifted(offset))
         offset += result.schedule.makespan
+    if not engines:
+        merged_engine = ""
+    elif len(engines) == 1:
+        merged_engine = next(iter(engines))
+    else:
+        merged_engine = "mixed"
     return SimulationResult(
         schedule=Schedule(entries),
         trace=EventTrace.merged(traces) if record else None,
+        engine=merged_engine,
     )
 
 
@@ -138,6 +163,7 @@ def _simulate_pipelined(
     batch_size: int,
     machine: MachineModel | None,
     record: bool,
+    engine: str | None,
 ) -> SimulationResult:
     """One continuous kernel run under the solver's windowed policy."""
     from .engine import simulate  # local import: engine does not import batch
@@ -155,7 +181,7 @@ def _simulate_pipelined(
             f"solver {name!r} does not support pipelined batched execution "
             "(kernel-backed heuristics only)"
         )
-    return simulate(instance, policy, machine=machine, record=record)
+    return simulate(instance, policy, machine=machine, record=record, engine=engine)
 
 
 def execute_in_batches(
