@@ -1,0 +1,112 @@
+"""Streaming sweeps — bounded peak memory at million-task scale.
+
+Runs the same trace-replay sweep three ways, each in a fresh spawned
+process so its peak RSS is attributable (see ``measure_phase``):
+
+* **baseline** — the small run: one 10^4-task trace, eager in-memory sweep;
+* **streaming** — the big run (100 x 10^4 = 10^6 tasks at full scale)
+  through the bounded-memory pipeline: a lazy :class:`TraceStream` produces
+  traces as the executor consumes them and results spill to disk;
+* **eager** — the same big run the pre-streaming way: materialise the whole
+  ensemble, hold every row in memory.
+
+The streaming path must produce byte-identical rows, hold its peak RSS
+within **1.5x of the small baseline run** (while the eager path grows with
+the workload), and lose **at most 10% throughput** against eager.
+
+``REPRO_SCALE=ci`` (the CI smoke step) shrinks the big run to 10^5 tasks
+and only checks equivalence; memory and wall clock on shared runners are
+too noisy to gate on.  Any other scale runs the full million-task shape,
+asserts both bars, and writes ``benchmarks/results/stream_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR, measure_phase
+from repro.api import sweep_traces
+from repro.experiments.config import scaled_config
+from repro.traces import synthetic_stream
+
+#: (big-run traces, tasks per trace, baseline tasks) per scale.
+CI_SHAPE = (25, 4_000, 2_000)
+FULL_SHAPE = (100, 10_000, 10_000)
+
+SWEEP = dict(capacity_factors=(1.5,), solver_specs=("OS",), validate=False)
+REGIME, SEED = "mixed-intensity", 2019
+
+
+def _stream(traces: int, tasks: int):
+    return synthetic_stream(REGIME, processes=traces, tasks_per_process=tasks, seed=SEED)
+
+
+def run_baseline(tasks: int) -> str:
+    """The small eager run whose footprint anchors the 1.5x memory bar."""
+    ensemble = _stream(1, tasks).materialize()
+    return sweep_traces([ensemble], spill=False, **SWEEP).to_csv()
+
+
+def run_streaming(traces: int, tasks: int) -> str:
+    """The big run through the bounded pipeline: lazy traces, disk spill."""
+    result = sweep_traces([_stream(traces, tasks)], spill=True, **SWEEP)
+    return result.to_csv()
+
+
+def run_eager(traces: int, tasks: int) -> str:
+    """The big run the old way: whole ensemble and all rows in memory."""
+    ensemble = _stream(traces, tasks).materialize()
+    return sweep_traces([ensemble], spill=False, **SWEEP).to_csv()
+
+
+def test_stream_scaling():
+    scale_is_ci = scaled_config() is scaled_config("ci")
+    traces, tasks, base_tasks = CI_SHAPE if scale_is_ci else FULL_SHAPE
+    total = traces * tasks
+
+    base_csv, base_rss, base_seconds = measure_phase(run_baseline, base_tasks)
+    stream_csv, stream_rss, stream_seconds = measure_phase(run_streaming, traces, tasks)
+    eager_csv, eager_rss, eager_seconds = measure_phase(run_eager, traces, tasks)
+
+    assert stream_csv == eager_csv, "streaming sweep diverged from the eager sweep"
+
+    mib = 1024 * 1024
+    rss_ratio = stream_rss / base_rss
+    throughput = total / stream_seconds
+    throughput_ratio = (total / stream_seconds) / (total / eager_seconds)
+    lines = [
+        "Streaming sweep scaling: peak RSS and throughput vs the eager path",
+        f"workload: OS trace replay, {REGIME} regime, capacity 1.5x",
+        "",
+        f"{'phase':<12} {'tasks':>9} {'seconds':>9} {'tasks/s':>9} {'peak MiB':>9}",
+        f"{'baseline':<12} {base_tasks:>9,} {base_seconds:>9.2f} "
+        f"{base_tasks / base_seconds:>9,.0f} {base_rss / mib:>9.1f}",
+        f"{'streaming':<12} {total:>9,} {stream_seconds:>9.2f} "
+        f"{throughput:>9,.0f} {stream_rss / mib:>9.1f}",
+        f"{'eager':<12} {total:>9,} {eager_seconds:>9.2f} "
+        f"{total / eager_seconds:>9,.0f} {eager_rss / mib:>9.1f}",
+        "",
+        f"streaming peak RSS = {rss_ratio:.2f}x the {base_tasks:,}-task baseline "
+        f"(bar: <= 1.5x); eager = {eager_rss / base_rss:.2f}x",
+        f"streaming throughput = {throughput_ratio:.2f}x eager (bar: >= 0.9x)",
+    ]
+    report = "\n".join(lines)
+    print()
+    print(report)
+
+    # Smoke mode only proves equivalence; the recorded full-scale table must
+    # not be clobbered by a truncated one, and its bars are not asserted on
+    # noisy shared runners.
+    if not scale_is_ci:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "stream_scaling.txt").write_text(report + "\n")
+        assert stream_rss <= 1.5 * base_rss, (
+            f"streaming sweep peaked at {stream_rss / mib:.1f} MiB, more than "
+            f"1.5x the {base_rss / mib:.1f} MiB baseline run"
+        )
+        assert stream_seconds <= eager_seconds / 0.9, (
+            f"streaming sweep took {stream_seconds:.2f}s vs eager "
+            f"{eager_seconds:.2f}s — more than 10% slower"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    test_stream_scaling()

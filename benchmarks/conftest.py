@@ -10,6 +10,11 @@ section of the paper in one run.
 
 from __future__ import annotations
 
+import multiprocessing
+import resource
+import sys
+import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -39,3 +44,103 @@ def run_figure(benchmark, driver, config):
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{result.name}.txt").write_text(str(result))
     return result
+
+
+# --------------------------------------------------------------------- #
+# Peak-RSS measurement (used by the streaming-scale benchmark)
+# --------------------------------------------------------------------- #
+def peak_rss_bytes() -> int:
+    """This process's high-water-mark resident set size, in bytes.
+
+    Combines ``resource.getrusage`` (``ru_maxrss`` is kilobytes on Linux,
+    bytes on macOS) with ``VmHWM`` from ``/proc/self/status`` where the
+    proc filesystem exists; the larger of the two wins.
+    """
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak = maxrss if sys.platform == "darwin" else maxrss * 1024
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    peak = max(peak, int(line.split()[1]) * 1024)
+                    break
+    except OSError:  # pragma: no cover - no procfs
+        pass
+    return int(peak)
+
+
+class RssSampler(threading.Thread):
+    """Background thread sampling ``VmRSS`` while a workload runs.
+
+    ``getrusage`` only reports the lifetime high-water mark; the sampler
+    additionally observes the *current* RSS at an interval, which makes the
+    peak attributable to the phase being measured rather than to import
+    time.  Harmless where ``/proc`` is unavailable (samples stay at 0).
+    """
+
+    def __init__(self, interval: float = 0.05) -> None:
+        super().__init__(daemon=True)
+        self.interval = interval
+        self.peak = 0
+        self._stop_event = threading.Event()
+
+    @staticmethod
+    def _current_rss() -> int:
+        try:
+            with open("/proc/self/status", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1]) * 1024
+        except OSError:  # pragma: no cover - no procfs
+            pass
+        return 0
+
+    def run(self) -> None:
+        while not self._stop_event.is_set():
+            self.peak = max(self.peak, self._current_rss())
+            self._stop_event.wait(self.interval)
+        self.peak = max(self.peak, self._current_rss())
+
+    def stop(self) -> int:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+        return self.peak
+
+
+def _phase_child(conn, fn, args) -> None:
+    sampler = RssSampler()
+    sampler.start()
+    start = time.perf_counter()
+    result = fn(*args)
+    seconds = time.perf_counter() - start
+    sampled = sampler.stop()
+    conn.send((result, max(peak_rss_bytes(), sampled), seconds))
+    conn.close()
+
+
+def measure_phase(fn, *args):
+    """Run ``fn(*args)`` in a fresh spawned process; measure its footprint.
+
+    Returns ``(result, peak_rss_bytes, seconds)``.  A *spawned* (not
+    forked) child starts from a clean interpreter, so its ``ru_maxrss``
+    reflects only its own imports plus the measured workload — phases
+    measured back-to-back cannot inflate each other's high-water mark.
+    ``fn`` must be a module-level function (the child imports it by name).
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_phase_child, args=(child_conn, fn, args))
+    process.start()
+    child_conn.close()
+    try:
+        payload = parent_conn.recv()
+    except EOFError:
+        process.join()
+        raise RuntimeError(
+            f"measured phase {getattr(fn, '__name__', fn)!r} died with exit code "
+            f"{process.exitcode}"
+        ) from None
+    finally:
+        parent_conn.close()
+    process.join()
+    return payload

@@ -1,6 +1,6 @@
-"""``python -m repro`` — solver discovery, sweeps and serving from the shell.
+"""``python -m repro`` — solver discovery, sweeps, shard merging and serving.
 
-Three subcommands:
+Four subcommands:
 
 * ``solvers`` (the default, kept flag-compatible with the original CLI) —
   print every registered solver, its category, aliases and favorable
@@ -22,7 +22,19 @@ Three subcommands:
 
   A progress line is written to stderr while the sweep runs (``--quiet``
   disables it); the aggregate summary goes to stdout and ``--output``
-  writes the full ``ResultSet`` as JSON or CSV by file extension.
+  writes the full ``ResultSet`` as JSON, CSV or JSONL by file extension
+  (``--output -`` streams rows to stdout as chunks merge).  Large sweeps
+  scale out: ``--spill`` streams rows to an append-only JSONL file,
+  ``--checkpoint DIR`` makes a killed sweep resumable, and ``--shard i/N``
+  runs one deterministic slice of the job plane on this host::
+
+      python -m repro sweep --workload ccsd --traces 64 --shard 0/4 \\
+          --checkpoint ckpt/ --output shard0.jsonl
+
+* ``merge`` — combine the shard files of one sweep back into a single
+  ``ResultSet``, byte-identical to the unsharded run::
+
+      python -m repro merge shard*.jsonl --output combined.csv
 
 * ``serve`` — run the :mod:`repro.serve` scheduling daemon: an asyncio HTTP
   service multiplexing solve/sweep requests over a bounded worker pool with
@@ -39,6 +51,7 @@ exit 1.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -193,12 +206,44 @@ def _sweep_parser() -> argparse.ArgumentParser:
         help="jobs per shard (default: auto; implies parallel execution)",
     )
 
+    scaling = parser.add_argument_group("scaling")
+    scaling.add_argument(
+        "--spill",
+        default=None,
+        metavar="PATH",
+        help="stream results into an append-only JSONL spill at PATH instead of "
+        "RAM (sweeps above REPRO_SPILL_THRESHOLD rows spill to a temporary "
+        "file automatically)",
+    )
+    scaling.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="record every merged chunk in DIR; re-running with the same DIR "
+        "skips completed chunks (sharded runs nest a shard-I-of-N/ subdirectory)",
+    )
+    scaling.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only jobs i, i+N, i+2N... of the sweep; combine the shard "
+        "outputs with 'repro merge'",
+    )
+
     output = parser.add_argument_group("output")
     output.add_argument(
         "--output",
         default=None,
         metavar="PATH",
-        help="write the full ResultSet to PATH (.json or .csv, by extension)",
+        help="write the full ResultSet to PATH (.json, .csv or .jsonl, by "
+        "extension), or '-' to stream rows to stdout as chunks merge; with "
+        "--shard, PATH is written in the mergeable shard format",
+    )
+    output.add_argument(
+        "--format",
+        choices=["csv", "jsonl"],
+        default=None,
+        help="row format for --output - (default: csv)",
     )
     output.add_argument(
         "--quiet", action="store_true", help="suppress the stderr progress line"
@@ -215,11 +260,45 @@ def _sweep_workload(args):
         from .chemistry import ccsd_ensemble
 
         return ccsd_ensemble(processes=args.processes, traces=args.traces, seed=args.seed)
-    from .traces.generator import synthetic_ensemble
+    from .traces.generator import synthetic_stream
 
-    return synthetic_ensemble(
+    # Lazy stream, not an eager ensemble: traces are produced chunk by
+    # chunk while the sweep runs (byte-identical results either way).
+    return synthetic_stream(
         args.workload, processes=args.traces, tasks_per_process=args.tasks, seed=args.seed
     )
+
+
+def _row_writer(fmt: str, stream):
+    """A ``(job_index, records)`` callback streaming rows as chunks merge.
+
+    The emitted bytes match ``ResultSet.to_csv``/``to_jsonl`` exactly (CSV
+    header once, then rows), so piping ``--output -`` to a file equals
+    writing the file after the sweep — without ever holding every row.
+    """
+    import csv as _csv
+
+    from .api.results import COLUMNS, encode_record_line
+
+    if fmt == "jsonl":
+
+        def write(_job_index, records):
+            for record in records:
+                stream.write(encode_record_line(record))
+            stream.flush()
+
+        return write
+
+    writer = _csv.writer(stream, lineterminator="\n")
+    writer.writerow(COLUMNS)
+    stream.flush()
+
+    def write(_job_index, records):
+        for record in records:
+            writer.writerow([getattr(record, name) for name in COLUMNS])
+        stream.flush()
+
+    return write
 
 
 def _progress_line(stream=None):
@@ -257,9 +336,29 @@ def render_sweep_summary(results) -> str:
 def _sweep_main(argv: Sequence[str]) -> int:
     parser = _sweep_parser()
     args = parser.parse_args(argv)
-    if args.output and not args.output.endswith((".json", ".csv")):
+    stream_rows = args.output == "-"
+    if args.output and not stream_rows and not args.output.endswith(
+        (".json", ".csv", ".jsonl")
+    ):
         # Fail in milliseconds, not after a possibly hours-long sweep.
-        parser.error(f"--output must end in .json or .csv, got {args.output!r}")
+        parser.error(
+            f"--output must end in .json, .csv or .jsonl (or be '-'), got {args.output!r}"
+        )
+    if args.format is not None and not stream_rows:
+        parser.error("--format only applies to --output -")
+    shard = None
+    if args.shard is not None:
+        from .api import parse_shard
+
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            parser.error(str(error))
+        if stream_rows:
+            parser.error(
+                "--shard writes the mergeable shard format; --output - streams "
+                "plain rows — give --output a file path instead"
+            )
     study = Study().traces(_sweep_workload(args))
     if args.capacities is not None:
         study.capacities(*args.capacities, steps=args.steps)
@@ -285,14 +384,130 @@ def _sweep_main(argv: Sequence[str]) -> int:
         study.parallel(args.jobs, backend=args.backend, chunk_size=args.chunk_size)
     if not args.quiet:
         study.on_progress(_progress_line())
+    if args.spill:
+        study.spill(args.spill)
+    if args.checkpoint:
+        checkpoint_dir = args.checkpoint
+        if shard is not None:
+            # Each shard resumes independently: its chunk plan covers only
+            # its own slice of the job plane, so it needs its own directory.
+            checkpoint_dir = os.path.join(
+                checkpoint_dir, f"shard-{shard[0]}-of-{shard[1]}"
+            )
+        study.checkpoint(checkpoint_dir)
+    shard_writer = None
+    if shard is not None:
+        study.shard(shard)
+        if args.output:
+            from .api.sharding import ShardWriter
+
+            shard_writer = ShardWriter(
+                args.output, shard[0], shard[1], jobs_total=args.traces
+            )
+            study.on_records(shard_writer.append)
+    elif stream_rows:
+        study.on_records(_row_writer(args.format or "csv", sys.stdout))
 
     results = study.run()
 
+    if shard_writer is not None:
+        shard_writer.close()
+        print(
+            f"wrote shard {shard[0]}/{shard[1]} ({shard_writer.jobs_written} jobs, "
+            f"{len(results)} rows) to {args.output}; combine with 'repro merge'",
+            file=sys.stderr,
+        )
+        return 0
+    if stream_rows:
+        print(f"streamed {len(results)} rows to stdout", file=sys.stderr)
+        return 0
     if args.output:
         if args.output.endswith(".csv"):
             results.to_csv(args.output)
+        elif args.output.endswith(".jsonl"):
+            results.to_jsonl(args.output)
         else:
             results.to_json(args.output, indent=2)
+        print(f"wrote {len(results)} rows to {args.output}", file=sys.stderr)
+    print(render_sweep_summary(results))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# merge subcommand
+# --------------------------------------------------------------------- #
+def _merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro merge",
+        description="Combine shard files from 'repro sweep --shard i/N' into one "
+        "ResultSet, byte-identical to the unsharded sweep.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD",
+        help="shard files written by 'repro sweep --shard i/N --output FILE' "
+        "(all N shards of one sweep)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the merged ResultSet to PATH (.json, .csv or .jsonl), or "
+        "'-' to stream rows to stdout (default: print the summary only)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["csv", "jsonl"],
+        default=None,
+        help="row format for --output - (default: csv)",
+    )
+    return parser
+
+
+def _merge_main(argv: Sequence[str]) -> int:
+    parser = _merge_parser()
+    args = parser.parse_args(argv)
+    stream_rows = args.output == "-"
+    if args.output and not stream_rows and not args.output.endswith(
+        (".json", ".csv", ".jsonl")
+    ):
+        parser.error(
+            f"--output must end in .json, .csv or .jsonl (or be '-'), got {args.output!r}"
+        )
+    if args.format is not None and not stream_rows:
+        parser.error("--format only applies to --output -")
+    from .api.sharding import merge_shards, merge_shards_to_result
+
+    if stream_rows or (args.output and args.output.endswith((".csv", ".jsonl"))):
+        # Streaming write: one job in memory per shard, rows out as merged.
+        if stream_rows:
+            fmt, handle, close = args.format or "csv", sys.stdout, False
+        else:
+            fmt = "jsonl" if args.output.endswith(".jsonl") else "csv"
+            handle, close = open(args.output, "w", encoding="utf-8", newline=""), True
+        try:
+            write = _row_writer(fmt, handle)
+            jobs = rows = 0
+            for job_index, records in merge_shards(args.shards):
+                write(job_index, records)
+                jobs += 1
+                rows += len(records)
+        finally:
+            if close:
+                handle.close()
+        target = "stdout" if stream_rows else args.output
+        print(
+            f"merged {len(args.shards)} shards ({jobs} jobs, {rows} rows) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+    results = merge_shards_to_result(args.shards)
+    if args.output:
+        results.to_json(args.output, indent=2)
         print(f"wrote {len(results)} rows to {args.output}", file=sys.stderr)
     print(render_sweep_summary(results))
     return 0
@@ -392,6 +607,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if argv and argv[0] == "sweep":
             return _sweep_main(argv[1:])
+        if argv and argv[0] == "merge":
+            return _merge_main(argv[1:])
         if argv and argv[0] == "serve":
             return _serve_main(argv[1:])
         if argv and argv[0] == "solvers":

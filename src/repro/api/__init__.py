@@ -24,7 +24,15 @@ from .backends import (
     guard_progress,
     resolve_backend,
 )
-from .engine import SweepJob, run_solvers_on_instance, sweep_instances, sweep_traces
+from .checkpoint import SweepCheckpoint, chunk_key, job_key
+from .engine import (
+    DEFAULT_SPILL_THRESHOLD,
+    SPILL_THRESHOLD_ENV_VAR,
+    SweepJob,
+    run_solvers_on_instance,
+    sweep_instances,
+    sweep_traces,
+)
 from .registry import (
     PAPER_FIGURE_ORDER,
     NamedSpec,
@@ -44,13 +52,22 @@ from .registry import (
     warm_registry,
     wire_to_spec,
 )
-from .results import ResultSet, RunRecord
+from .results import ResultSet, RunRecord, SpilledResultSet
+from .sharding import (
+    ShardWriter,
+    merge_shards,
+    merge_shards_to_result,
+    parse_shard,
+    write_shard,
+)
 from .solve import SolveResult, solve
 from .study import DEFAULT_CAPACITY_FACTORS, Study
 
 __all__ = [
     "DEFAULT_CAPACITY_FACTORS",
+    "DEFAULT_SPILL_THRESHOLD",
     "PAPER_FIGURE_ORDER",
+    "SPILL_THRESHOLD_ENV_VAR",
     "ExecutionBackend",
     "NamedSpec",
     "ProcessBackend",
@@ -60,18 +77,26 @@ __all__ = [
     "Solver",
     "SolverInfo",
     "SolverRegistrationError",
+    "ShardWriter",
     "SolveResult",
+    "SpilledResultSet",
     "StopSweep",
     "Study",
+    "SweepCheckpoint",
     "SweepJob",
     "SweepJobError",
     "ThreadBackend",
     "UnknownSolverError",
     "available_solvers",
+    "chunk_key",
     "get_solver",
     "guard_progress",
+    "job_key",
+    "merge_shards",
+    "merge_shards_to_result",
     "named_spec",
     "paper_lineup",
+    "parse_shard",
     "register_solver",
     "resolve_backend",
     "resolve_solvers",
@@ -84,4 +109,5 @@ __all__ = [
     "unregister_solver",
     "warm_registry",
     "wire_to_spec",
+    "write_shard",
 ]

@@ -18,6 +18,16 @@ jobs are deterministic, so the merged :class:`~repro.api.results.ResultSet`
 is byte-identical across backends, worker counts and chunk sizes —
 differential-tested in ``tests/api/test_backends.py``.
 
+Besides the all-at-once :meth:`run`, the built-in backends implement
+:meth:`stream_chunks`: an incremental mode that pulls pre-chunked jobs from
+an iterator (possibly lazily *generated* — the sweep engine feeds it
+generator-backed trace jobs), keeps at most a bounded window of chunks in
+flight, and yields each chunk's results **in submission order** as soon as
+its predecessors have been yielded.  Peak memory is proportional to the
+in-flight window, not the sweep size; the merged output stays byte-identical
+to :meth:`run`.  ``stream_chunks`` is optional for third-party backends —
+the engine falls back to :meth:`run` when it is absent.
+
 Selection goes through :func:`resolve_backend`: an explicit backend (name or
 instance) wins, then the ``REPRO_BACKEND`` environment variable, then the
 historical default (threads when parallelism was requested, serial
@@ -39,7 +49,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from .results import RunRecord
 
@@ -189,11 +199,13 @@ def _checked_chunk_size(chunk_size: int | None) -> int | None:
     return chunk_size
 
 
-def _effective_workers(n_jobs: int | None, job_count: int) -> int:
+def _effective_workers(n_jobs: int | None, job_count: int | None) -> int:
     from .engine import default_jobs  # lazy: engine imports us
 
     if n_jobs is None or n_jobs in (0, -1):
         return default_jobs(job_count)
+    if job_count is None:  # lazy job planes: no count to cap against
+        return max(1, int(n_jobs))
     return max(1, min(int(n_jobs), max(job_count, 1)))
 
 
@@ -227,6 +239,83 @@ def _run_pool(
     return results  # type: ignore[return-value]  (every slot was filled)
 
 
+#: A chunk handed to ``stream_chunks``: an opaque tag plus the chunk's jobs.
+TaggedChunk = "tuple[object, list]"
+
+#: Chunk-completion callback for ``stream_chunks``: ``(tag, job_count)``,
+#: fired when a chunk *finishes* (possibly out of submission order).
+ChunkCallback = Callable[[object, int], None]
+
+
+def _stream_serial(
+    chunks: Iterable,
+    runner: Callable[[Sequence], list[list[RunRecord]]],
+    on_chunk: ChunkCallback | None,
+) -> Iterator:
+    """One chunk at a time in the calling thread — the streaming reference."""
+    for tag, chunk in chunks:
+        records = runner(chunk)
+        if on_chunk is not None:
+            on_chunk(tag, len(chunk))
+        yield tag, records
+
+
+def _stream_pool(
+    pool: Executor,
+    chunks: Iterable,
+    runner: Callable[[Sequence], list[list[RunRecord]]],
+    on_chunk: ChunkCallback | None,
+    max_pending: int,
+) -> Iterator:
+    """Pipeline chunks through ``pool`` with a bounded in-flight window.
+
+    At most ``max_pending`` chunks are submitted-but-not-yet-yielded at any
+    moment (running futures plus the reorder buffer holding out-of-order
+    completions), so a lazily generated job plane is materialised only
+    ``max_pending`` chunks at a time.  Results are yielded strictly in
+    submission order; the first failure cancels every not-yet-started chunk.
+    """
+    chunk_iter = iter(chunks)
+    futures: dict = {}  # future -> (sequence number, tag, job count)
+    buffer: dict = {}  # sequence number -> (tag, records)
+    submitted = 0
+    next_emit = 0
+    exhausted = False
+    try:
+        while True:
+            while not exhausted and len(futures) + len(buffer) < max_pending:
+                try:
+                    tag, chunk = next(chunk_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                futures[pool.submit(runner, chunk)] = (submitted, tag, len(chunk))
+                submitted += 1
+            if next_emit in buffer:
+                yield buffer.pop(next_emit)
+                next_emit += 1
+                continue
+            if futures:
+                finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in finished:
+                    sequence, tag, count = futures.pop(future)
+                    buffer[sequence] = (tag, future.result())
+                    if on_chunk is not None:
+                        on_chunk(tag, count)
+                continue
+            if exhausted:
+                # No futures left, nothing emittable buffered: all done
+                # (buffered sequences are contiguous once futures drain).
+                return
+    except BaseException:
+        # Covers job failures, StopSweep raised from on_chunk, and the
+        # consumer closing the generator early (GeneratorExit): drop every
+        # not-yet-started chunk so nothing keeps burning workers.
+        for future in futures:
+            future.cancel()
+        raise
+
+
 class SerialBackend:
     """Run jobs one after another in the calling thread (the reference)."""
 
@@ -240,6 +329,10 @@ class SerialBackend:
             if on_progress is not None:
                 on_progress(index + 1, len(jobs))
         return results
+
+    def stream_chunks(self, chunks, *, on_chunk=None, max_pending=None):
+        """Yield ``(tag, records)`` per chunk, pulling chunks lazily."""
+        return _stream_serial(chunks, _run_chunk, on_chunk)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialBackend()"
@@ -263,6 +356,17 @@ class ThreadBackend:
         with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
             per_chunk = _run_pool(pool, chunks, len(jobs), on_progress)
         return [records for chunk in per_chunk for records in chunk]
+
+    def stream_chunks(self, chunks, *, on_chunk=None, max_pending=None):
+        """Bounded-window streaming over the thread pool (ordered yields)."""
+        workers = _effective_workers(self.n_jobs, None)
+        if workers <= 1:
+            yield from _stream_serial(chunks, _run_chunk, on_chunk)
+            return
+        if max_pending is None:
+            max_pending = workers * _CHUNKS_PER_WORKER
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            yield from _stream_pool(pool, chunks, _run_chunk, on_chunk, max_pending)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadBackend(n_jobs={self.n_jobs!r})"
@@ -331,6 +435,49 @@ class ProcessBackend:
                 "the failure in-process"
             ) from error
         return [records for chunk in per_chunk for records in chunk]
+
+    def stream_chunks(self, chunks, *, on_chunk=None, max_pending=None):
+        """Bounded-window streaming over a process pool (ordered yields).
+
+        Each chunk is converted to wire form as it is pulled; the first
+        job seen gets the same trial pickle as :meth:`run`, so an
+        unpicklable payload fails with a clear TypeError instead of an
+        opaque pool teardown.
+        """
+        workers = _effective_workers(self.n_jobs, None)
+        if max_pending is None:
+            max_pending = workers * _CHUNKS_PER_WORKER
+
+        def wired(source):
+            checked = False
+            for tag, chunk in source:
+                wire_chunk = [job.to_wire() for job in chunk]
+                if not checked and wire_chunk:
+                    checked = True
+                    try:
+                        pickle.dumps(wire_chunk[0])
+                    except Exception as error:
+                        raise TypeError(
+                            f"sweep job {chunk[0].label!r} cannot be pickled for "
+                            f"the process backend ({error}); use picklable solver "
+                            "parameters and payloads, or backend='threads'"
+                        ) from error
+                yield tag, wire_chunk
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_process_worker_init
+            ) as pool:
+                yield from _stream_pool(
+                    pool, wired(chunks), _run_chunk_wrapped, on_chunk, max_pending
+                )
+        except BrokenProcessPool as error:
+            raise RuntimeError(
+                "the process-backend worker pool died unexpectedly (a worker was "
+                "killed — out-of-memory, a segfault in an extension, or an "
+                "interpreter crash); re-run with backend='serial' to reproduce "
+                "the failure in-process"
+            ) from error
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(n_jobs={self.n_jobs!r})"

@@ -1,0 +1,308 @@
+"""Durable sweep checkpoints: resume a killed sweep without re-running work.
+
+A :class:`SweepCheckpoint` is a directory recording every *merged chunk* of a
+sweep as it completes:
+
+* ``manifest.jsonl`` — one meta line (format version + the chunk size the
+  sweep was partitioned with) followed by one line per completed chunk:
+  its index in the chunk plan, a content hash of the chunk's jobs, the
+  per-job row counts and the name of the chunk's record file.  Each line is
+  flushed and fsynced before the sweep moves on, so a crash loses at most
+  the chunk that was in flight.
+* ``chunk-NNNNNN.jsonl`` — the chunk's records in the
+  :meth:`~repro.api.results.ResultSet.to_jsonl` spill format, written to a
+  temporary file and atomically renamed into place.
+
+On restart the engine recomputes each chunk's content key from the (fully
+deterministic) job plane; a chunk whose ``(index, key)`` pair matches a
+manifest entry is *loaded* instead of executed.  The key covers the whole
+job — payload tasks (exact float encodings), capacity factors, solver wire
+specs, machine model, arrival pattern and execution options — so any change
+to the sweep re-runs exactly the chunks it invalidates.
+
+Checkpoints compose with sharding (each shard keeps its own directory; the
+CLI nests ``shard-I-of-N/`` automatically) and with result spilling, and
+they require wire-encodable solver specs — the same constraint as the
+process backend, for the same reason: the work must be describable as plain
+data to be comparable across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from .registry import spec_to_wire
+from .results import RunRecord, decode_record_line, encode_record_line
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import SweepJob
+
+__all__ = ["SweepCheckpoint", "chunk_key", "job_key"]
+
+_MANIFEST = "manifest.jsonl"
+_FORMAT = "repro.SweepCheckpoint"
+_VERSION = 1
+
+
+def _hash_text(digest, text: str) -> None:
+    data = text.encode("utf-8")
+    digest.update(str(len(data)).encode("ascii"))
+    digest.update(b":")
+    digest.update(data)
+
+
+def _hash_float(digest, value: float) -> None:
+    _hash_text(digest, float(value).hex())
+
+
+def _stable_repr(value) -> str:
+    """Deterministic text form for option values (machines, arrivals...).
+
+    Dataclasses render as their (deterministic) field repr, mappings sort
+    their items, sequences render element-wise; floats use exact hex.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (bool, int, str)):
+        return repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ", ".join(
+            f"{f.name}={_stable_repr(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, Mapping):
+        items = ", ".join(f"{k!r}: {_stable_repr(v)}" for k, v in sorted(value.items()))
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_stable_repr(v) for v in value) + "]"
+    return repr(value)
+
+
+def job_key(job: "SweepJob") -> str:
+    """Content hash of one sweep job — stable across processes and hosts.
+
+    Covers the payload's every task (names and exact float fields), the
+    capacity plan, the solver specs in wire form, and all execution options
+    that change the produced records.  Raises ``TypeError`` for solver
+    specs that cannot be wire-encoded (live instances, closures): a
+    checkpointable sweep must be describable as plain data.
+    """
+    from ..traces.model import Trace  # lazy: engine imports us indirectly
+
+    digest = hashlib.sha256()
+    payload = job.payload
+    if isinstance(payload, Trace):
+        _hash_text(digest, "trace")
+        _hash_text(digest, payload.label)
+        digest.update(str(len(payload.tasks)).encode("ascii"))
+        for task in payload.tasks:
+            _hash_text(digest, task.name)
+            _hash_float(digest, task.volume_bytes)
+            _hash_float(digest, task.comm_seconds)
+            _hash_float(digest, task.comp_seconds)
+            _hash_float(digest, task.release_seconds)
+            _hash_text(digest, task.kind)
+    else:  # Instance
+        _hash_text(digest, "instance")
+        _hash_text(digest, payload.name)
+        _hash_float(digest, payload.capacity)
+        digest.update(str(len(payload.tasks)).encode("ascii"))
+        for task in payload.tasks:
+            _hash_text(digest, task.name)
+            _hash_float(digest, task.comm)
+            _hash_float(digest, task.comp)
+            _hash_float(digest, task.memory)
+            _hash_float(digest, task.release)
+            _hash_text(digest, task.tag)
+    factors = job.capacity_factors
+    _hash_text(digest, "-" if factors is None else ",".join(f.hex() for f in map(float, factors)))
+    wire_specs = [spec_to_wire(spec) if not isinstance(spec, dict) else spec for spec in job.solver_specs]
+    _hash_text(digest, json.dumps(wire_specs, sort_keys=True, default=repr))
+    for option in (
+        job.validate,
+        job.batch_size,
+        job.pipelined,
+        job.task_limit,
+        job.machine,
+        job.arrivals,
+        job.arrival_seed,
+        job.engine,
+    ):
+        _hash_text(digest, _stable_repr(option))
+    return digest.hexdigest()
+
+
+def chunk_key(jobs: Sequence["SweepJob"]) -> str:
+    """Content hash of one chunk: the ordered hashes of its jobs."""
+    digest = hashlib.sha256()
+    for job in jobs:
+        _hash_text(digest, job_key(job))
+    return digest.hexdigest()
+
+
+class SweepCheckpoint:
+    """Chunk-level completion log for one sweep, stored in a directory.
+
+    Open one (the directory is created if missing) and hand it — or just
+    the directory path — to ``sweep_traces``/``sweep_instances``/``Study``
+    via the ``checkpoint`` option.  The instance counts what happened in
+    this process: ``chunks_loaded`` (skipped because a previous run already
+    completed them) and ``chunks_recorded`` (executed and persisted now).
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.chunk_size: int | None = None
+        self.chunks_loaded = 0
+        self.chunks_recorded = 0
+        #: chunk index -> (key, record file name, rows per job)
+        self._entries: dict[int, tuple[str, str, list[int]]] = {}
+        self._manifest_path = os.path.join(self.directory, _MANIFEST)
+        self._load_manifest()
+        self._manifest = open(  # noqa: SIM115 - lifetime spans the sweep
+            self._manifest_path, "a", encoding="utf-8", newline="\n"
+        )
+
+    def _load_manifest(self) -> None:
+        if not os.path.exists(self._manifest_path):
+            return
+        with open(self._manifest_path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                entry = json.loads(line)
+                if entry.get("format") == _FORMAT:
+                    if entry.get("version") != _VERSION:
+                        raise ValueError(
+                            f"checkpoint {self.directory!r} was written by format "
+                            f"version {entry.get('version')!r}, this build reads "
+                            f"version {_VERSION}"
+                        )
+                    self.chunk_size = entry.get("chunk_size")
+                    continue
+                index = int(entry["chunk"])
+                # Later lines win: a re-run with a changed job plane
+                # overwrites the stale entry for the same index.
+                self._entries[index] = (
+                    str(entry["key"]),
+                    str(entry["file"]),
+                    [int(n) for n in entry["rows_per_job"]],
+                )
+
+    # ------------------------------------------------------------------ #
+    def resolve_chunk_size(self, requested: int | None, computed: int) -> int:
+        """Pin the chunk partition so resumed runs line up with recorded chunks.
+
+        The first run persists its chunk size in the manifest meta line;
+        resumed runs reuse it when the caller does not insist on one, and
+        an *explicit conflicting* request raises instead of silently
+        invalidating every recorded chunk.
+        """
+        if self.chunk_size is not None:
+            if requested is not None and requested != self.chunk_size:
+                raise ValueError(
+                    f"checkpoint {self.directory!r} was written with "
+                    f"chunk_size={self.chunk_size}, but this run requests "
+                    f"{requested}; matching chunks is impossible — pass "
+                    f"chunk_size={self.chunk_size} or start a fresh directory"
+                )
+            return self.chunk_size
+        size = requested if requested is not None else computed
+        self.chunk_size = size
+        self._append_line({"format": _FORMAT, "version": _VERSION, "chunk_size": size})
+        return size
+
+    def match(self, index: int, key: str) -> bool:
+        """True when chunk ``index`` with content ``key`` is already recorded."""
+        entry = self._entries.get(index)
+        return entry is not None and entry[0] == key
+
+    def load(self, index: int, key: str) -> list[list[RunRecord]]:
+        """Load a recorded chunk's records, split back per job."""
+        entry = self._entries.get(index)
+        if entry is None or entry[0] != key:
+            raise KeyError(f"chunk {index} with key {key[:12]}... is not recorded")
+        _, file_name, rows_per_job = entry
+        path = os.path.join(self.directory, file_name)
+        records: list[RunRecord] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    records.append(decode_record_line(line))
+        if len(records) != sum(rows_per_job):
+            raise ValueError(
+                f"checkpoint chunk file {path!r} holds {len(records)} rows, "
+                f"manifest expects {sum(rows_per_job)} — the checkpoint is "
+                "corrupt; delete the directory and re-run"
+            )
+        out: list[list[RunRecord]] = []
+        start = 0
+        for count in rows_per_job:
+            out.append(records[start : start + count])
+            start += count
+        self.chunks_loaded += 1
+        return out
+
+    def record(self, index: int, key: str, per_job_records: Sequence[Sequence[RunRecord]]) -> None:
+        """Durably persist one completed chunk (atomic file + synced manifest)."""
+        file_name = f"chunk-{index:06d}.jsonl"
+        path = os.path.join(self.directory, file_name)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8", newline="\n") as handle:
+            for records in per_job_records:
+                for record in records:
+                    handle.write(encode_record_line(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        self._append_line(
+            {
+                "chunk": index,
+                "key": key,
+                "file": file_name,
+                "rows_per_job": [len(records) for records in per_job_records],
+            }
+        )
+        self._entries[index] = (key, file_name, [len(r) for r in per_job_records])
+        self.chunks_recorded += 1
+
+    def _append_line(self, payload: dict) -> None:
+        self._manifest.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._manifest.flush()
+        os.fsync(self._manifest.fileno())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed_chunks(self) -> frozenset[int]:
+        return frozenset(self._entries)
+
+    def close(self) -> None:
+        if self._manifest is not None:
+            self._manifest.close()
+            self._manifest = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SweepCheckpoint({self.directory!r}, chunks={len(self._entries)}, "
+            f"chunk_size={self.chunk_size!r})"
+        )

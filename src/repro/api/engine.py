@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import math
 import os
+import tempfile
 import zlib
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..core.metrics import evaluate, evaluate_online
@@ -26,10 +27,17 @@ from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
 from ..simulator.columnar import resolve_engine
 from ..simulator.resources import MachineModel
-from ..traces.model import Trace, TraceEnsemble
-from .backends import ExecutionBackend, guard_progress, resolve_backend
-from .registry import Solver, resolve_solvers, spec_to_wire, wire_to_spec
-from .results import ResultSet, RunRecord
+from ..traces.model import Trace, TraceEnsemble, TraceStream
+from .backends import (
+    ExecutionBackend,
+    auto_chunk_size,
+    guard_progress,
+    resolve_backend,
+)
+from .checkpoint import SweepCheckpoint, chunk_key
+from .registry import Solver, resolve_solvers, solver_names, spec_to_wire, wire_to_spec
+from .results import ResultSet, RunRecord, SpilledResultSet
+from .sharding import parse_shard
 
 __all__ = [
     "run_solvers_on_instance",
@@ -37,6 +45,8 @@ __all__ = [
     "sweep_instances",
     "default_jobs",
     "SweepJob",
+    "SPILL_THRESHOLD_ENV_VAR",
+    "DEFAULT_SPILL_THRESHOLD",
 ]
 
 #: Application label used when an instance carries no name at all.
@@ -45,6 +55,23 @@ ADHOC_APPLICATION = "adhoc"
 #: Environment variable capping the default worker count (CI, containers,
 #: nested parallelism inside process-backend workers).
 NUM_JOBS_ENV_VAR = "REPRO_NUM_JOBS"
+
+#: Environment variable overriding the row count above which sweeps spill
+#: their results to disk automatically (``spill=None``).
+SPILL_THRESHOLD_ENV_VAR = "REPRO_SPILL_THRESHOLD"
+
+#: Default auto-spill threshold: sweeps whose estimated output exceeds this
+#: many rows stream their results into a temporary JSONL spill instead of
+#: accumulating everything in RAM.
+DEFAULT_SPILL_THRESHOLD = 100_000
+
+#: Chunk size used by the streaming path when the job plane is unsized
+#: (a raw generator) and the caller did not pass ``chunk_size``.
+_UNSIZED_CHUNK_SIZE = 8
+#: Largest auto-selected chunk in the streaming path: in-flight memory is
+#: O(workers * chunks-per-worker * chunk size), so the auto size must not
+#: scale with the plane.  Explicit ``chunk_size=`` still wins.
+_STREAM_MAX_CHUNK = 8
 
 
 def default_jobs(job_count: int | None = None) -> int:
@@ -352,16 +379,315 @@ class SweepJob:
         )
 
 
-def _flatten_traces(sources: Iterable) -> list[Trace]:
-    traces: list[Trace] = []
-    for source in sources:
-        if isinstance(source, Trace):
-            traces.append(source)
-        elif isinstance(source, TraceEnsemble):
-            traces.extend(source)
+def _iter_traces(sources: Iterable) -> "tuple[Iterator[Trace], int | None]":
+    """Lazily flatten trace sources, keeping the total count when it is known.
+
+    ``sources`` may mix :class:`Trace`, :class:`TraceEnsemble` and
+    :class:`TraceStream` items; when ``sources`` itself is a list/tuple the
+    total is computed up front (every item is sized) and item types are
+    validated eagerly, exactly like the historical list-materialising path.
+    A generator source stays unsized — the sweep then streams with spilling
+    engaged and reports progress against the jobs seen so far.
+    """
+
+    def check(source):
+        if not isinstance(source, (Trace, TraceEnsemble, TraceStream)):
+            raise TypeError(
+                "expected Trace, TraceEnsemble or TraceStream, "
+                f"got {type(source).__name__}"
+            )
+        return source
+
+    def flatten(items) -> Iterator[Trace]:
+        for source in items:
+            if isinstance(check(source), Trace):
+                yield source
+            else:
+                yield from source
+
+    if isinstance(sources, (list, tuple)):
+        total = sum(1 if isinstance(check(s), Trace) else len(s) for s in sources)
+        return flatten(sources), total
+    return flatten(sources), None
+
+
+def _spill_threshold() -> int:
+    raw = os.environ.get(SPILL_THRESHOLD_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_SPILL_THRESHOLD
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SPILL_THRESHOLD_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _estimate_rows(job_total: int | None, rows_per_job: int) -> int | None:
+    """Upper-ish bound on the sweep's output rows, for the auto-spill gate."""
+    if job_total is None:
+        return None
+    return job_total * max(rows_per_job, 1)
+
+
+def _rows_per_trace_job(capacity_factors: Sequence[float], solver_specs: Sequence) -> int:
+    specs = len(solver_specs) if solver_specs else len(solver_names())
+    return max(len(capacity_factors), 1) * max(specs, 1)
+
+
+def _resolve_spill_target(spill, estimated_rows: int | None) -> ResultSet:
+    """Pick the sweep's result container: in-memory, or a JSONL spill.
+
+    ``spill=None`` auto-engages above the row threshold (or when the job
+    plane is unsized); ``False`` forces in-memory, ``True`` a temporary
+    spill file, a path an explicit spill, and an already-open
+    :class:`SpilledResultSet` is appended to as-is.
+    """
+    if spill is False:
+        return ResultSet()
+    if spill is None:
+        if estimated_rows is not None and estimated_rows <= _spill_threshold():
+            return ResultSet()
+        spill = True
+    if spill is True:
+        fd, path = tempfile.mkstemp(prefix="repro-sweep-", suffix=".jsonl")
+        os.close(fd)
+        return SpilledResultSet(path, temporary=True)
+    if isinstance(spill, SpilledResultSet):
+        return spill
+    if isinstance(spill, (str, os.PathLike)):
+        return ResultSet.open_spill(spill)
+    raise TypeError(
+        f"spill must be None, a bool, a path or a SpilledResultSet, "
+        f"got {type(spill).__name__}"
+    )
+
+
+def _resolve_shard(shard) -> "tuple[int, int] | None":
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        return parse_shard(shard)
+    index, count = shard
+    return parse_shard(f"{int(index)}/{int(count)}")
+
+
+def _run_sweep(
+    job_iter: Iterator[SweepJob],
+    job_total: int | None,
+    *,
+    backend,
+    n_jobs: int | None,
+    chunk_size: int | None,
+    on_progress,
+    spill,
+    rows_per_job: int,
+    checkpoint,
+    shard,
+    on_records,
+) -> ResultSet:
+    """Execute a (possibly lazy) job plane and merge its records in order.
+
+    The plain path — no spill, no checkpoint, no shard, sized plane — is
+    the historical ``executor.run`` + ``ResultSet.concat``, byte for byte.
+    Everything else goes through the streaming orchestrator: jobs are
+    chunked lazily, at most a bounded window is in flight, each chunk's
+    records are merged (and spilled / recorded / forwarded) strictly in
+    submission order, so the output stays byte-identical to the plain path
+    whatever the backend, chunking, sharding or resume history.
+    """
+    executor = resolve_backend(backend, n_jobs=n_jobs)
+    shard_spec = _resolve_shard(shard)
+    progress = guard_progress(on_progress)
+
+    own_checkpoint = False
+    if isinstance(checkpoint, (str, os.PathLike)):
+        checkpoint = SweepCheckpoint(checkpoint)
+        own_checkpoint = True
+
+    result = _resolve_spill_target(
+        spill, _estimate_rows(job_total, rows_per_job) if job_total is not None else None
+    )
+    streaming = (
+        job_total is None
+        or checkpoint is not None
+        or shard_spec is not None
+        or on_records is not None
+        or isinstance(result, SpilledResultSet)
+    )
+    if not streaming:
+        jobs = list(job_iter)
+        return ResultSet.concat(
+            executor.run(jobs, chunk_size=chunk_size, on_progress=progress)
+        )
+
+    if shard_spec is None:
+        local_total = job_total
+    else:
+        index, count = shard_spec
+        local_total = (
+            None if job_total is None else (job_total - index + count - 1) // count
+        )
+
+    try:
+        _stream_sweep(
+            executor,
+            job_iter,
+            local_total,
+            chunk_size=chunk_size,
+            progress=progress,
+            result=result,
+            checkpoint=checkpoint,
+            shard_spec=shard_spec,
+            on_records=on_records,
+        )
+    finally:
+        if own_checkpoint:
+            checkpoint.close()
+    if isinstance(result, SpilledResultSet):
+        result.flush()
+    return result
+
+
+def _stream_sweep(
+    executor,
+    job_iter: Iterator[SweepJob],
+    local_total: int | None,
+    *,
+    chunk_size: int | None,
+    progress,
+    result: ResultSet,
+    checkpoint: "SweepCheckpoint | None",
+    shard_spec: "tuple[int, int] | None",
+    on_records,
+) -> None:
+    """The streaming orchestrator: chunk lazily, execute, merge in order."""
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size!r}")
+    if getattr(executor, "name", "") == "serial":
+        workers = 1
+    else:
+        from .backends import _effective_workers
+
+        workers = _effective_workers(getattr(executor, "n_jobs", None), local_total)
+    if chunk_size is not None:
+        computed = chunk_size
+    elif local_total is not None:
+        # The legacy auto size grows with the plane (total / workers / 4),
+        # which is fine when every job is in memory anyway but would defeat
+        # streaming: in-flight memory must stay bounded no matter how large
+        # the sweep is.  Cap uncapped auto sizes at the unsized default.
+        computed = min(auto_chunk_size(local_total, workers), _STREAM_MAX_CHUNK)
+    else:
+        computed = _UNSIZED_CHUNK_SIZE
+    size = (
+        checkpoint.resolve_chunk_size(chunk_size, computed)
+        if checkpoint is not None
+        else computed
+    )
+
+    done = 0
+
+    def report(count: int) -> None:
+        nonlocal done
+        done += count
+        if progress is not None:
+            progress(done, local_total if local_total is not None else done)
+
+    def indexed() -> Iterator[tuple[int, SweepJob]]:
+        for gidx, job in enumerate(job_iter):
+            if shard_spec is None or gidx % shard_spec[1] == shard_spec[0]:
+                yield gidx, job
+
+    def chunked() -> Iterator[tuple[int, list[tuple[int, SweepJob]]]]:
+        batch: list[tuple[int, SweepJob]] = []
+        index = 0
+        for pair in indexed():
+            batch.append(pair)
+            if len(batch) == size:
+                yield index, batch
+                batch = []
+                index += 1
+        if batch:
+            yield index, batch
+
+    #: chunk index -> (global job indices, checkpoint key) — records loaded
+    #: lazily at emission time, so a fully cached resume stays bounded too.
+    cached: dict[int, tuple[list[int], str]] = {}
+    #: chunk index -> (global job indices, checkpoint key or None)
+    live: dict[int, tuple[list[int], "str | None"]] = {}
+
+    def runnable() -> Iterator[tuple[int, list[SweepJob]]]:
+        for index, batch in chunked():
+            gidxs = [gidx for gidx, _ in batch]
+            jobs_only = [job for _, job in batch]
+            if checkpoint is not None:
+                key = chunk_key(jobs_only)
+                if checkpoint.match(index, key):
+                    cached[index] = (gidxs, key)
+                    report(len(batch))
+                    continue
+                live[index] = (gidxs, key)
+            else:
+                live[index] = (gidxs, None)
+            yield index, jobs_only
+
+    def emit(gidxs: Sequence[int], per_job: Sequence[Sequence[RunRecord]]) -> None:
+        for gidx, records in zip(gidxs, per_job):
+            for record in records:
+                result.append(record)
+            if on_records is not None:
+                on_records(gidx, records)
+        if isinstance(result, SpilledResultSet):
+            result.flush()
+
+    next_emit = 0
+
+    def drain_cached() -> None:
+        nonlocal next_emit
+        while next_emit in cached:
+            gidxs, key = cached.pop(next_emit)
+            emit(gidxs, checkpoint.load(next_emit, key))
+            next_emit += 1
+
+    stream = getattr(executor, "stream_chunks", None)
+    if stream is not None:
+        for tag, per_job in stream(
+            runnable(), on_chunk=lambda _tag, count: report(count)
+        ):
+            drain_cached()
+            # Backends yield strictly in submission order, and every chunk
+            # before this one was either yielded (live) or registered as
+            # cached when the backend pulled past it — so after the drain,
+            # ``tag`` is exactly the next chunk to merge.
+            gidxs, key = live.pop(tag)
+            emit(gidxs, per_job)
+            if checkpoint is not None:
+                checkpoint.record(tag, key, per_job)
+            next_emit += 1
+        drain_cached()
+        return
+
+    # Fallback for third-party backends without ``stream_chunks`` (e.g. a
+    # persistent serving pool): chunks run one after another through the
+    # backend's plain ``run``.  Checkpoints, shards and callbacks keep their
+    # exact semantics; only the cross-chunk pipelining is lost.
+    for index, batch in chunked():
+        gidxs = [gidx for gidx, _ in batch]
+        jobs_only = [job for _, job in batch]
+        if checkpoint is not None:
+            key = chunk_key(jobs_only)
+            if checkpoint.match(index, key):
+                emit(gidxs, checkpoint.load(index, key))
+                report(len(batch))
+                continue
         else:
-            raise TypeError(f"expected Trace or TraceEnsemble, got {type(source).__name__}")
-    return traces
+            key = None
+        per_job = executor.run(jobs_only, chunk_size=size)
+        emit(gidxs, per_job)
+        if checkpoint is not None:
+            checkpoint.record(index, key, per_job)
+        report(len(batch))
 
 
 def sweep_traces(
@@ -381,6 +707,10 @@ def sweep_traces(
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
     engine: str | None = None,
+    spill: "bool | str | os.PathLike | SpilledResultSet | None" = None,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+    shard: "str | tuple[int, int] | None" = None,
+    on_records: "Callable[[int, list[RunRecord]], None] | None" = None,
 ) -> ResultSet:
     """Capacity sweep of every solver over every trace of ``sources``.
 
@@ -393,8 +723,21 @@ def sweep_traces(
     to a serial run whatever the backend, worker count or chunking.
     ``on_progress(completed, total)`` is called from the submitting thread
     as jobs complete.
+
+    Large sweeps stream: ``sources`` may include lazy
+    :class:`~repro.traces.TraceStream` items (or itself be a generator), at
+    most a bounded window of jobs is materialised at a time, and results
+    **spill** to an append-only JSONL file — automatically above
+    ``REPRO_SPILL_THRESHOLD`` estimated rows (default 100 000), forced or
+    disabled via ``spill``.  ``checkpoint`` (a directory or open
+    :class:`~repro.api.SweepCheckpoint`) records every merged chunk durably
+    so a killed sweep resumes without re-running completed work; ``shard``
+    (``"i/N"``) runs one deterministic slice of the job plane, and
+    ``on_records(job_index, records)`` observes each job's rows as chunks
+    merge, in global job order.  Whatever the combination, the merged
+    output stays byte-identical to the plain in-memory sweep.
     """
-    traces = _flatten_traces(sources)
+    trace_iter, job_total = _iter_traces(sources)
     if machine is not None and machine.capacity is not None:
         raise ValueError(
             "machine.capacity would override every swept capacity; "
@@ -411,7 +754,7 @@ def sweep_traces(
         if not (factor > 0 or math.isnan(factor)):
             raise ValueError(f"capacity factors must be positive, got {factor!r}")
 
-    jobs = [
+    jobs = (
         SweepJob(
             payload=trace,
             solver_specs=tuple(solver_specs),
@@ -425,11 +768,20 @@ def sweep_traces(
             arrival_seed=arrival_seed,
             engine=engine,
         )
-        for trace in traces
-    ]
-    executor = resolve_backend(backend, n_jobs=n_jobs)
-    return ResultSet.concat(
-        executor.run(jobs, chunk_size=chunk_size, on_progress=guard_progress(on_progress))
+        for trace in trace_iter
+    )
+    return _run_sweep(
+        jobs,
+        job_total,
+        backend=backend,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        on_progress=on_progress,
+        spill=spill,
+        rows_per_job=_rows_per_trace_job(capacity_factors, solver_specs),
+        checkpoint=checkpoint,
+        shard=shard,
+        on_records=on_records,
     )
 
 
@@ -448,13 +800,24 @@ def sweep_instances(
     arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None,
     arrival_seed: int = 0,
     engine: str | None = None,
+    spill: "bool | str | os.PathLike | SpilledResultSet | None" = None,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+    shard: "str | tuple[int, int] | None" = None,
+    on_records: "Callable[[int, list[RunRecord]], None] | None" = None,
 ) -> ResultSet:
     """Run the solvers on raw instances at their own capacity (no factor sweep).
 
-    Parallelism, backend selection, chunking and progress reporting behave
-    exactly as in :func:`sweep_traces`.
+    Parallelism, backend selection, chunking, progress reporting and the
+    streaming options (``spill``/``checkpoint``/``shard``/``on_records``,
+    lazy ``instances`` generators) behave exactly as in
+    :func:`sweep_traces`.
     """
-    instances = list(instances)
+    if isinstance(instances, (list, tuple)):
+        job_total = len(instances)
+        instance_iter: Iterator[Instance] = iter(instances)
+    else:
+        job_total = None
+        instance_iter = iter(instances)
     if arrivals is not None and batch_size is not None:
         raise ValueError(
             "arrivals and batched execution cannot be combined: streaming "
@@ -463,7 +826,7 @@ def sweep_instances(
     if pipelined and batch_size is None:
         raise ValueError("pipelined=True requires a batch_size")
 
-    jobs = [
+    jobs = (
         SweepJob(
             payload=instance,
             solver_specs=tuple(solver_specs),
@@ -476,9 +839,19 @@ def sweep_instances(
             arrival_seed=arrival_seed,
             engine=engine,
         )
-        for instance in instances
-    ]
-    executor = resolve_backend(backend, n_jobs=n_jobs)
-    return ResultSet.concat(
-        executor.run(jobs, chunk_size=chunk_size, on_progress=guard_progress(on_progress))
+        for instance in instance_iter
+    )
+    specs = len(solver_specs) if solver_specs else len(solver_names())
+    return _run_sweep(
+        jobs,
+        job_total,
+        backend=backend,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        on_progress=on_progress,
+        spill=spill,
+        rows_per_job=max(specs, 1),
+        checkpoint=checkpoint,
+        shard=shard,
+        on_records=on_records,
     )

@@ -6,6 +6,13 @@ filtering and serialisation operate on whole columns, appending stays O(1)
 per field, and the JSON/CSV exports are direct column dumps.  Row views are
 still available — iterating a ``ResultSet`` yields :class:`RunRecord`
 objects, so row-oriented callers keep working unchanged.
+
+For sweeps too large to hold in RAM there is an append-only JSONL *spill*
+format (one row object per line, floats encoded exactly):
+:meth:`ResultSet.open_spill` returns a :class:`SpilledResultSet` that writes
+every appended row straight to disk and keeps only a bounded in-memory tail;
+:meth:`ResultSet.from_jsonl` loads a spill back, byte-identical to the
+in-memory results it mirrors.
 """
 
 from __future__ import annotations
@@ -15,10 +22,11 @@ import io
 import json
 import math
 import os
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-__all__ = ["RunRecord", "ResultSet"]
+__all__ = ["RunRecord", "ResultSet", "SpilledResultSet"]
 
 
 @dataclass(frozen=True)
@@ -156,9 +164,18 @@ class ResultSet:
 
     __slots__ = ("_columns",)
 
+    #: Whether ``_columns`` holds *every* row.  :class:`SpilledResultSet`
+    #: keeps only a bounded tail in memory and sets this to False, which
+    #: routes column-level fast paths through row streaming instead.
+    _complete = True
+
     def __init__(self, records: Iterable[RunRecord] = ()) -> None:
         self._columns: dict[str, list] = {name: [] for name in COLUMNS}
         self.extend(records)
+
+    def _materialized(self) -> "ResultSet":
+        """Self, with every row present in the in-memory column store."""
+        return self
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -215,10 +232,12 @@ class ResultSet:
             self._columns[name].append(getattr(record, name))
 
     def extend(self, records: "ResultSet | Iterable[RunRecord]") -> None:
-        if isinstance(records, ResultSet):
+        if isinstance(records, ResultSet) and records._complete:
             for name in COLUMNS:
                 self._columns[name].extend(records._columns[name])
             return
+        # Row-at-a-time fallback: also streams SpilledResultSets from disk
+        # without materialising their full column store.
         for record in records:
             self.append(record)
 
@@ -249,10 +268,11 @@ class ResultSet:
             return NotImplemented
         if len(self) != len(other):
             return False
+        left, right = self._materialized(), other._materialized()
         return all(
             _values_equal(a, b)
             for name in COLUMNS
-            for a, b in zip(self._columns[name], other._columns[name])
+            for a, b in zip(left._columns[name], right._columns[name])
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -440,6 +460,96 @@ class ResultSet:
                     columns[name].append(cell)
         return cls.from_columns(columns)
 
+    # ------------------------------------------------------------------ #
+    # JSONL spill format
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: str | os.PathLike | None = None) -> str:
+        """Serialise as JSONL — one row object per line, floats exact.
+
+        This is the *spill* format: append-only, streamable, and
+        byte-identical to the in-memory results after a round-trip through
+        :meth:`from_jsonl` (non-finite floats are encoded as strings, like
+        :meth:`to_json`).
+        """
+        lines = [encode_record_line(self[index]) for index in range(len(self))]
+        text = "".join(lines)
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="\n") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source: str | os.PathLike) -> "ResultSet":
+        """Load a JSONL spill (string or path) back into memory."""
+        result = cls()
+        for record in cls.iter_jsonl(source):
+            result.append(record)
+        return result
+
+    @classmethod
+    def iter_jsonl(cls, source: str | os.PathLike) -> Iterator[RunRecord]:
+        """Stream the rows of a JSONL spill without materialising them all."""
+        if isinstance(source, os.PathLike) or (
+            isinstance(source, str) and "\n" not in source and not source.lstrip().startswith("{")
+        ):
+            with open(source, encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        yield decode_record_line(line)
+            return
+        for line in io.StringIO(str(source)):
+            if line.strip():
+                yield decode_record_line(line)
+
+    @classmethod
+    def open_spill(
+        cls,
+        path: str | os.PathLike,
+        *,
+        window: int = 2048,
+        resume: bool = False,
+    ) -> "SpilledResultSet":
+        """Open an append-only JSONL spill with a bounded in-memory window.
+
+        Every appended row is written straight to ``path``; only the most
+        recent ``window`` rows stay in RAM.  ``resume=True`` reopens an
+        existing spill and appends after its last row.  The returned
+        :class:`SpilledResultSet` supports the full ResultSet API —
+        iteration and ``column()`` stream from disk, relational operations
+        materialise transiently.
+        """
+        return SpilledResultSet(path, window=window, resume=resume)
+
+
+def encode_record_line(record: RunRecord) -> str:
+    """One spill line: a compact JSON object in column order, trailing newline."""
+    payload = {
+        name: _encode_float(getattr(record, name)) if name in _FLOAT_COLUMNS else getattr(record, name)
+        for name in COLUMNS
+    }
+    return json.dumps(payload, separators=(",", ":")) + "\n"
+
+
+def decode_record_line(line: str) -> RunRecord:
+    """Parse one spill line back into a :class:`RunRecord`.
+
+    Columns absent from older spills load with their defaults, mirroring
+    :meth:`ResultSet.from_columns`.
+    """
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError(f"not a ResultSet spill line: {line!r}")
+    values: dict[str, object] = {}
+    for name in COLUMNS:
+        if name in payload:
+            cell = payload[name]
+            values[name] = _decode_float(cell) if name in _FLOAT_COLUMNS else cell
+        elif name in _OPTIONAL_DEFAULTS:
+            values[name] = _OPTIONAL_DEFAULTS[name]
+        else:
+            raise ValueError(f"spill line missing required column {name!r}: {line!r}")
+    return RunRecord(**values)  # type: ignore[arg-type]
+
 
 def _encode_float(value: float):
     if isinstance(value, float) and not math.isfinite(value):
@@ -463,3 +573,197 @@ def _read_source(source: str | os.PathLike) -> str:
         with open(text, encoding="utf-8") as handle:
             return handle.read()
     return text
+
+
+class SpilledResultSet(ResultSet):
+    """A ResultSet whose rows live in an append-only JSONL spill file.
+
+    Appends write straight to disk; only the most recent ``window`` rows
+    stay in the in-memory column store, so a sweep producing millions of
+    rows holds a bounded working set.  ``len``/``[]``/iteration and
+    :meth:`column` stream from the file; relational operations
+    (``filter``/``group_by``/``aggregate``), the JSON/CSV exports and
+    equality materialise the rows transiently via :meth:`result_set`.
+
+    Built by :meth:`ResultSet.open_spill`; load one back (possibly on
+    another host) with :meth:`ResultSet.from_jsonl`.
+    """
+
+    __slots__ = ("_path", "_handle", "_window", "_count", "_offsets", "_tell", "_temporary")
+
+    _complete = False
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        window: int = 2048,
+        resume: bool = False,
+        temporary: bool = False,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window!r}")
+        super().__init__()
+        self._path = os.fspath(path)
+        self._window = int(window)
+        self._count = 0
+        self._offsets = array("q")  # byte offset of each row line (O(1) seeks)
+        self._tell = 0
+        self._temporary = bool(temporary)
+        if resume and os.path.exists(self._path):
+            with open(self._path, encoding="utf-8") as handle:
+                offset = 0
+                for line in handle:
+                    if line.strip():
+                        self._offsets.append(offset)
+                        self._count += 1
+                    offset += len(line.encode("utf-8"))
+                self._tell = offset
+        self._handle = open(  # noqa: SIM115 - lifetime spans the object
+            self._path, "a" if resume else "w", encoding="utf-8", newline="\n"
+        )
+        if not resume:
+            self._tell = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        """The spill file backing this result set."""
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def append(self, record: RunRecord) -> None:
+        if self._handle is None:
+            raise ValueError(f"spill {self._path!r} is closed")
+        line = encode_record_line(record)
+        self._handle.write(line)
+        self._offsets.append(self._tell)
+        self._tell += len(line.encode("utf-8"))
+        self._count += 1
+        for name in COLUMNS:
+            self._columns[name].append(getattr(record, name))
+        # Trim the window in blocks: del of a slice is O(window), so doing
+        # it every ``window`` appends keeps the amortised cost O(1)/row.
+        tail = self._columns["heuristic"]
+        if len(tail) >= 2 * self._window:
+            drop = len(tail) - self._window
+            for name in COLUMNS:
+                del self._columns[name][:drop]
+
+    def extend(self, records: "ResultSet | Iterable[RunRecord]") -> None:
+        for record in records:
+            self.append(record)
+
+    def flush(self) -> None:
+        """Push buffered rows to the OS (one call per merged sweep chunk)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the spill; the file stays on disk for loading."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SpilledResultSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+            if self._temporary and os.path.exists(self._path):
+                os.unlink(self._path)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Reading (streams from disk)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> RunRecord:
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        in_window = self._count - len(self._columns["heuristic"])
+        if index >= in_window:
+            offset = index - in_window
+            return RunRecord(**{name: self._columns[name][offset] for name in COLUMNS})
+        self.flush()
+        with open(self._path, encoding="utf-8") as handle:
+            handle.seek(self._offsets[index])
+            return decode_record_line(handle.readline())
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        self.flush()
+        with open(self._path, encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    yield decode_record_line(line)
+
+    def column(self, name: str) -> tuple:
+        if name not in COLUMNS:
+            raise KeyError(f"unknown column {name!r}; columns: {COLUMNS}")
+        return tuple(getattr(record, name) for record in self)
+
+    def result_set(self) -> ResultSet:
+        """The full rows as a plain in-memory :class:`ResultSet`."""
+        self.flush()
+        return ResultSet.from_jsonl(self._path)
+
+    def _materialized(self) -> ResultSet:
+        return self.result_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpilledResultSet({self._count} rows, path={self._path!r})"
+
+    # Relational operations and whole-set exports materialise transiently:
+    # the spill bounds memory while *producing* rows; analysing them loads
+    # the file once (stream with __iter__/iter_jsonl to avoid even that).
+    def filter(self, predicate=None, **equalities):
+        return self.result_set().filter(predicate, **equalities)
+
+    def group_by(self, *keys):
+        return self.result_set().group_by(*keys)
+
+    def aggregate(self, column="ratio_to_optimal", **kwargs):
+        return self.result_set().aggregate(column, **kwargs)
+
+    def to_columns(self):
+        return self.result_set().to_columns()
+
+    def to_records(self):
+        return list(self)
+
+    def to_json(self, path=None, *, indent=None):
+        return self.result_set().to_json(path, indent=indent)
+
+    def to_csv(self, path=None):
+        return self.result_set().to_csv(path)
+
+    def to_jsonl(self, path=None):
+        self.flush()
+        with open(self._path, encoding="utf-8") as handle:
+            text = handle.read()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="\n") as handle:
+                handle.write(text)
+        return text
+
+    def __add__(self, other: ResultSet) -> ResultSet:
+        result = ResultSet()
+        result.extend(self)
+        result.extend(other)
+        return result

@@ -1,0 +1,294 @@
+"""Multi-host sharding: partition a sweep's job plane, merge the outputs.
+
+A *shard spec* ``(index, count)`` selects every job whose global index is
+congruent to ``index`` modulo ``count`` — a deterministic round-robin
+partition, so ``count`` independent hosts (or CI matrix entries) can each
+run ``repro sweep --shard i/N`` over the *same* declared sweep and never
+duplicate or miss a job, even when the job plane is lazily generated.
+
+Each shard writes a **shard file**: a JSONL stream whose first line is a
+header object and whose remaining lines carry one *job* each — the job's
+global index plus its result rows in the exact
+:meth:`~repro.api.results.ResultSet` spill encoding.  ``repro merge`` (or
+:func:`merge_shards`) k-way-merges any number of shard files back into
+global job order, validating that the shards belong together and cover the
+job plane exactly once; the merged output is **byte-identical** to the
+unsharded sweep's, which is differential-tested and smoke-checked in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable, Iterator, Sequence
+
+from .results import ResultSet, RunRecord, decode_record_line, encode_record_line
+
+__all__ = [
+    "ShardWriter",
+    "parse_shard",
+    "shard_header",
+    "write_shard",
+    "read_shard",
+    "merge_shards",
+    "merge_shards_to_result",
+]
+
+SHARD_FORMAT = "repro.SweepShard"
+SHARD_VERSION = 1
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse an ``"i/N"`` shard spec into ``(index, count)``, validated."""
+    try:
+        index_text, _, count_text = text.partition("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"bad shard spec {text!r}: expected 'i/N' with integers, e.g. '0/4'"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"bad shard spec {text!r}: need 0 <= i < N (got index {index} of {count})"
+        )
+    return index, count
+
+
+def shard_header(index: int, count: int, jobs_total: int | None) -> str:
+    """The shard file's first line (format marker + partition coordinates)."""
+    payload = {
+        "format": SHARD_FORMAT,
+        "version": SHARD_VERSION,
+        "shard": index,
+        "of": count,
+        "jobs": jobs_total,
+    }
+    return json.dumps(payload, separators=(",", ":")) + "\n"
+
+
+class ShardWriter:
+    """Incremental writer for one shard file.
+
+    ``append(job_index, records)`` must be called in ascending global job
+    order — exactly what the streaming sweep's ``on_records`` callback
+    delivers.  Every line is flushed as it is written, so the tail of the
+    file is valid while the sweep is still running.
+    """
+
+    def __init__(
+        self,
+        target: str | os.PathLike | IO[str],
+        index: int,
+        count: int,
+        *,
+        jobs_total: int | None = None,
+    ) -> None:
+        self.index = int(index)
+        self.count = int(count)
+        self.jobs_written = 0
+        if isinstance(target, (str, os.PathLike)):
+            self._handle: IO[str] = open(
+                os.fspath(target), "w", encoding="utf-8", newline="\n"
+            )
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._handle.write(shard_header(self.index, self.count, jobs_total))
+        self._handle.flush()
+
+    def append(self, job_index: int, records: Sequence[RunRecord]) -> None:
+        if job_index % self.count != self.index:
+            raise ValueError(
+                f"job {job_index} does not belong to shard {self.index}/{self.count}"
+            )
+        rows = [encode_record_line(record).rstrip("\n") for record in records]
+        line = json.dumps({"job": job_index, "rows": "@"}, separators=(",", ":"))
+        # Rows are embedded pre-encoded so the row bytes are identical to
+        # the spill/merge encodings (no double float round-trip).
+        line = line.replace('"@"', "[" + ",".join(rows) + "]", 1)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self.jobs_written += 1
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_shard(
+    target: str | os.PathLike | IO[str],
+    index: int,
+    count: int,
+    job_records: Iterable[tuple[int, Sequence[RunRecord]]],
+    *,
+    jobs_total: int | None = None,
+) -> int:
+    """Write one shard's results to ``target`` (path or open text handle).
+
+    ``job_records`` yields ``(global job index, records)`` pairs in
+    ascending index order.  Returns the number of jobs written.
+    """
+    with ShardWriter(target, index, count, jobs_total=jobs_total) as writer:
+        for job_index, records in job_records:
+            writer.append(job_index, records)
+        return writer.jobs_written
+
+
+class _ShardRows:
+    """Lazy ``(job index, records)`` iterator over one open shard file.
+
+    Closes the underlying handle when exhausted; ``close()`` releases it
+    early (validation failures in :func:`merge_shards` must not leak open
+    files).
+    """
+
+    def __init__(self, handle: IO[str]) -> None:
+        self._handle = handle
+        self._closed = False
+
+    def __iter__(self) -> "_ShardRows":
+        return self
+
+    def __next__(self) -> tuple[int, list[RunRecord]]:
+        if self._closed:
+            raise StopIteration
+        for line in self._handle:
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            records = [
+                decode_record_line(json.dumps(row, separators=(",", ":")))
+                for row in entry["rows"]
+            ]
+            return int(entry["job"]), records
+        self.close()
+        raise StopIteration
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+
+def read_shard(path: str | os.PathLike) -> tuple[dict, Iterator[tuple[int, list[RunRecord]]]]:
+    """Open a shard file: returns its header and a lazy (job, rows) iterator."""
+    handle = open(os.fspath(path), encoding="utf-8")  # noqa: SIM115 - streamed
+    header_line = handle.readline()
+    try:
+        header = json.loads(header_line) if header_line.strip() else {}
+    except json.JSONDecodeError:
+        header = {}
+    if not isinstance(header, dict) or header.get("format") != SHARD_FORMAT:
+        handle.close()
+        raise ValueError(
+            f"{os.fspath(path)!r} is not a sweep shard file (write one with "
+            "'repro sweep --shard i/N --output FILE')"
+        )
+    if header.get("version") != SHARD_VERSION:
+        handle.close()
+        raise ValueError(
+            f"shard file {os.fspath(path)!r} has format version "
+            f"{header.get('version')!r}; this build reads version {SHARD_VERSION}"
+        )
+    return header, _ShardRows(handle)
+
+
+def merge_shards(paths: Sequence[str | os.PathLike]) -> Iterator[tuple[int, list[RunRecord]]]:
+    """K-way merge shard files back into global job order (streaming).
+
+    Validates that the shards form one complete partition: same shard
+    count, no duplicate or foreign shard indices, every job index present
+    exactly once with none missing.  Yields ``(job index, records)`` in
+    ascending job order, reading each file incrementally — merging a
+    terabyte of shards holds one job per shard in memory.
+    """
+    if not paths:
+        raise ValueError("merge needs at least one shard file")
+    headers = []
+    streams = []
+    try:
+        for path in paths:
+            header, stream = read_shard(path)
+            headers.append((os.fspath(path), header))
+            streams.append(stream)
+        yield from _merge_validated(headers, streams)
+    finally:
+        for stream in streams:
+            stream.close()
+
+
+def _merge_validated(headers, streams) -> Iterator[tuple[int, list[RunRecord]]]:
+    counts = {header["of"] for _, header in headers}
+    if len(counts) != 1:
+        raise ValueError(
+            "shard files disagree on the shard count: "
+            + ", ".join(f"{p}: {h['shard']}/{h['of']}" for p, h in headers)
+        )
+    count = counts.pop()
+    indices = [header["shard"] for _, header in headers]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard files passed to merge: indices {sorted(indices)}")
+    missing = set(range(count)) - set(indices)
+    if missing:
+        raise ValueError(
+            f"incomplete merge: shard(s) {sorted(missing)} of {count} are missing "
+            f"(got {sorted(indices)})"
+        )
+    totals = {header.get("jobs") for _, header in headers if header.get("jobs") is not None}
+    if len(totals) > 1:
+        raise ValueError(f"shard files disagree on the sweep's job count: {sorted(totals)}")
+    expected_total = totals.pop() if totals else None
+
+    by_shard: dict[int, Iterator] = {header["shard"]: stream for (_, header), stream in zip(headers, streams)}
+    heads: dict[int, tuple[int, list[RunRecord]]] = {}
+    for shard, stream in by_shard.items():
+        first = next(stream, None)
+        if first is not None:
+            heads[shard] = first
+
+    next_job = 0
+    while heads:
+        shard = next_job % count
+        if shard not in heads:
+            raise ValueError(
+                f"job {next_job} is missing: shard {shard}/{count} ended early "
+                "(was its sweep interrupted?)"
+            )
+        job_index, records = heads[shard]
+        if job_index != next_job:
+            raise ValueError(
+                f"shard {shard}/{count} is out of order or has gaps: "
+                f"expected job {next_job}, found job {job_index}"
+            )
+        yield job_index, records
+        following = next(by_shard[shard], None)
+        if following is None:
+            del heads[shard]
+        else:
+            heads[shard] = following
+        next_job += 1
+    if expected_total is not None and next_job != expected_total:
+        raise ValueError(
+            f"merged {next_job} jobs but the shards declare a {expected_total}-job "
+            "sweep — at least one shard file is truncated"
+        )
+
+
+def merge_shards_to_result(paths: Sequence[str | os.PathLike]) -> ResultSet:
+    """Merge shard files into one in-memory :class:`ResultSet`.
+
+    Byte-identical (after ``to_json``/``to_csv``/``to_jsonl``) to the
+    ResultSet of the same sweep run unsharded.
+    """
+    result = ResultSet()
+    for _, records in merge_shards(paths):
+        for record in records:
+            result.append(record)
+    return result

@@ -19,16 +19,18 @@ capacities, raw instances run at their own capacity.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..simulator.arrivals import ArrivalProcess
 from ..simulator.resources import MachineModel
-from ..traces.model import Trace, TraceEnsemble
+from ..traces.model import Trace, TraceEnsemble, TraceStream
 from .backends import ExecutionBackend
+from .checkpoint import SweepCheckpoint
 from .engine import default_jobs, sweep_instances, sweep_traces
 from .registry import named_spec
-from .results import ResultSet
+from .results import ResultSet, RunRecord, SpilledResultSet
 
 __all__ = ["Study", "DEFAULT_CAPACITY_FACTORS"]
 
@@ -56,20 +58,30 @@ class Study:
         self._arrivals: "ArrivalProcess | Mapping[str, float] | Sequence[float] | None" = None
         self._arrival_seed: int = 0
         self._engine: str | None = None
+        self._spill: "bool | str | os.PathLike | SpilledResultSet | None" = None
+        self._checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None
+        self._shard: "str | tuple[int, int] | None" = None
+        self._on_records: "Callable[[int, list[RunRecord]], None] | None" = None
 
     # ------------------------------------------------------------------ #
     # Inputs
     # ------------------------------------------------------------------ #
-    def traces(self, *sources: Trace | TraceEnsemble | Iterable) -> "Study":
-        """Add traces and/or whole ensembles to sweep over."""
+    def traces(self, *sources: "Trace | TraceEnsemble | TraceStream | Iterable") -> "Study":
+        """Add traces, whole ensembles and/or lazy trace streams to sweep over.
+
+        A :class:`~repro.traces.TraceStream` stays lazy: its traces are
+        produced one chunk at a time while the sweep runs, never all at
+        once.
+        """
         for source in sources:
-            if isinstance(source, (Trace, TraceEnsemble)):
+            if isinstance(source, (Trace, TraceEnsemble, TraceStream)):
                 self._traces.append(source)
             else:
                 for item in source:
-                    if not isinstance(item, (Trace, TraceEnsemble)):
+                    if not isinstance(item, (Trace, TraceEnsemble, TraceStream)):
                         raise TypeError(
-                            f"traces() accepts Trace/TraceEnsemble, got {type(item).__name__}"
+                            "traces() accepts Trace/TraceEnsemble/TraceStream, "
+                            f"got {type(item).__name__}"
                         )
                     self._traces.append(item)
         return self
@@ -266,50 +278,114 @@ class Study:
         self._on_progress = callback
         return self
 
+    def spill(self, target: "bool | str | os.PathLike | SpilledResultSet" = True) -> "Study":
+        """Stream results into an append-only JSONL spill instead of RAM.
+
+        ``spill()`` uses a temporary file (deleted with the result object),
+        ``spill(path)`` a named one you can reload with
+        :meth:`ResultSet.from_jsonl`, ``spill(False)`` forces in-memory
+        accumulation even above the auto threshold.  Without this call,
+        sweeps spill automatically once their estimated output exceeds
+        ``REPRO_SPILL_THRESHOLD`` rows (default 100 000).
+        """
+        self._spill = target
+        return self
+
+    def checkpoint(self, directory: "SweepCheckpoint | str | os.PathLike") -> "Study":
+        """Record every merged chunk in ``directory``; resume skips them.
+
+        Re-running the same study with the same checkpoint directory loads
+        completed chunks from disk instead of executing them — a killed
+        sweep loses at most its in-flight window.  Chunks are content-keyed
+        from the job plane, so changing the sweep re-runs exactly the
+        invalidated chunks.
+        """
+        self._checkpoint = directory
+        return self
+
+    def shard(self, spec: "str | tuple[int, int]") -> "Study":
+        """Run one deterministic slice ``"i/N"`` of the job plane.
+
+        ``N`` hosts each running their shard cover every job exactly once;
+        combine their outputs with ``repro merge`` (or
+        :func:`repro.api.merge_shards_to_result`) into a result
+        byte-identical to the unsharded run.
+        """
+        self._shard = spec
+        return self
+
+    def on_records(self, callback: "Callable[[int, list[RunRecord]], None] | None") -> "Study":
+        """Observe each job's records as chunks merge, in global job order.
+
+        ``callback(job_index, records)`` fires while the sweep runs — this
+        is how the CLI streams CSV rows to stdout and writes shard files.
+        Pass ``None`` to remove a previously set callback.
+        """
+        if callback is not None and not callable(callback):
+            raise TypeError(f"on_records() accepts a callable or None, got {callback!r}")
+        self._on_records = callback
+        return self
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self) -> ResultSet:
-        """Execute the sweep and return the columnar results."""
+        """Execute the sweep and return the columnar results.
+
+        Streaming studies (``spill``/auto-spill) return a
+        :class:`~repro.api.SpilledResultSet` — same API, rows on disk.
+        """
         if not self._traces and not self._instances:
             raise ValueError("Study has nothing to run: add .traces(...) or .instances(...)")
-        results = ResultSet()
+        if (
+            self._traces
+            and self._instances
+            and (
+                self._checkpoint is not None
+                or self._shard is not None
+                or self._on_records is not None
+            )
+        ):
+            raise ValueError(
+                "checkpoint/shard/on_records address jobs by their index in a "
+                "single job plane; a study mixing traces and raw instances runs "
+                "two planes — split it into two studies"
+            )
+        common = dict(
+            solver_specs=self._solver_specs,
+            validate=self._validate,
+            batch_size=self._batch_size,
+            pipelined=self._pipelined,
+            n_jobs=self._n_jobs,
+            backend=self._backend,
+            chunk_size=self._chunk_size,
+            on_progress=self._on_progress,
+            machine=self._machine,
+            arrivals=self._arrivals,
+            arrival_seed=self._arrival_seed,
+            engine=self._engine,
+            checkpoint=self._checkpoint,
+            shard=self._shard,
+            on_records=self._on_records,
+        )
+        first: ResultSet | None = None
         if self._traces:
-            results.extend(
-                sweep_traces(
-                    self._traces,
-                    capacity_factors=self._factors,
-                    solver_specs=self._solver_specs,
-                    validate=self._validate,
-                    batch_size=self._batch_size,
-                    pipelined=self._pipelined,
-                    task_limit=self._task_limit,
-                    n_jobs=self._n_jobs,
-                    backend=self._backend,
-                    chunk_size=self._chunk_size,
-                    on_progress=self._on_progress,
-                    machine=self._machine,
-                    arrivals=self._arrivals,
-                    arrival_seed=self._arrival_seed,
-                    engine=self._engine,
-                )
+            first = sweep_traces(
+                self._traces,
+                capacity_factors=self._factors,
+                task_limit=self._task_limit,
+                spill=self._spill,
+                **common,
             )
-        if self._instances:
-            results.extend(
-                sweep_instances(
-                    self._instances,
-                    solver_specs=self._solver_specs,
-                    validate=self._validate,
-                    batch_size=self._batch_size,
-                    pipelined=self._pipelined,
-                    n_jobs=self._n_jobs,
-                    backend=self._backend,
-                    chunk_size=self._chunk_size,
-                    on_progress=self._on_progress,
-                    machine=self._machine,
-                    arrivals=self._arrivals,
-                    arrival_seed=self._arrival_seed,
-                    engine=self._engine,
-                )
-            )
+        if not self._instances:
+            return first  # type: ignore[return-value]  (one of the two is set)
+        # A spilled trace pass keeps spilling: the instance pass appends to
+        # the same file, so the combined result stays bounded in memory.
+        instance_spill = first if isinstance(first, SpilledResultSet) else self._spill
+        second = sweep_instances(self._instances, spill=instance_spill, **common)
+        if first is None or second is first:
+            return second
+        results = ResultSet()
+        results.extend(first)
+        results.extend(second)
         return results

@@ -5,10 +5,11 @@ from .generator import (
     WorkloadRegime,
     regime_trace,
     synthetic_ensemble,
+    synthetic_stream,
     synthetic_trace,
 )
 from .io import read_ensemble_json, read_trace_csv, write_ensemble_json, write_trace_csv
-from .model import Trace, TraceEnsemble, TraceTask
+from .model import Trace, TraceEnsemble, TraceStream, TraceTask
 from .stats import (
     DistributionSummary,
     WorkloadCharacteristics,
@@ -22,6 +23,7 @@ __all__ = [
     "DistributionSummary",
     "Trace",
     "TraceEnsemble",
+    "TraceStream",
     "TraceTask",
     "WorkloadCharacteristics",
     "WorkloadRegime",
@@ -32,6 +34,7 @@ __all__ = [
     "regime_trace",
     "summarise",
     "synthetic_ensemble",
+    "synthetic_stream",
     "synthetic_trace",
     "write_ensemble_json",
     "write_trace_csv",

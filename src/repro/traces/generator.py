@@ -14,13 +14,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from .model import Trace, TraceEnsemble, TraceTask
+from .model import Trace, TraceEnsemble, TraceStream, TraceTask
 
 __all__ = [
     "WorkloadRegime",
     "REGIMES",
     "synthetic_trace",
     "synthetic_ensemble",
+    "synthetic_stream",
     "regime_trace",
 ]
 
@@ -87,6 +88,23 @@ class WorkloadRegime:
     def with_arrivals(self, arrivals) -> "WorkloadRegime":
         """Same statistics under an arrival process (streaming variant)."""
         return replace(self, arrivals=arrivals)
+
+    def stream(
+        self,
+        *,
+        processes: int = 16,
+        tasks_per_process: "int | tuple[int, int]" = (300, 800),
+        seed: int = 0,
+    ) -> TraceStream:
+        """Lazy, iterator-based production of this regime's traces.
+
+        Same traces as :func:`synthetic_ensemble` (exact same RNG draws),
+        but produced one at a time as the stream is consumed — a sweep over
+        the stream never holds more traces than it has jobs in flight.
+        """
+        return synthetic_stream(
+            self, processes=processes, tasks_per_process=tasks_per_process, seed=seed
+        )
 
 
 #: Named regimes matching the favorable situations discussed around Table 6.
@@ -178,5 +196,44 @@ def synthetic_ensemble(
     return TraceEnsemble(
         application=f"synthetic-{regime.name}",
         traces=traces,
+        metadata={"regime": regime.name, "seed": str(seed)},
+    )
+
+
+def synthetic_stream(
+    regime: WorkloadRegime | str,
+    *,
+    processes: int = 16,
+    tasks_per_process: int | tuple[int, int] = (300, 800),
+    seed: int = 0,
+) -> TraceStream:
+    """Lazy counterpart of :func:`synthetic_ensemble`: same traces, produced
+    on demand.
+
+    Each trace's tasks are drawn from a per-process RNG seeded by
+    ``[seed, process]`` — independent of the other traces — so only the
+    per-process task *counts* (drawn from the ensemble RNG, a few bytes per
+    process) are fixed up front.  ``stream.materialize()`` is therefore
+    byte-for-byte equal to ``synthetic_ensemble(...)`` with the same
+    arguments, which makes eager and streaming sweeps directly comparable.
+    """
+    if isinstance(regime, str):
+        regime = REGIMES[regime]
+    rng = np.random.default_rng(seed)
+    counts = []
+    for _ in range(processes):
+        if isinstance(tasks_per_process, tuple):
+            low, high = tasks_per_process
+            counts.append(int(rng.integers(low, high + 1)))
+        else:
+            counts.append(int(tasks_per_process))
+
+    def build(rank: int) -> Trace:
+        return synthetic_trace(regime, tasks=counts[rank], process=rank, seed=seed)
+
+    return TraceStream(
+        application=f"synthetic-{regime.name}",
+        count=processes,
+        factory=build,
         metadata={"regime": regime.name, "seed": str(seed)},
     )

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..core.instance import Instance
 from ..core.task import Task
 
-__all__ = ["TraceTask", "Trace", "TraceEnsemble"]
+__all__ = ["TraceTask", "Trace", "TraceEnsemble", "TraceStream"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -199,5 +199,79 @@ class TraceEnsemble:
         return TraceEnsemble(
             application=self.application,
             traces=self.traces[:count],
+            metadata=dict(self.metadata),
+        )
+
+    def stream(self) -> "TraceStream":
+        """A :class:`TraceStream` view over the already-materialised traces.
+
+        Useful for exercising the streaming sweep path against an ensemble
+        that fits in memory anyway; for genuinely bounded-memory production
+        build the stream first (e.g. :func:`repro.traces.synthetic_stream`)
+        instead of materialising an ensemble just to wrap it.
+        """
+        return TraceStream(
+            application=self.application,
+            count=len(self.traces),
+            factory=self.traces.__getitem__,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass
+class TraceStream:
+    """A sized, lazily produced sequence of traces — the generator-backed
+    counterpart of :class:`TraceEnsemble`.
+
+    ``factory(index)`` builds trace ``index`` on demand; nothing is cached,
+    so a sweep iterating the stream holds only the traces currently in
+    flight.  The factory must be **deterministic** (same index → same trace)
+    — the streaming sweep engine relies on this for checkpoint resume and
+    shard/merge byte-identity, and it lets the stream be iterated multiple
+    times.  ``count`` is known up front so sweeps keep exact progress totals
+    and auto-chunking without materialising anything.
+    """
+
+    application: str
+    count: int
+    factory: Callable[[int], Trace]
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"trace stream count must be >= 0, got {self.count!r}")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Trace]:
+        for index in range(self.count):
+            yield self[index]
+
+    def __getitem__(self, index: int) -> Trace:
+        if not 0 <= index < self.count:
+            raise IndexError(f"trace {index} out of range for {self.count}-trace stream")
+        trace = self.factory(index)
+        if not isinstance(trace, Trace):
+            raise TypeError(
+                f"trace stream factory returned {type(trace).__name__} "
+                f"for index {index}, expected Trace"
+            )
+        return trace
+
+    def subset(self, count: int) -> "TraceStream":
+        """A stream over the first ``count`` traces (still lazy)."""
+        return TraceStream(
+            application=self.application,
+            count=min(max(count, 0), self.count),
+            factory=self.factory,
+            metadata=dict(self.metadata),
+        )
+
+    def materialize(self) -> TraceEnsemble:
+        """Produce every trace now and return a plain :class:`TraceEnsemble`."""
+        return TraceEnsemble(
+            application=self.application,
+            traces=list(self),
             metadata=dict(self.metadata),
         )

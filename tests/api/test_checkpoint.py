@@ -1,0 +1,204 @@
+"""Checkpoint/resume: durable chunk log, crash recovery, content keys."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import (
+    SweepCheckpoint,
+    SweepJob,
+    SweepJobError,
+    chunk_key,
+    get_solver,
+    job_key,
+    register_solver,
+    sweep_traces,
+    unregister_solver,
+)
+from repro.traces import synthetic_stream
+
+SWEEP = dict(capacity_factors=(1.25, 1.75), solver_specs=("OS", "LCMR"), validate=False)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream("mixed-intensity", processes=6, tasks_per_process=(20, 40), seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    return sweep_traces([stream], **SWEEP)
+
+
+class TestContentKeys:
+    def _job(self, trace, **overrides):
+        base = dict(
+            payload=trace,
+            solver_specs=("OS",),
+            capacity_factors=(1.25,),
+            validate=False,
+        )
+        base.update(overrides)
+        return SweepJob(**base)
+
+    def test_job_key_is_deterministic(self, stream):
+        assert job_key(self._job(stream[0])) == job_key(self._job(stream[0]))
+
+    def test_job_key_tracks_content(self, stream):
+        base = job_key(self._job(stream[0]))
+        assert job_key(self._job(stream[1])) != base
+        assert job_key(self._job(stream[0], capacity_factors=(1.5,))) != base
+        assert job_key(self._job(stream[0], solver_specs=("LCMR",))) != base
+        assert job_key(self._job(stream[0], validate=True)) != base
+
+    def test_chunk_key_covers_order(self, stream):
+        a, b = self._job(stream[0]), self._job(stream[1])
+        assert chunk_key([a, b]) != chunk_key([b, a])
+        assert chunk_key([a, b]) == chunk_key([a, b])
+
+    def test_unpicklable_spec_is_rejected(self, stream):
+        with pytest.raises(TypeError):
+            job_key(self._job(stream[0], solver_specs=(lambda: None,)))
+
+
+class TestCheckpointedSweeps:
+    def test_fresh_run_records_every_chunk(self, stream, reference, tmp_path):
+        with SweepCheckpoint(tmp_path / "ckpt") as checkpoint:
+            result = sweep_traces([stream], checkpoint=checkpoint, **SWEEP)
+            assert result.to_csv() == reference.to_csv()
+            assert checkpoint.chunks_loaded == 0
+            assert checkpoint.chunks_recorded == len(checkpoint.completed_chunks) > 0
+        files = os.listdir(tmp_path / "ckpt")
+        assert "manifest.jsonl" in files
+        assert any(name.startswith("chunk-") for name in files)
+
+    def test_resume_skips_everything(self, stream, reference, tmp_path):
+        sweep_traces([stream], checkpoint=tmp_path / "ckpt", **SWEEP)
+        with SweepCheckpoint(tmp_path / "ckpt") as resumed:
+            result = sweep_traces([stream], checkpoint=resumed, **SWEEP)
+            assert resumed.chunks_recorded == 0
+            assert resumed.chunks_loaded == len(resumed.completed_chunks) > 0
+        assert result.to_csv() == reference.to_csv()
+        assert result.to_json() == reference.to_json()
+
+    def test_checkpoint_accepts_a_path(self, stream, reference, tmp_path):
+        first = sweep_traces([stream], checkpoint=tmp_path / "dir", **SWEEP)
+        second = sweep_traces([stream], checkpoint=tmp_path / "dir", **SWEEP)
+        assert first.to_csv() == second.to_csv() == reference.to_csv()
+
+    def test_changed_plane_invalidates_chunks(self, stream, tmp_path):
+        sweep_traces([stream], checkpoint=tmp_path / "ckpt", chunk_size=1, **SWEEP)
+        with SweepCheckpoint(tmp_path / "ckpt") as resumed:
+            sweep_traces(
+                [stream],
+                checkpoint=resumed,
+                chunk_size=1,
+                capacity_factors=(1.25, 2.0),  # different content, same indices
+                solver_specs=("OS", "LCMR"),
+                validate=False,
+            )
+            assert resumed.chunks_loaded == 0
+            assert resumed.chunks_recorded == len(stream)
+
+    def test_conflicting_chunk_size_raises(self, stream, tmp_path):
+        sweep_traces([stream], checkpoint=tmp_path / "ckpt", chunk_size=2, **SWEEP)
+        with pytest.raises(ValueError, match="chunk_size"):
+            sweep_traces([stream], checkpoint=tmp_path / "ckpt", chunk_size=3, **SWEEP)
+
+    def test_resume_inherits_recorded_chunk_size(self, stream, reference, tmp_path):
+        sweep_traces([stream], checkpoint=tmp_path / "ckpt", chunk_size=2, **SWEEP)
+        with SweepCheckpoint(tmp_path / "ckpt") as resumed:
+            # No explicit chunk_size: the manifest's pinned value applies, so
+            # the chunk partition — and therefore every key — lines up.
+            result = sweep_traces([stream], checkpoint=resumed, **SWEEP)
+            assert resumed.chunks_loaded == len(resumed.completed_chunks) > 0
+        assert result.to_csv() == reference.to_csv()
+
+    def test_checkpoint_composes_with_spill_and_shard(self, stream, reference, tmp_path):
+        from repro.api import SpilledResultSet
+
+        result = sweep_traces(
+            [stream],
+            checkpoint=tmp_path / "ckpt",
+            spill=tmp_path / "rows.jsonl",
+            **SWEEP,
+        )
+        assert isinstance(result, SpilledResultSet)
+        assert result.to_csv() == reference.to_csv()
+        halves = []
+        for index in range(2):
+            pairs: list = []
+            sweep_traces(
+                [stream],
+                checkpoint=tmp_path / f"shard{index}",
+                shard=(index, 2),
+                on_records=lambda g, r, store=pairs: store.append((g, r)),
+                **SWEEP,
+            )
+            halves.append(pairs)
+        merged = sorted(halves[0] + halves[1])
+        rebuilt = [records for _, records in merged]
+        flat = [record for records in rebuilt for record in records]
+        assert len(flat) == len(reference)
+
+
+# --------------------------------------------------------------------- #
+# Crash / resume — the satellite scenario
+# --------------------------------------------------------------------- #
+class _FlakySolver:
+    """Delegates to OS, but crashes on one instance while the sentinel exists.
+
+    The crash condition lives *outside* the job plane (a file on disk), so
+    the checkpoint's content keys are identical across the crashing run and
+    the resumed run — exactly like a worker dying mid-sweep.
+    """
+
+    name = "test.flaky"
+    category = "static"
+    sentinel: str | None = None
+
+    def schedule(self, instance):
+        sentinel = type(self).sentinel
+        if sentinel and os.path.exists(sentinel) and "p004" in instance.name:
+            raise SweepJobError("injected worker crash for checkpoint tests")
+        return get_solver("OS").schedule(instance)
+
+
+class TestCrashResume:
+    @pytest.fixture(autouse=True)
+    def _flaky_solver(self):
+        register_solver("test.flaky", category="static", replace=True)(_FlakySolver)
+        yield
+        unregister_solver("test.flaky")
+        _FlakySolver.sentinel = None
+
+    def test_resume_after_worker_crash(self, stream, tmp_path):
+        sweep = dict(capacity_factors=(1.25,), solver_specs=("test.flaky",), validate=False)
+        uninterrupted = sweep_traces([stream], backend="serial", chunk_size=1, **sweep)
+
+        sentinel = tmp_path / "crash-now"
+        sentinel.touch()
+        _FlakySolver.sentinel = str(sentinel)
+        directory = tmp_path / "ckpt"
+        with pytest.raises(SweepJobError, match="injected worker crash"):
+            sweep_traces(
+                [stream], backend="serial", chunk_size=1, checkpoint=directory, **sweep
+            )
+        with SweepCheckpoint(directory) as peek:
+            survived = set(peek.completed_chunks)
+        # The jobs before the crashing one (trace p004 is job index 4) were
+        # durably recorded before the process died.
+        assert survived == {0, 1, 2, 3}
+
+        sentinel.unlink()  # the fault is gone; restart with the same checkpoint
+        with SweepCheckpoint(directory) as resumed:
+            result = sweep_traces(
+                [stream], backend="serial", chunk_size=1, checkpoint=resumed, **sweep
+            )
+            assert resumed.chunks_loaded == 4  # completed chunks were NOT re-run
+            assert resumed.chunks_recorded == len(stream) - 4
+        assert result.to_csv() == uninterrupted.to_csv()
+        assert result.to_json() == uninterrupted.to_json()
+        assert result.to_jsonl() == uninterrupted.to_jsonl()

@@ -1,5 +1,6 @@
 """``python -m repro`` — the solver discovery table."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -127,6 +128,132 @@ class TestSweepCommand:
         assert all(value == value for value in results.column("mean_response_time"))  # not NaN
 
 
+class TestScalingCli:
+    """Streamed stdout rows, --spill/--checkpoint/--shard and 'repro merge'."""
+
+    SWEEP = TestSweepCommand.SWEEP
+
+    def _unsharded_csv(self, tmp_path, capsys) -> str:
+        path = tmp_path / "all.csv"
+        assert main([*self.SWEEP, "--quiet", "--output", str(path)]) == 0
+        capsys.readouterr()
+        return path.read_text()
+
+    def test_stdout_stream_matches_csv_file(self, tmp_path, capsys):
+        expected = self._unsharded_csv(tmp_path, capsys)
+        assert main([*self.SWEEP, "--quiet", "--output", "-"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == expected
+        assert "streamed 8 rows" in captured.err
+
+    def test_stdout_jsonl_format(self, tmp_path, capsys):
+        path = tmp_path / "all.jsonl"
+        assert main([*self.SWEEP, "--quiet", "--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main([*self.SWEEP, "--quiet", "--output", "-", "--format", "jsonl"]) == 0
+        assert capsys.readouterr().out == path.read_text()
+
+    def test_jsonl_output_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "rows.jsonl"
+        assert main([*self.SWEEP, "--quiet", "--output", str(path)]) == 0
+        from repro.api import ResultSet
+
+        assert len(ResultSet.from_jsonl(path)) == 8
+
+    def test_shard_merge_round_trip(self, tmp_path, capsys):
+        expected = self._unsharded_csv(tmp_path, capsys)
+        shards = []
+        for spec in ("0/2", "1/2"):
+            path = tmp_path / f"shard{spec[0]}.jsonl"
+            assert main(
+                [*self.SWEEP, "--quiet", "--shard", spec, "--output", str(path)]
+            ) == 0
+            assert f"wrote shard {spec}" in capsys.readouterr().err
+            shards.append(str(path))
+        merged = tmp_path / "merged.csv"
+        assert main(["merge", *shards, "--output", str(merged)]) == 0
+        assert merged.read_text() == expected
+        assert "merged 2 shards" in capsys.readouterr().err
+
+    def test_merge_to_stdout(self, tmp_path, capsys):
+        expected = self._unsharded_csv(tmp_path, capsys)
+        shards = []
+        for spec in ("0/2", "1/2"):
+            path = tmp_path / f"s{spec[0]}.jsonl"
+            assert main(
+                [*self.SWEEP, "--quiet", "--shard", spec, "--output", str(path)]
+            ) == 0
+            shards.append(str(path))
+        capsys.readouterr()
+        assert main(["merge", *shards, "--output", "-"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_merge_prints_summary_by_default(self, tmp_path, capsys):
+        path = tmp_path / "only.jsonl"
+        assert main([*self.SWEEP, "--quiet", "--shard", "0/1", "--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(path)]) == 0
+        assert "8 measurements" in capsys.readouterr().out
+
+    def test_checkpoint_resume(self, tmp_path, capsys):
+        first, second = tmp_path / "a.csv", tmp_path / "b.csv"
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            [*self.SWEEP, "--quiet", "--checkpoint", str(ckpt), "--output", str(first)]
+        ) == 0
+        assert (ckpt / "manifest.jsonl").exists()
+        assert any(name.startswith("chunk-") for name in os.listdir(ckpt))
+        assert main(
+            [*self.SWEEP, "--quiet", "--checkpoint", str(ckpt), "--output", str(second)]
+        ) == 0
+        assert first.read_text() == second.read_text()
+
+    def test_sharded_checkpoint_nests_per_shard(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        path = tmp_path / "s0.jsonl"
+        assert main(
+            [*self.SWEEP, "--quiet", "--shard", "0/2", "--checkpoint", str(ckpt),
+             "--output", str(path)]
+        ) == 0
+        assert (ckpt / "shard-0-of-2" / "manifest.jsonl").exists()
+
+    def test_spill_flag(self, tmp_path, capsys):
+        spill = tmp_path / "spill.jsonl"
+        out = tmp_path / "out.csv"
+        assert main(
+            [*self.SWEEP, "--quiet", "--spill", str(spill), "--output", str(out)]
+        ) == 0
+        from repro.api import ResultSet
+
+        assert len(ResultSet.from_jsonl(spill)) == 8
+
+    def test_bad_scaling_arguments_exit_2(self, tmp_path, capsys):
+        cases = [
+            [*self.SWEEP, "--format", "jsonl"],  # --format needs --output -
+            [*self.SWEEP, "--shard", "0/2", "--output", "-"],  # shard format != rows
+            [*self.SWEEP, "--shard", "2/2", "--output", "s.jsonl"],  # bad spec
+            [*self.SWEEP, "--shard", "zebra", "--output", "s.jsonl"],
+            ["merge", "x.jsonl", "--output", "out.parquet"],
+            ["merge", "x.jsonl", "--format", "csv"],  # --format needs --output -
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            capsys.readouterr()
+
+    def test_merge_runtime_errors_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "half.jsonl"
+        assert main([*self.SWEEP, "--quiet", "--shard", "0/2", "--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(path)]) == 2  # shard 1/2 missing
+        assert "error:" in capsys.readouterr().err
+        noise = tmp_path / "noise.jsonl"
+        noise.write_text('{"rows": []}\n')
+        assert main(["merge", str(noise)]) == 2
+        assert "not a sweep shard" in capsys.readouterr().err
+
+
 def test_module_entry_point_runs():
     repo_src = Path(__file__).resolve().parents[1] / "src"
     proc = subprocess.run(
@@ -160,7 +287,12 @@ class TestVersionAndExitCodes:
     def test_every_subcommand_accepts_version(self, capsys):
         from repro import __version__
 
-        for argv in (["solvers", "--version"], ["sweep", "--version"], ["serve", "--version"]):
+        for argv in (
+            ["solvers", "--version"],
+            ["sweep", "--version"],
+            ["merge", "--version"],
+            ["serve", "--version"],
+        ):
             with pytest.raises(SystemExit) as excinfo:
                 main(argv)
             assert excinfo.value.code == 0

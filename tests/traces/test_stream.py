@@ -1,0 +1,93 @@
+"""Lazy trace planes: TraceStream and synthetic_stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import (
+    REGIMES,
+    TraceEnsemble,
+    TraceStream,
+    synthetic_ensemble,
+    synthetic_stream,
+)
+
+ARGS = dict(processes=5, tasks_per_process=(30, 60), seed=21)
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return synthetic_ensemble("balanced", **ARGS)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream("balanced", **ARGS)
+
+
+class TestSyntheticStream:
+    def test_matches_eager_ensemble_exactly(self, ensemble, stream):
+        assert len(stream) == len(ensemble)
+        for lazy, eager in zip(stream, ensemble):
+            assert lazy == eager
+
+    def test_indexing_is_deterministic(self, stream):
+        assert stream[3] == stream[3]
+        assert stream[0].label == stream[0].label
+
+    def test_accepts_regime_objects(self):
+        by_name = synthetic_stream("balanced", **ARGS)
+        by_object = synthetic_stream(REGIMES["balanced"], **ARGS)
+        assert by_name[2] == by_object[2]
+
+    def test_fixed_tasks_per_process(self):
+        stream = synthetic_stream("balanced", processes=3, tasks_per_process=17, seed=4)
+        assert all(len(trace.tasks) == 17 for trace in stream)
+
+    def test_regime_method_delegates(self, stream):
+        via_method = REGIMES["balanced"].stream(**ARGS)
+        assert via_method[1] == stream[1]
+
+    def test_metadata_names_the_regime(self, stream):
+        assert stream.metadata["regime"] == "balanced"
+        assert stream.metadata["seed"] == "21"
+
+
+class TestTraceStream:
+    def test_len_iter_getitem(self, ensemble):
+        stream = ensemble.stream()
+        assert len(stream) == len(ensemble)
+        assert list(stream) == list(ensemble)
+        assert stream[1] == ensemble[1]
+
+    def test_out_of_range_raises(self, stream):
+        with pytest.raises(IndexError):
+            stream[len(stream)]
+        with pytest.raises(IndexError):
+            stream[-1]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStream(application="x", count=-1, factory=lambda i: None)
+
+    def test_factory_result_type_checked(self):
+        stream = TraceStream(application="x", count=1, factory=lambda i: "not a trace")
+        with pytest.raises(TypeError):
+            stream[0]
+
+    def test_subset(self, stream, ensemble):
+        small = stream.subset(2)
+        assert len(small) == 2
+        assert list(small) == list(ensemble)[:2]
+        # Like TraceEnsemble.subset (a slice), counts clamp to the plane.
+        assert len(stream.subset(len(stream) + 5)) == len(stream)
+        assert len(stream.subset(-3)) == 0
+
+    def test_materialize_round_trip(self, stream, ensemble):
+        materialized = stream.materialize()
+        assert isinstance(materialized, TraceEnsemble)
+        assert list(materialized) == list(ensemble)
+        assert materialized.application == ensemble.application
+
+    def test_is_reiterable(self, stream):
+        assert list(stream) == list(stream)  # not a one-shot generator
