@@ -1,0 +1,148 @@
+"""Observability overhead — tracing must be cheap on, free off.
+
+One n=10³ kernel benchmark, three measurements:
+
+* **disabled** — the kernel with tracing off.  The instrumentation left in
+  the hot path is a handful of ``obs.is_enabled()`` guards per run; their
+  cost is also measured directly (a timed no-op-guard loop) and expressed
+  as a fraction of the kernel run, which must stay **under 1%**.  A
+  derived bound is used instead of differencing two wall-clock medians
+  because a sub-1% difference between ~ms-scale runs is smaller than
+  scheduler noise on shared runners.
+* **traced** — the same runs with tracing enabled (span buffer cleared
+  between rounds so it cannot grow across the benchmark).  The median
+  slowdown against the disabled path must stay **under 10%**.
+
+``REPRO_SCALE=ci`` (the CI smoke step) runs fewer, shorter rounds and
+gates with doubled headroom to survive noisy shared runners; any other
+scale applies the tight bars and writes the table to
+``benchmarks/results/obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from conftest import RESULTS_DIR
+from repro.core import Instance, Task
+from repro.experiments.config import scaled_config
+from repro.simulator import CriterionPolicy, largest_communication, simulate
+
+#: Task count for the timed kernel runs (the issue's n=10³ bar).
+TASKS = 1_000
+
+#: Tight-but-feasible capacity, as a multiple of the largest footprint.
+CAPACITY_FACTOR = 1.25
+
+#: Upper bound on disabled-path obs touch points in one kernel run: the
+#: run-level guards in engine.py/columnar.py plus one per-task guard of
+#: slack for future instrumentation (today the per-event loop has none).
+GUARDS_PER_RUN = 8 + TASKS
+
+
+def make_instance(n: int = TASKS, seed: int = 7) -> Instance:
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            f"t{i:04d}",
+            float(rng.uniform(0.1, 10.0)),
+            float(rng.uniform(0.1, 10.0)),
+            memory=float(rng.uniform(0.1, 10.0)),
+        )
+        for i in range(n)
+    ]
+    capacity = max(task.memory for task in tasks) * CAPACITY_FACTOR
+    return Instance(tasks, capacity=capacity, name=f"obs-bench/n{n}")
+
+
+def run_seconds(runner, *, rounds: int, min_seconds: float) -> float:
+    """Median per-run seconds over ``rounds`` timed batches."""
+    medians = []
+    for _ in range(rounds):
+        runs = 0
+        start = time.perf_counter()
+        while True:
+            runner()
+            runs += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                break
+        medians.append(elapsed / runs)
+    return statistics.median(medians)
+
+
+def guard_seconds(calls: int = 200_000) -> float:
+    """Per-call cost of the disabled-path guard pattern."""
+    assert not obs.is_enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        if obs.is_enabled():  # pragma: no cover - tracing is off here
+            obs.record_span("never", start, start)
+    return (time.perf_counter() - start) / calls
+
+
+def test_obs_overhead():
+    scale_is_ci = scaled_config() is scaled_config("ci")
+    rounds, min_seconds = (3, 0.2) if scale_is_ci else (5, 0.5)
+
+    instance = make_instance()
+    policy = CriterionPolicy(largest_communication)
+
+    def kernel_run():
+        return simulate(instance, policy, engine="object").schedule
+
+    assert not obs.is_enabled()
+    disabled_s = run_seconds(kernel_run, rounds=rounds, min_seconds=min_seconds)
+
+    obs.enable()
+    try:
+
+        def traced_run():
+            result = kernel_run()
+            obs.clear()  # keep the span buffer from growing across rounds
+            return result
+
+        traced_s = run_seconds(traced_run, rounds=rounds, min_seconds=min_seconds)
+    finally:
+        obs.disable()
+        obs.clear()
+
+    traced_overhead = traced_s / disabled_s - 1.0
+    noop_fraction = guard_seconds() * GUARDS_PER_RUN / disabled_s
+
+    report = "\n".join(
+        [
+            f"Observability overhead on the object kernel (n={TASKS}, dynamic selection)",
+            "",
+            f"disabled path:        {disabled_s * 1e3:8.3f} ms/run",
+            f"traced path:          {traced_s * 1e3:8.3f} ms/run",
+            f"traced overhead:      {traced_overhead * 100:8.2f} %   (gate: < 10%)",
+            f"no-op guard bound:    {noop_fraction * 100:8.4f} %   (gate: < 1%, "
+            f"{GUARDS_PER_RUN} guards/run)",
+        ]
+    )
+    print()
+    print(report)
+
+    # Smoke mode gates with doubled headroom: shared CI runners jitter far
+    # more than a dedicated box, and the recorded full-scale table must not
+    # be clobbered by a noisy truncated one.
+    traced_bar, noop_bar = (0.20, 0.02) if scale_is_ci else (0.10, 0.01)
+    assert traced_overhead < traced_bar, (
+        f"traced kernel overhead {traced_overhead:.1%} exceeds {traced_bar:.0%}"
+    )
+    assert noop_fraction < noop_bar, (
+        f"disabled-path bound {noop_fraction:.2%} exceeds {noop_bar:.0%}"
+    )
+
+    if not scale_is_ci:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "obs_overhead.txt").write_text(report + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    test_obs_overhead()

@@ -246,6 +246,14 @@ def _sweep_parser() -> argparse.ArgumentParser:
         help="row format for --output - (default: csv)",
     )
     output.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="trace the sweep with repro.obs and write a Chrome trace-event "
+        "file to FILE (open in Perfetto or chrome://tracing); spans from "
+        "process-backend workers are merged in",
+    )
+    output.add_argument(
         "--quiet", action="store_true", help="suppress the stderr progress line"
     )
     return parser
@@ -301,12 +309,57 @@ def _row_writer(fmt: str, stream):
     return write
 
 
-def _progress_line(stream=None):
-    """A ``(completed, total)`` callback rendering a one-line stderr ticker."""
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{seconds:.0f}s"
+
+
+def _progress_line(stream=None, clock=None):
+    """A ``(completed, total)`` callback rendering a one-line stderr ticker.
+
+    Beyond the job count, the line reports throughput and an ETA from the
+    elapsed wall-clock, plus — when the relevant machinery saw traffic since
+    the callback was built — the result-cache hit rate and spill/checkpoint
+    activity, all read from the shared :data:`repro.obs.REGISTRY` counters.
+    """
+    import time as _time
+
+    from . import obs
+
     stream = stream if stream is not None else sys.stderr
+    clock = clock if clock is not None else _time.monotonic
+    started = clock()
+    counters = (
+        "cache_hits_total",
+        "cache_misses_total",
+        "spill_rows_total",
+        "checkpoint_hits_total",
+    )
+    base = {name: obs.REGISTRY.counter_total(name) for name in counters}
+    widest = 0
 
     def report(completed: int, total: int) -> None:
-        stream.write(f"\rsweep: {completed}/{total} jobs")
+        nonlocal widest
+        line = f"sweep: {completed}/{total} jobs"
+        elapsed = clock() - started
+        if completed and elapsed > 0:
+            rate = completed / elapsed
+            line += f" | {rate:.1f} jobs/s"
+            if total > completed:
+                line += f" | eta {_format_eta((total - completed) / rate)}"
+        delta = {name: obs.REGISTRY.counter_total(name) - base[name] for name in counters}
+        lookups = delta["cache_hits_total"] + delta["cache_misses_total"]
+        if lookups:
+            line += f" | cache {100.0 * delta['cache_hits_total'] / lookups:.0f}%"
+        if delta["spill_rows_total"]:
+            line += f" | spill {int(delta['spill_rows_total'])} rows"
+        if delta["checkpoint_hits_total"]:
+            line += f" | ckpt {int(delta['checkpoint_hits_total'])} resumed"
+        widest = max(widest, len(line))
+        stream.write("\r" + line.ljust(widest))
         if completed >= total:
             stream.write("\n")
         stream.flush()
@@ -384,6 +437,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
         study.parallel(args.jobs, backend=args.backend, chunk_size=args.chunk_size)
     if not args.quiet:
         study.on_progress(_progress_line())
+    if args.trace:
+        study.trace(args.trace)
     if args.spill:
         study.spill(args.spill)
     if args.checkpoint:
@@ -410,6 +465,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
 
     results = study.run()
 
+    if args.trace:
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
     if shard_writer is not None:
         shard_writer.close()
         print(

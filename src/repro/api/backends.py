@@ -51,6 +51,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
+from .. import obs
 from .results import RunRecord
 
 __all__ = [
@@ -193,6 +194,52 @@ def _run_chunk_wrapped(jobs: Sequence) -> list[list[RunRecord]]:
     return results
 
 
+class _ObsEnvelope:
+    """Chunk results plus the worker's observability payload, on one wire.
+
+    When a sweep is traced, process-backend workers wrap each chunk's record
+    lists together with the spans and metric deltas recorded while running it
+    (:func:`repro.obs.worker_payload`); the parent unwraps the envelope and
+    merges the payload into its own tracer/registry (:func:`_absorb_obs`), so
+    the exported trace carries pid/tid-tagged spans from every worker.
+    """
+
+    __slots__ = ("records", "payload")
+
+    def __init__(self, records: list, payload: dict) -> None:
+        self.records = records
+        self.payload = payload
+
+
+def _run_chunk_traced(jobs: Sequence) -> "_ObsEnvelope":
+    """Traced process-worker entry point: results + obs payload.
+
+    Enables tracing in the worker (spawn-started workers do not inherit the
+    parent's flag) and snapshots the span/metrics position first, so
+    fork-started workers — which inherit the parent's buffered spans and
+    counter totals — ship only what this chunk actually recorded.
+    """
+    obs.enable()
+    baseline = obs.worker_baseline()
+    started = obs.now()
+    records = _run_chunk_wrapped(jobs)
+    obs.record_span("sweep.chunk.run", started, obs.now(), jobs=len(jobs))
+    return _ObsEnvelope(records, obs.worker_payload(baseline))
+
+
+def _process_runner() -> Callable[[Sequence], object]:
+    """Worker entry point for the process backend under the current tracing state."""
+    return _run_chunk_traced if obs.is_enabled() else _run_chunk_wrapped
+
+
+def _absorb_obs(result):
+    """Unwrap a worker result, merging any shipped obs payload locally."""
+    if isinstance(result, _ObsEnvelope):
+        obs.absorb_payload(result.payload)
+        return result.records
+    return result
+
+
 def _checked_chunk_size(chunk_size: int | None) -> int | None:
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be at least 1, got {chunk_size!r}")
@@ -217,7 +264,13 @@ def _run_pool(
     runner: Callable[[Sequence], list[list[RunRecord]]] = _run_chunk,
 ) -> list[list[list[RunRecord]]]:
     """Submit every chunk, report progress as chunks finish, keep order."""
-    futures = {pool.submit(runner, chunk): index for index, chunk in enumerate(chunks)}
+    traced = obs.is_enabled()
+    futures = {}
+    submitted_at = {}
+    for index, chunk in enumerate(chunks):
+        if traced:
+            submitted_at[index] = obs.now()
+        futures[pool.submit(runner, chunk)] = index
     results: list[list[list[RunRecord]] | None] = [None] * len(chunks)
     done = 0
     pending = set(futures)
@@ -226,7 +279,15 @@ def _run_pool(
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
                 index = futures[future]
-                results[index] = future.result()
+                results[index] = _absorb_obs(future.result())
+                if traced:
+                    obs.record_span(
+                        "sweep.chunk",
+                        submitted_at[index],
+                        obs.now(),
+                        chunk=index,
+                        jobs=len(chunks[index]),
+                    )
                 done += len(chunks[index])
                 if on_progress is not None:
                     on_progress(done, job_count)
@@ -254,7 +315,8 @@ def _stream_serial(
 ) -> Iterator:
     """One chunk at a time in the calling thread — the streaming reference."""
     for tag, chunk in chunks:
-        records = runner(chunk)
+        with obs.span("sweep.chunk", jobs=len(chunk)):
+            records = _absorb_obs(runner(chunk))
         if on_chunk is not None:
             on_chunk(tag, len(chunk))
         yield tag, records
@@ -275,8 +337,9 @@ def _stream_pool(
     ``max_pending`` chunks at a time.  Results are yielded strictly in
     submission order; the first failure cancels every not-yet-started chunk.
     """
+    traced = obs.is_enabled()
     chunk_iter = iter(chunks)
-    futures: dict = {}  # future -> (sequence number, tag, job count)
+    futures: dict = {}  # future -> (sequence number, tag, job count, submit time)
     buffer: dict = {}  # sequence number -> (tag, records)
     submitted = 0
     next_emit = 0
@@ -289,7 +352,8 @@ def _stream_pool(
                 except StopIteration:
                     exhausted = True
                     break
-                futures[pool.submit(runner, chunk)] = (submitted, tag, len(chunk))
+                started = obs.now() if traced else 0.0
+                futures[pool.submit(runner, chunk)] = (submitted, tag, len(chunk), started)
                 submitted += 1
             if next_emit in buffer:
                 yield buffer.pop(next_emit)
@@ -298,8 +362,12 @@ def _stream_pool(
             if futures:
                 finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in finished:
-                    sequence, tag, count = futures.pop(future)
-                    buffer[sequence] = (tag, future.result())
+                    sequence, tag, count, started = futures.pop(future)
+                    buffer[sequence] = (tag, _absorb_obs(future.result()))
+                    if traced:
+                        obs.record_span(
+                            "sweep.chunk", started, obs.now(), chunk=sequence, jobs=count
+                        )
                     if on_chunk is not None:
                         on_chunk(tag, count)
                 continue
@@ -384,6 +452,9 @@ def _process_worker_init() -> None:
     from .registry import warm_registry
 
     os.environ.setdefault(NUM_JOBS_ENV_VAR, "1")
+    # Fork-started workers inherit the parent's exit-time trace export
+    # registration; cancel it so worker exits never clobber the trace file.
+    obs.disable_autoexport()
     warm_registry()
 
 
@@ -425,7 +496,7 @@ class ProcessBackend:
                 max_workers=min(workers, len(chunks)), initializer=_process_worker_init
             ) as pool:
                 per_chunk = _run_pool(
-                    pool, chunks, len(wire_jobs), on_progress, runner=_run_chunk_wrapped
+                    pool, chunks, len(wire_jobs), on_progress, runner=_process_runner()
                 )
         except BrokenProcessPool as error:
             raise RuntimeError(
@@ -469,7 +540,7 @@ class ProcessBackend:
                 max_workers=workers, initializer=_process_worker_init
             ) as pool:
                 yield from _stream_pool(
-                    pool, wired(chunks), _run_chunk_wrapped, on_chunk, max_pending
+                    pool, wired(chunks), _process_runner(), on_chunk, max_pending
                 )
         except BrokenProcessPool as error:
             raise RuntimeError(

@@ -35,6 +35,7 @@ import json
 import os
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from .. import obs
 from .registry import spec_to_wire
 from .results import RunRecord, decode_record_line, encode_record_line
 
@@ -223,7 +224,9 @@ class SweepCheckpoint:
     def match(self, index: int, key: str) -> bool:
         """True when chunk ``index`` with content ``key`` is already recorded."""
         entry = self._entries.get(index)
-        return entry is not None and entry[0] == key
+        hit = entry is not None and entry[0] == key
+        obs.REGISTRY.inc("checkpoint_hits_total" if hit else "checkpoint_misses_total")
+        return hit
 
     def load(self, index: int, key: str) -> list[list[RunRecord]]:
         """Load a recorded chunk's records, split back per job."""
@@ -233,10 +236,13 @@ class SweepCheckpoint:
         _, file_name, rows_per_job = entry
         path = os.path.join(self.directory, file_name)
         records: list[RunRecord] = []
+        loaded_at = obs.now() if obs.is_enabled() else 0.0
         with open(path, encoding="utf-8") as handle:
             for line in handle:
                 if line.strip():
                     records.append(decode_record_line(line))
+        if loaded_at:
+            obs.record_span("checkpoint.load", loaded_at, obs.now(), chunk=index, rows=len(records))
         if len(records) != sum(rows_per_job):
             raise ValueError(
                 f"checkpoint chunk file {path!r} holds {len(records)} rows, "
@@ -273,6 +279,7 @@ class SweepCheckpoint:
         )
         self._entries[index] = (key, file_name, [len(r) for r in per_job_records])
         self.chunks_recorded += 1
+        obs.REGISTRY.inc("checkpoint_chunks_recorded_total")
 
     def _append_line(self, payload: dict) -> None:
         self._manifest.write(json.dumps(payload, separators=(",", ":")) + "\n")

@@ -19,6 +19,7 @@ import zlib
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.metrics import evaluate, evaluate_online
 from ..core.validation import check_schedule
@@ -143,28 +144,36 @@ def run_solvers_on_instance(
     # a "columnar" resolution (explicit or via the environment) drops event
     # recording, exactly like an explicit engine="columnar"/"auto" request.
     wants_object = engine in (None, "object") and resolve_engine(engine) != "columnar"
+    traced = obs.is_enabled()
     records = []
     for solver in solvers:
         trace = None
         ran_engine = ""
+        stats = None
         runs_on_kernel = bool(getattr(solver, "runs_on_kernel", False))
         record = runs_on_kernel and wants_object
         if batch_size is not None:
-            result = simulate_in_batches(
-                instance,
-                solver,
-                batch_size=batch_size,
-                pipelined=pipelined,
-                machine=machine,
-                record=record,
-                engine=engine,
-            )
+            with obs.span("solver.run", solver=solver.name) if traced else obs.NOOP_SPAN:
+                result = simulate_in_batches(
+                    instance,
+                    solver,
+                    batch_size=batch_size,
+                    pipelined=pipelined,
+                    machine=machine,
+                    record=record,
+                    engine=engine,
+                )
             schedule, trace = result.schedule, result.trace
             ran_engine = getattr(result, "engine", "")
+            stats = getattr(result, "stats", None)
         elif hasattr(solver, "simulate"):
-            result = solver.simulate(instance, machine=machine, record=record, **extra)
+            with obs.span("solver.run", solver=solver.name) if traced else obs.NOOP_SPAN:
+                result = solver.simulate(
+                    instance, machine=machine, record=record, **extra
+                )
             schedule, trace = result.schedule, result.trace
             ran_engine = getattr(result, "engine", "")
+            stats = getattr(result, "stats", None)
         else:
             if machine is not None:
                 raise ValueError(
@@ -207,6 +216,8 @@ def run_solvers_on_instance(
                     else float(outcome.cache_hit)
                 ),
                 engine=ran_engine or "",
+                kernel_events=stats.events if stats is not None else 0,
+                memory_wait_s=stats.memory_wait_s if stats is not None else math.nan,
             )
         )
     return records
@@ -349,6 +360,12 @@ class SweepJob:
 
     def run(self) -> list[RunRecord]:
         """Execute the job in the current process and return its records."""
+        if obs.is_enabled():
+            with obs.span("sweep.job", label=self.label):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> list[RunRecord]:
         specs = tuple(
             wire_to_spec(spec) if isinstance(spec, dict) else spec for spec in self.solver_specs
         )
@@ -517,9 +534,13 @@ def _run_sweep(
     )
     if not streaming:
         jobs = list(job_iter)
-        return ResultSet.concat(
-            executor.run(jobs, chunk_size=chunk_size, on_progress=progress)
-        )
+        per_job = executor.run(jobs, chunk_size=chunk_size, on_progress=progress)
+        merge_started = obs.now() if obs.is_enabled() else 0.0
+        merged = ResultSet.concat(per_job)
+        obs.REGISTRY.inc("sweep_jobs_merged_total", len(jobs))
+        if obs.is_enabled():
+            obs.record_span("sweep.merge", merge_started, obs.now(), jobs=len(jobs))
+        return merged
 
     if shard_spec is None:
         local_total = job_total
@@ -633,6 +654,7 @@ def _stream_sweep(
             yield index, jobs_only
 
     def emit(gidxs: Sequence[int], per_job: Sequence[Sequence[RunRecord]]) -> None:
+        merge_started = obs.now() if obs.is_enabled() else 0.0
         for gidx, records in zip(gidxs, per_job):
             for record in records:
                 result.append(record)
@@ -640,6 +662,12 @@ def _stream_sweep(
                 on_records(gidx, records)
         if isinstance(result, SpilledResultSet):
             result.flush()
+        obs.REGISTRY.inc("sweep_chunks_merged_total")
+        obs.REGISTRY.inc("sweep_jobs_merged_total", len(gidxs))
+        if obs.is_enabled():
+            obs.record_span(
+                "sweep.chunk.merge", merge_started, obs.now(), jobs=len(gidxs)
+            )
 
     next_emit = 0
 

@@ -60,6 +60,8 @@ class RunRecord:
     selected_solver: str = ""
     cache_hit: float = math.nan
     engine: str = ""
+    kernel_events: int = 0
+    memory_wait_s: float = math.nan
 
     @property
     def key(self) -> tuple[str, float]:
@@ -84,6 +86,8 @@ COLUMNS: tuple[str, ...] = (
     "selected_solver",
     "cache_hit",
     "engine",
+    "kernel_events",
+    "memory_wait_s",
 )
 
 #: Later-vintage columns may be absent from older dumps; loaders fill the
@@ -98,6 +102,9 @@ _OPTIONAL_DEFAULTS: dict[str, object] = {
     "cache_hit": math.nan,
     # pre-columnar dumps (PR 7) lack the engine column
     "engine": "",
+    # pre-observability dumps (PR 9) lack the kernel-profiling columns
+    "kernel_events": 0,
+    "memory_wait_s": math.nan,
 }
 _OPTIONAL_COLUMNS = frozenset(_OPTIONAL_DEFAULTS)
 
@@ -112,9 +119,10 @@ _FLOAT_COLUMNS = frozenset(
         "mean_stretch",
         "avg_queue_length",
         "cache_hit",
+        "memory_wait_s",
     }
 )
-_INT_COLUMNS = frozenset({"task_count"})
+_INT_COLUMNS = frozenset({"task_count", "kernel_events"})
 
 #: Named reducers accepted by :meth:`ResultSet.aggregate`.
 _AGGREGATORS: dict[str, Callable[[Sequence[float]], float]] = {
@@ -589,7 +597,17 @@ class SpilledResultSet(ResultSet):
     another host) with :meth:`ResultSet.from_jsonl`.
     """
 
-    __slots__ = ("_path", "_handle", "_window", "_count", "_offsets", "_tell", "_temporary")
+    __slots__ = (
+        "_path",
+        "_handle",
+        "_window",
+        "_count",
+        "_offsets",
+        "_tell",
+        "_temporary",
+        "_pending_rows",
+        "_pending_bytes",
+    )
 
     _complete = False
 
@@ -624,6 +642,10 @@ class SpilledResultSet(ResultSet):
         )
         if not resume:
             self._tell = 0
+        # Spill activity is pushed to the obs registry in flush()/close()
+        # (once per merged chunk) instead of taking the registry lock per row.
+        self._pending_rows = 0
+        self._pending_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -643,8 +665,11 @@ class SpilledResultSet(ResultSet):
         line = encode_record_line(record)
         self._handle.write(line)
         self._offsets.append(self._tell)
-        self._tell += len(line.encode("utf-8"))
+        line_bytes = len(line.encode("utf-8"))
+        self._tell += line_bytes
         self._count += 1
+        self._pending_rows += 1
+        self._pending_bytes += line_bytes
         for name in COLUMNS:
             self._columns[name].append(getattr(record, name))
         # Trim the window in blocks: del of a slice is O(window), so doing
@@ -659,10 +684,25 @@ class SpilledResultSet(ResultSet):
         for record in records:
             self.append(record)
 
+    def _publish_spill_metrics(self) -> None:
+        if self._pending_rows:
+            from ..obs import REGISTRY, is_enabled, now, record_span
+
+            REGISTRY.inc("spill_rows_total", self._pending_rows)
+            REGISTRY.inc("spill_bytes_total", self._pending_bytes)
+            if is_enabled():
+                at = now()
+                record_span(
+                    "spill.flush", at, at, rows=self._pending_rows, bytes=self._pending_bytes
+                )
+            self._pending_rows = 0
+            self._pending_bytes = 0
+
     def flush(self) -> None:
         """Push buffered rows to the OS (one call per merged sweep chunk)."""
         if self._handle is not None:
             self._handle.flush()
+            self._publish_spill_metrics()
 
     def close(self) -> None:
         """Flush and close the spill; the file stays on disk for loading."""
@@ -671,6 +711,7 @@ class SpilledResultSet(ResultSet):
             os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
+            self._publish_spill_metrics()
 
     def __enter__(self) -> "SpilledResultSet":
         return self

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.metrics import OnlineMetrics, ScheduleMetrics, evaluate, evaluate_online
 from ..core.schedule import Schedule
@@ -12,6 +14,7 @@ from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
 from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
+from ..obs.stats import KernelStats
 from ..simulator.events import EventTrace
 from ..simulator.resources import MachineModel
 from .registry import Solver, get_solver, resolve_solvers
@@ -34,6 +37,8 @@ class SolveResult:
     ``engine`` records which execution engine produced the schedule
     (``"object"`` or ``"columnar"``; ``"mixed"`` when batched windows
     disagree, ``None`` when the run bypassed the kernel entirely).
+    ``stats`` carries the kernel's per-run profiling counters
+    (:class:`~repro.obs.stats.KernelStats`; ``None`` off-kernel).
     """
 
     solver: str
@@ -46,6 +51,7 @@ class SolveResult:
     selected_solver: str | None = None
     cache_hit: bool | None = None
     engine: str | None = None
+    stats: KernelStats | None = None
 
     @property
     def makespan(self) -> float:
@@ -75,6 +81,7 @@ def solve(
     machine: MachineModel | None = None,
     record_events: bool = False,
     engine: str | None = None,
+    trace: "str | os.PathLike | None" = None,
     **solver_params,
 ) -> SolveResult:
     """Schedule ``instance`` with one registered solver and evaluate it.
@@ -123,7 +130,27 @@ def solve(
         or multi-CPU machines), ``"object"`` forces the event kernel.
         Kernel-backed solvers only; the chosen engine is recorded on
         :attr:`SolveResult.engine`.
+    trace:
+        Enable :mod:`repro.obs` tracing for this call and write the spans
+        to ``trace`` as a Chrome trace-event file (open it in Perfetto or
+        ``chrome://tracing``).  Tracing state is restored afterwards.
     """
+    if trace is not None:
+        with obs.trace_to(trace), obs.span("solve", method=str(method)):
+            return solve(
+                instance,
+                method,
+                arrivals=arrivals,
+                arrival_seed=arrival_seed,
+                batch_size=batch_size,
+                pipelined=pipelined,
+                validate=validate,
+                reference=reference,
+                machine=machine,
+                record_events=record_events,
+                engine=engine,
+                **solver_params,
+            )
     if isinstance(method, str):
         if method.lower().startswith("category:"):
             raise ValueError(
@@ -148,6 +175,7 @@ def solve(
 
     trace = None
     ran_engine: str | None = None
+    stats: KernelStats | None = None
     if batch_size is not None:
         result = simulate_in_batches(
             instance,
@@ -160,6 +188,7 @@ def solve(
         )
         schedule, trace = result.schedule, result.trace
         ran_engine = getattr(result, "engine", None) or None
+        stats = getattr(result, "stats", None)
     elif pipelined:
         raise ValueError("pipelined=True requires batch_size")
     elif (
@@ -180,6 +209,7 @@ def solve(
         )
         schedule, trace = result.schedule, result.trace
         ran_engine = getattr(result, "engine", None) or None
+        stats = getattr(result, "stats", None)
     else:
         schedule = solver.schedule(instance)
     if validate:
@@ -203,4 +233,5 @@ def solve(
         selected_solver=outcome.selected if outcome is not None else None,
         cache_hit=outcome.cache_hit if outcome is not None else None,
         engine=ran_engine,
+        stats=stats,
     )

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, Mapping, Sequence
 
+from .. import obs
 from ..core.instance import Instance
 from ..simulator.arrivals import ArrivalProcess
 from ..simulator.resources import MachineModel
@@ -62,6 +63,7 @@ class Study:
         self._checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None
         self._shard: "str | tuple[int, int] | None" = None
         self._on_records: "Callable[[int, list[RunRecord]], None] | None" = None
+        self._trace: "str | os.PathLike | bool | None" = None
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -326,6 +328,20 @@ class Study:
         self._on_records = callback
         return self
 
+    def trace(self, target: "str | os.PathLike | bool" = True) -> "Study":
+        """Trace the sweep with :mod:`repro.obs` while it runs.
+
+        ``trace(path)`` writes the spans — including kernel, chunk-lifecycle
+        and cache spans shipped back from process-backend workers — to
+        ``path`` as a Chrome trace-event file (open it in Perfetto or
+        ``chrome://tracing``).  ``trace()`` enables tracing without writing
+        a file (read the spans via :func:`repro.obs.export_since`);
+        ``trace(False)`` removes a previously set target.  Tracing state is
+        restored after :meth:`run`.
+        """
+        self._trace = target
+        return self
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -335,6 +351,14 @@ class Study:
         Streaming studies (``spill``/auto-spill) return a
         :class:`~repro.api.SpilledResultSet` — same API, rows on disk.
         """
+        if self._trace is not None and self._trace is not False:
+            target, self._trace = self._trace, None
+            try:
+                path = None if target is True else target
+                with obs.trace_to(path), obs.span("study.run"):
+                    return self.run()
+            finally:
+                self._trace = target
         if not self._traces and not self._instances:
             raise ValueError("Study has nothing to run: add .traces(...) or .instances(...)")
         if (

@@ -1,0 +1,180 @@
+"""``repro.obs`` — unified tracing, metrics, and kernel profiling.
+
+Stdlib-only instrumentation shared by every layer of the stack:
+
+* :mod:`~repro.obs.spans` — hierarchical timed spans with ``contextvars``
+  propagation; zero-cost no-op while disabled;
+* :mod:`~repro.obs.metrics` — the labelled counter/gauge/summary registry
+  (:data:`REGISTRY` is the process-wide instance) with a picklable wire
+  format so sweep workers ship deltas back with their chunk results;
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), Prometheus text, JSONL span logs, plus the
+  trace validator CI runs;
+* :mod:`~repro.obs.stats` — per-run :class:`KernelStats` from the
+  simulation engines.
+
+Activation surfaces, all equivalent:
+
+* ``REPRO_TRACE=1`` (env) enables tracing process-wide;
+  ``REPRO_TRACE=/path/trace.json`` additionally writes a Chrome trace
+  at interpreter exit;
+* ``solve(..., trace="trace.json")`` / ``Study().trace("trace.json")``
+  trace one call;
+* ``repro sweep --trace trace.json`` traces a sweep, merging spans from
+  every worker process into one file.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_span_log,
+)
+from .metrics import DEFAULT_WINDOW, REGISTRY, MetricsRegistry, Summary, quantile
+from .spans import (
+    NOOP_SPAN,
+    add_spans,
+    clear,
+    current_span_id,
+    disable,
+    enable,
+    export_since,
+    is_enabled,
+    mark,
+    now,
+    record_span,
+    set_enabled,
+    span,
+)
+from .stats import KernelStats
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "KernelStats",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "REGISTRY",
+    "Summary",
+    "TRACE_ENV_VAR",
+    "absorb_payload",
+    "add_spans",
+    "chrome_trace",
+    "chrome_trace_events",
+    "clear",
+    "current_span_id",
+    "disable",
+    "disable_autoexport",
+    "enable",
+    "export_since",
+    "is_enabled",
+    "mark",
+    "now",
+    "prometheus_lines",
+    "quantile",
+    "record_span",
+    "set_autoexport",
+    "set_enabled",
+    "span",
+    "trace_to",
+    "validate_chrome_trace",
+    "worker_baseline",
+    "worker_payload",
+    "write_chrome_trace",
+    "write_span_log",
+]
+
+#: Environment switch: truthy enables tracing; a path value additionally
+#: writes a Chrome trace there at interpreter exit.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSY = {"", "0", "false", "off", "no"}
+_TRUTHY = {"1", "true", "on", "yes"}
+
+_autoexport_path: str | None = None
+_autoexport_pid: int | None = None
+
+
+def set_autoexport(path: str) -> None:
+    """Write buffered spans to ``path`` as a Chrome trace at process exit.
+
+    The registration is pinned to the current pid so forked sweep workers
+    never clobber the parent's trace file on their own exit.
+    """
+    global _autoexport_path, _autoexport_pid
+    _autoexport_path = str(path)
+    _autoexport_pid = os.getpid()
+
+
+def disable_autoexport() -> None:
+    """Cancel any exit-time trace export (called in sweep worker init)."""
+    global _autoexport_path, _autoexport_pid
+    _autoexport_path = None
+    _autoexport_pid = None
+
+
+@atexit.register
+def _export_on_exit() -> None:  # pragma: no cover - exercised via subprocess
+    if _autoexport_path is None or _autoexport_pid != os.getpid():
+        return
+    records = export_since(0)
+    if records:
+        with contextlib.suppress(OSError):
+            write_chrome_trace(_autoexport_path, records)
+
+
+def _configure_from_env() -> None:
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if value.lower() in _FALSY:
+        return
+    enable()
+    if value.lower() not in _TRUTHY:
+        set_autoexport(value)
+
+
+@contextlib.contextmanager
+def trace_to(path: str | os.PathLike | None = None):
+    """Enable tracing for the ``with`` body; optionally export on exit.
+
+    Restores the previous enabled state afterwards.  When ``path`` is
+    given, the spans recorded inside the body (including any merged from
+    workers) are written there as a Chrome trace file.
+    """
+    previous = is_enabled()
+    marker = mark()
+    enable()
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+        if path is not None:
+            write_chrome_trace(path, export_since(marker))
+
+
+def worker_baseline() -> tuple[int, dict]:
+    """Snapshot a worker's span/metrics position before running a chunk."""
+    return mark(), REGISTRY.wire_snapshot()
+
+
+def worker_payload(baseline: tuple[int, dict]) -> dict:
+    """Everything recorded since ``baseline``, picklable for the job wire."""
+    marker, wire = baseline
+    return {"spans": export_since(marker), "metrics": REGISTRY.delta_since(wire)}
+
+
+def absorb_payload(payload: dict | None) -> None:
+    """Merge a shipped worker payload into this process's tracer/registry."""
+    if not payload:
+        return
+    add_spans(payload.get("spans") or ())
+    REGISTRY.merge_wire(payload.get("metrics") or {})
+
+
+_configure_from_env()

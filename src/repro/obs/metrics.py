@@ -1,0 +1,288 @@
+"""Labelled counters, gauges and latency summaries behind one lock.
+
+The registry is the stack-wide aggregation point: cache hits, spill
+bytes, checkpoint activity, sweep chunk lifecycle and serve request
+latencies all land here, whether recorded in this process or shipped
+back over the PR 5 job wire from a sweep worker.
+
+Three instrument kinds:
+
+* **counters** — monotonically increasing floats keyed by
+  ``(name, labels)``;
+* **gauges** — either a live callable sampled at snapshot time or a
+  plain last-write-wins value;
+* **summaries** — bounded windows of recent observations with
+  nearest-rank quantile views plus lifetime count/total (the former
+  ``serve.metrics.LatencyWindow``, generalised with labels).
+
+Everything mutates under one lock; snapshots are consistent cuts.  The
+wire format (:meth:`MetricsRegistry.wire_snapshot` /
+:meth:`~MetricsRegistry.delta_since` / :meth:`~MetricsRegistry.merge_wire`)
+is plain lists-of-JSON-scalars so it pickles cheaply and survives both
+fork- and spawn-start workers: a worker snapshots at chunk start, runs,
+and ships only the delta, so inherited parent counts are never double
+counted.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Callable
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Summary",
+    "quantile",
+]
+
+#: Samples kept per summary; ~2k observations of history bounds memory
+#: while making p99 meaningful (20 tail samples at the default window).
+DEFAULT_WINDOW = 2048
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def quantile(samples: list[float], q: float) -> float:
+    """The q-quantile (0..1) of ``samples`` by the nearest-rank method."""
+    if not samples:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Summary:
+    """A bounded window of recent samples with quantile views.
+
+    ``count``/``total``/``max`` are lifetime aggregates (they keep growing
+    past the window); the quantiles and mean track the window so they
+    describe current behaviour rather than averaging over the whole run.
+    """
+
+    __slots__ = ("_samples", "count", "total", "max")
+
+    def __init__(self, maxlen: int = DEFAULT_WINDOW):
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+        self.max = math.nan
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self.count += 1
+        self.total += value
+        if math.isnan(self.max) or value > self.max:
+            self.max = value
+
+    def merge(self, count: int, total: float, mx: float, samples: list[float]) -> None:
+        """Fold in a shipped delta without re-counting its observations."""
+        self._samples.extend(samples)
+        self.count += count
+        self.total += total
+        if not math.isnan(mx) and (math.isnan(self.max) or mx > self.max):
+            self.max = mx
+
+    def samples_since(self, baseline_count: int) -> list[float]:
+        """The (windowed tail of) samples observed after ``baseline_count``."""
+        fresh = self.count - baseline_count
+        if fresh <= 0:
+            return []
+        window = list(self._samples)
+        return window[-fresh:] if fresh < len(window) else window
+
+    def snapshot(self) -> dict[str, float]:
+        samples = list(self._samples)
+        return {
+            "count": self.count,
+            "p50_s": quantile(samples, 0.50),
+            "p99_s": quantile(samples, 0.99),
+            "mean_s": (sum(samples) / len(samples)) if samples else math.nan,
+            "max_s": max(samples) if samples else math.nan,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/summaries with labels."""
+
+    def __init__(self, *, window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: dict[tuple[str, _LabelKey], float] = {}
+        self._summaries: dict[tuple[str, _LabelKey], Summary] = {}
+        self._gauges: dict[str, Callable[[], float] | float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` to counter ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample into summary ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            summary = self._summaries.get(key)
+            if summary is None:
+                summary = self._summaries[key] = Summary(self._window)
+            summary.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a plain value (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a live gauge sampled at snapshot/render time."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def value(self, name: str, **labels) -> float:
+        """Current value of counter ``name`` (0.0 when never incremented)."""
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of counter ``name`` across every label combination."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def counter_series(self, name: str) -> dict[_LabelKey, float]:
+        """Label set -> value for every series of counter ``name``."""
+        with self._lock:
+            return {labels: v for (n, labels), v in self._counters.items() if n == name}
+
+    def summary_series(self, name: str) -> dict[_LabelKey, dict[str, float]]:
+        """Label set -> snapshot for every series of summary ``name``."""
+        with self._lock:
+            return {
+                labels: s.snapshot()
+                for (n, labels), s in self._summaries.items()
+                if n == name
+            }
+
+    def sample_gauges(self) -> dict[str, float]:
+        with self._lock:
+            gauges = dict(self._gauges)
+        sampled: dict[str, float] = {}
+        for name, fn in sorted(gauges.items()):
+            if callable(fn):
+                try:
+                    sampled[name] = float(fn())
+                except Exception:  # a dead gauge must never take a scrape down
+                    sampled[name] = math.nan
+            else:
+                sampled[name] = fn
+        return sampled
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-ready dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            summaries = {key: s.snapshot() for key, s in self._summaries.items()}
+        counter_view: dict[str, dict[str, float]] = {}
+        for (name, labels), value in sorted(counters.items()):
+            label_text = ",".join(f'{k}="{v}"' for k, v in labels)
+            counter_view.setdefault(name, {})[label_text] = value
+        summary_view: dict[str, dict[str, dict[str, float]]] = {}
+        for (name, labels), stats in sorted(summaries.items()):
+            label_text = ",".join(f'{k}="{v}"' for k, v in labels)
+            summary_view.setdefault(name, {})[label_text] = stats
+        return {
+            "counters": counter_view,
+            "summaries": summary_view,
+            "gauges": self.sample_gauges(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wire (worker -> parent)
+    # ------------------------------------------------------------------ #
+    def wire_snapshot(self) -> dict:
+        """A picklable cumulative snapshot of counters and summaries."""
+        with self._lock:
+            counters = [
+                [name, list(labels), value]
+                for (name, labels), value in self._counters.items()
+            ]
+            summaries = [
+                [name, list(labels), summary.count, summary.total, summary.max]
+                for (name, labels), summary in self._summaries.items()
+            ]
+        return {"counters": counters, "summaries": summaries}
+
+    def delta_since(self, baseline: dict) -> dict:
+        """What was recorded since ``baseline`` (a prior wire snapshot)."""
+        base_counters = {
+            (name, tuple(tuple(pair) for pair in labels)): value
+            for name, labels, value in baseline.get("counters", [])
+        }
+        base_counts = {
+            (name, tuple(tuple(pair) for pair in labels)): count
+            for name, labels, count, _total, _mx in baseline.get("summaries", [])
+        }
+        with self._lock:
+            counters = [
+                [name, list(labels), value - base_counters.get((name, labels), 0.0)]
+                for (name, labels), value in self._counters.items()
+                if value != base_counters.get((name, labels), 0.0)
+            ]
+            summaries = []
+            for (name, labels), summary in self._summaries.items():
+                base = base_counts.get((name, labels), 0)
+                if summary.count <= base:
+                    continue
+                fresh = summary.samples_since(base)
+                summaries.append(
+                    [
+                        name,
+                        list(labels),
+                        summary.count - base,
+                        sum(fresh),
+                        max(fresh) if fresh else math.nan,
+                        fresh,
+                    ]
+                )
+        return {"counters": counters, "summaries": summaries}
+
+    def merge_wire(self, wire: dict) -> None:
+        """Fold a shipped delta (from :meth:`delta_since`) into this registry."""
+        if not wire:
+            return
+        with self._lock:
+            for name, labels, value in wire.get("counters", []):
+                key = (name, tuple(tuple(pair) for pair in labels))
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for name, labels, count, total, mx, samples in wire.get("summaries", []):
+                key = (name, tuple(tuple(pair) for pair in labels))
+                summary = self._summaries.get(key)
+                if summary is None:
+                    summary = self._summaries[key] = Summary(self._window)
+                summary.merge(count, total, mx, samples)
+
+    def reset(self) -> None:
+        """Drop every counter/summary and every plain-value gauge."""
+        with self._lock:
+            self._counters.clear()
+            self._summaries.clear()
+            self._gauges = {
+                name: fn for name, fn in self._gauges.items() if callable(fn)
+            }
+
+
+#: The process-wide registry every layer records into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,204 @@
+"""Hierarchical timed spans with ``contextvars`` propagation.
+
+The tracer is a module-level singleton: one flag, one lock, one buffer of
+finished span records.  Call sites guard with :func:`is_enabled` (a plain
+module-global read) and :func:`span` returns a shared no-op object when
+tracing is off, so the disabled path costs one attribute load and one
+branch — no allocation, no lock.
+
+Span records are plain dicts so they pickle over the PR 5 job wire and
+serialize straight to JSONL/Chrome trace events:
+
+``{"name", "ts", "dur", "pid", "tid", "id", "parent", "args"?}``
+
+``ts`` is a :func:`time.perf_counter` reading.  On Linux that clock is
+``CLOCK_MONOTONIC``, which is shared across processes, so spans recorded
+in forked/spawned sweep workers land on the same timeline as the parent
+and a merged trace lines up without clock translation.
+
+Parent/child nesting rides on a :class:`contextvars.ContextVar`, which
+gives correct attribution both across threads (each thread has its own
+context) and across ``await`` points in the serve daemon.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+
+__all__ = [
+    "NOOP_SPAN",
+    "add_spans",
+    "clear",
+    "current_span_id",
+    "disable",
+    "enable",
+    "export_since",
+    "is_enabled",
+    "mark",
+    "now",
+    "record_span",
+    "set_enabled",
+    "span",
+]
+
+#: The span clock. ``perf_counter`` is CLOCK_MONOTONIC on Linux: comparable
+#: across the processes of one sweep, never subject to wall-clock steps.
+now = time.perf_counter
+
+_enabled: bool = False
+_lock = threading.Lock()
+_finished: list[dict] = []
+_ids = itertools.count(1)
+_parent: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_parent", default=None
+)
+
+
+def is_enabled() -> bool:
+    """Whether tracing is on. The one check every instrumentation site makes."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    global _enabled
+    _enabled = bool(value)
+
+
+def enable() -> None:
+    set_enabled(True)
+
+
+def disable() -> None:
+    set_enabled(False)
+
+
+def current_span_id() -> int | None:
+    """The id of the innermost open span in this context, if any."""
+    return _parent.get()
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **args) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span; records itself into the module buffer on exit."""
+
+    __slots__ = ("name", "args", "start", "_id", "_parent_id", "_token")
+
+    def __init__(self, name: str, args: dict):
+        self.name = name
+        self.args = args
+        self.start = 0.0
+        self._id = 0
+        self._parent_id: int | None = None
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "Span":
+        self._id = next(_ids)
+        self._parent_id = _parent.get()
+        self._token = _parent.set(self._id)
+        self.start = now()
+        return self
+
+    def annotate(self, **args) -> "Span":
+        """Attach key/value arguments to the span while it is open."""
+        self.args.update(args)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = now()
+        if self._token is not None:
+            _parent.reset(self._token)
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        record = {
+            "name": self.name,
+            "ts": self.start,
+            "dur": end - self.start,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "id": self._id,
+            "parent": self._parent_id,
+        }
+        if self.args:
+            record["args"] = self.args
+        with _lock:
+            _finished.append(record)
+        return False
+
+
+def span(name: str, **args):
+    """A context manager timing ``name``; the shared no-op when disabled."""
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, args)
+
+
+def record_span(name: str, start: float, end: float, **args) -> None:
+    """Record an already-measured interval as a span (no-op when disabled).
+
+    For hot loops that time themselves with two ``perf_counter`` reads and
+    must not restructure their bodies into ``with`` blocks.  ``start`` and
+    ``end`` are :func:`now` readings; the parent is taken from the current
+    context.
+    """
+    if not _enabled:
+        return
+    record = {
+        "name": name,
+        "ts": start,
+        "dur": end - start,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "id": next(_ids),
+        "parent": _parent.get(),
+    }
+    if args:
+        record["args"] = args
+    with _lock:
+        _finished.append(record)
+
+
+def add_spans(records) -> None:
+    """Merge externally-recorded span dicts (e.g. shipped from a worker)."""
+    if not records:
+        return
+    with _lock:
+        _finished.extend(records)
+
+
+def mark() -> int:
+    """An opaque cursor into the span buffer; pass to :func:`export_since`."""
+    with _lock:
+        return len(_finished)
+
+
+def export_since(marker: int = 0) -> list[dict]:
+    """All finished span records appended at or after ``marker``."""
+    with _lock:
+        return list(_finished[marker:])
+
+
+def clear() -> None:
+    """Drop every buffered span record."""
+    with _lock:
+        del _finished[:]

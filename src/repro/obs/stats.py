@@ -1,0 +1,61 @@
+"""Per-run kernel profiling counters.
+
+:class:`KernelStats` is produced by both simulation engines (the object
+loop in :mod:`repro.simulator.engine` and the columnar fast path in
+:mod:`repro.simulator.columnar`) and rides on
+:class:`~repro.simulator.engine.SimulationResult` /
+:class:`~repro.api.solve.SolveResult`; the deterministic fields surface
+as ``ResultSet`` columns.
+
+Two kinds of field, deliberately separated:
+
+* **deterministic** — ``tasks``, ``events``, ``memory_wait_s``,
+  ``ledger_ops`` are pure functions of the instance and policy.  Both
+  engines accumulate ``memory_wait_s`` by adding the *same float
+  operands in the same order*, so the value is bit-identical across
+  engines and safe to expose as a byte-identity-checked sweep column.
+* **wall-clock** — ``policy_select_s`` and ``elapsed_s`` are real timer
+  readings, only measured while tracing is enabled (0.0 otherwise) and
+  never written into result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelStats"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Counters from one kernel run.
+
+    ``events`` counts discrete simulation events: one arrival firing plus,
+    per placed task, memory acquire, transfer start/end, compute
+    start/end and memory release — the same six the event trace records.
+    ``memory_wait_s`` is total simulated time the link sat idle solely
+    because the next chosen task's memory did not fit (the paper's
+    memory-stall metric); waits for *arrivals* are not counted.
+    ``ledger_ops`` counts memory-ledger mutations (acquire + release per
+    placed task).
+    """
+
+    engine: str = ""
+    tasks: int = 0
+    events: int = 0
+    memory_wait_s: float = 0.0
+    ledger_ops: int = 0
+    policy_select_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Combine stats from two runs (batch windows merging into one)."""
+        return KernelStats(
+            engine=self.engine if self.engine == other.engine else "mixed",
+            tasks=self.tasks + other.tasks,
+            events=self.events + other.events,
+            memory_wait_s=self.memory_wait_s + other.memory_wait_s,
+            ledger_ops=self.ledger_ops + other.ledger_ops,
+            policy_select_s=self.policy_select_s + other.policy_select_s,
+            elapsed_s=self.elapsed_s + other.elapsed_s,
+        )

@@ -34,6 +34,7 @@ import tempfile
 import threading
 from pathlib import Path
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.schedule import Schedule, ScheduledTask
 from ..core.task import Task
@@ -223,6 +224,7 @@ class ResultCache:
         deleted and reported as a miss, so the caller transparently
         recomputes and heals the store.
         """
+        started = obs.now()
         payload = self._load(key)
         if payload is not None:
             try:
@@ -236,10 +238,16 @@ class ResultCache:
                 self.misses += 1
             else:
                 self.hits += 1
+        hit = payload is not None
+        obs.REGISTRY.inc("cache_hits_total" if hit else "cache_misses_total")
+        obs.REGISTRY.observe("cache_get_latency", obs.now() - started)
+        if obs.is_enabled():
+            obs.record_span("cache.get", started, obs.now(), hit=hit)
         return None if payload is None else schedule
 
     def put(self, key: str, schedule: Schedule, *, solver: str = "") -> None:
         """Store ``schedule`` under ``key`` (atomic write, last writer wins)."""
+        started = obs.now()
         payload = _encode_schedule(schedule, solver=solver)
         self._memory[key] = payload
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -257,6 +265,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        obs.REGISTRY.inc("cache_puts_total")
+        obs.REGISTRY.observe("cache_put_latency", obs.now() - started)
 
 
 def _encode_schedule(schedule: Schedule, *, solver: str = "") -> dict:

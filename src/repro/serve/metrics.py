@@ -1,155 +1,96 @@
-"""Live serving metrics: request counters, latency quantiles, gauges.
+"""Request metrics for the serving daemon — a thin view over ``repro.obs``.
 
-One :class:`ServerMetrics` instance aggregates everything ``/metricsz``
-exposes:
+Historically this module owned its own counter/latency machinery; PR 9
+moved that into :mod:`repro.obs.metrics`, and what remains here is the
+serve-shaped surface on top of it:
 
-* request counts per ``(endpoint, outcome)`` — outcomes are the error codes
-  of :mod:`repro.serve.protocol` plus ``"ok"``;
-* per-endpoint latency quantiles (p50/p99/mean) over a bounded window of
-  recent samples, so the numbers track current behaviour instead of
-  averaging over the daemon's whole lifetime;
-* *gauges* — live callables sampled at render time (queue depth, busy
-  workers, cache hit rate), registered by whoever owns the underlying
-  state.
+* :class:`LatencyWindow` — the obs :class:`~repro.obs.metrics.Summary`
+  under its historical name (bounded sample window, lifetime count,
+  nearest-rank quantile snapshot);
+* :class:`ServerMetrics` — per-endpoint/outcome request counts, latency
+  summaries and live gauges, recorded into a *private*
+  :class:`~repro.obs.metrics.MetricsRegistry` so independent server
+  instances (tests, embedded daemons) never share state;
+* ``quantile`` — re-exported from :mod:`repro.obs.metrics`.
 
-All mutation goes through one lock: latencies are recorded from HTTP
-handler tasks, cache counters from worker threads, and scrapes may happen
-mid-request.  The text exposition is deliberately Prometheus-shaped
-(``name{label="..."} value``) without claiming full compliance — it is
-grep-able, diff-able and scrape-able.
+``render()`` produces the Prometheus text served at ``/metricsz`` via the
+shared :func:`repro.obs.prometheus_lines` renderer — one formatting path
+for the daemon scrape endpoint and the obs exporter.
 """
 
 from __future__ import annotations
 
-import math
-import threading
 import time
-from collections import deque
-from typing import Callable
 
-__all__ = ["LatencyWindow", "ServerMetrics", "quantile"]
+from ..obs.export import prometheus_lines
+from ..obs.metrics import DEFAULT_WINDOW, MetricsRegistry, Summary, quantile
 
-#: Samples kept per endpoint; ~2k requests of history bounds memory while
-#: making p99 meaningful (20 tail samples at the default window).
-DEFAULT_WINDOW = 2048
+__all__ = ["DEFAULT_WINDOW", "LatencyWindow", "ServerMetrics", "quantile"]
 
 
-def quantile(samples: list[float], q: float) -> float:
-    """The q-quantile (0..1) of ``samples`` by the nearest-rank method."""
-    if not samples:
-        return math.nan
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
+class LatencyWindow(Summary):
+    """Sliding window of request latencies (the obs ``Summary``, renamed).
 
+    ``count`` is a lifetime total; the quantiles/mean/max in
+    :meth:`snapshot` describe only the most recent ``maxlen`` samples, so
+    a long-running server reports current behaviour, not its whole
+    history.
+    """
 
-class LatencyWindow:
-    """A bounded window of recent latency samples with quantile views."""
-
-    def __init__(self, maxlen: int = DEFAULT_WINDOW):
-        self._samples: deque[float] = deque(maxlen=maxlen)
-        self.count = 0  # lifetime observations, beyond the window
-
-    def observe(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self.count += 1
-
-    def snapshot(self) -> dict[str, float]:
-        samples = list(self._samples)
-        return {
-            "count": self.count,
-            "p50_s": quantile(samples, 0.50),
-            "p99_s": quantile(samples, 0.99),
-            "mean_s": (sum(samples) / len(samples)) if samples else math.nan,
-            "max_s": max(samples) if samples else math.nan,
-        }
+    def __init__(self, maxlen: int = DEFAULT_WINDOW) -> None:
+        super().__init__(maxlen)
 
 
 class ServerMetrics:
-    """Thread-safe aggregation point for everything ``/metricsz`` shows."""
+    """Request counters, latency windows and gauges for one server.
 
-    def __init__(self, *, window: int = DEFAULT_WINDOW):
-        self._lock = threading.Lock()
-        self._window = window
-        self._counts: dict[tuple[str, str], int] = {}
-        self._latencies: dict[str, LatencyWindow] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
+    Each instance owns a private registry: counters keyed
+    ``(endpoint, outcome)``, one latency summary per endpoint, and live
+    gauges sampled at snapshot/render time.  All mutation is lock-guarded
+    by the registry, so worker threads and the asyncio loop can record
+    concurrently.
+    """
+
+    def __init__(self, *, window: int = DEFAULT_WINDOW) -> None:
         self.started_at = time.time()
+        self._registry = MetricsRegistry(window=window)
 
-    # ------------------------------------------------------------------ #
-    # Recording
-    # ------------------------------------------------------------------ #
     def observe(self, endpoint: str, outcome: str, seconds: float) -> None:
-        """Count one finished request and record its wall-clock latency."""
-        with self._lock:
-            self._counts[(endpoint, outcome)] = self._counts.get((endpoint, outcome), 0) + 1
-            window = self._latencies.get(endpoint)
-            if window is None:
-                window = self._latencies[endpoint] = LatencyWindow(self._window)
-            window.observe(seconds)
+        """Record one finished request: its route, outcome and latency."""
+        self._registry.inc("requests", endpoint=endpoint, outcome=outcome)
+        self._registry.observe("request_latency", seconds, endpoint=endpoint)
 
-    def add_gauge(self, name: str, fn: Callable[[], float]) -> None:
-        """Register a live value sampled at snapshot/render time."""
-        with self._lock:
-            self._gauges[name] = fn
-
-    # ------------------------------------------------------------------ #
-    # Views
-    # ------------------------------------------------------------------ #
-    def _sample_gauges(self) -> dict[str, float]:
-        with self._lock:
-            gauges = dict(self._gauges)
-        sampled = {}
-        for name, fn in sorted(gauges.items()):
-            try:
-                sampled[name] = float(fn())
-            except Exception:  # a dead gauge must never take /metricsz down
-                sampled[name] = math.nan
-        return sampled
+    def add_gauge(self, name: str, fn) -> None:
+        """Register a live gauge; a failing gauge reads as NaN, never raises."""
+        self._registry.register_gauge(name, fn)
 
     def snapshot(self) -> dict:
-        """The whole metrics surface as one JSON-ready dict."""
-        with self._lock:
-            counts = dict(self._counts)
-            latencies = {name: window.snapshot() for name, window in self._latencies.items()}
+        """The whole metrics state as one JSON-ready dict."""
         requests: dict[str, dict[str, int]] = {}
-        for (endpoint, outcome), value in sorted(counts.items()):
-            requests.setdefault(endpoint, {})[outcome] = value
+        for labels, value in sorted(self._registry.counter_series("requests").items()):
+            series = dict(labels)
+            requests.setdefault(series["endpoint"], {})[series["outcome"]] = int(value)
+        latency = {
+            dict(labels)["endpoint"]: stats
+            for labels, stats in sorted(
+                self._registry.summary_series("request_latency").items()
+            )
+        }
         return {
             "uptime_s": time.time() - self.started_at,
             "requests": requests,
-            "requests_total": sum(counts.values()),
-            "latency": dict(sorted(latencies.items())),
-            "gauges": self._sample_gauges(),
+            "requests_total": int(self._registry.counter_total("requests")),
+            "latency": latency,
+            "gauges": self._registry.sample_gauges(),
         }
 
     def render(self) -> str:
-        """Text exposition: one ``name{labels} value`` line per datum."""
+        """Prometheus-shaped plain text (the ``/metricsz`` body)."""
         snap = self.snapshot()
         lines = [
             "# repro.serve metrics",
             f"repro_uptime_seconds {snap['uptime_s']:.3f}",
             f"repro_requests_total {snap['requests_total']}",
         ]
-        for endpoint, outcomes in snap["requests"].items():
-            for outcome, value in sorted(outcomes.items()):
-                lines.append(
-                    f'repro_requests{{endpoint="{endpoint}",outcome="{outcome}"}} {value}'
-                )
-        for endpoint, stats in snap["latency"].items():
-            for key, label in (("p50_s", "0.5"), ("p99_s", "0.99")):
-                value = stats[key]
-                if not math.isnan(value):
-                    lines.append(
-                        f'repro_request_latency_seconds{{endpoint="{endpoint}",'
-                        f'quantile="{label}"}} {value:.6f}'
-                    )
-            lines.append(
-                f'repro_request_latency_count{{endpoint="{endpoint}"}} {stats["count"]}'
-            )
-        for name, value in snap["gauges"].items():
-            rendered = "NaN" if math.isnan(value) else f"{value:.6g}"
-            lines.append(f"repro_{name} {rendered}")
+        lines.extend(prometheus_lines(self._registry.snapshot()))
         return "\n".join(lines) + "\n"

@@ -47,6 +47,9 @@ import traceback
 from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
+import itertools
+
+from .. import obs
 from ..api import StopSweep, solve
 from ..portfolio.cache import CachedSolver, ResultCache
 from . import protocol
@@ -132,6 +135,7 @@ class ReproServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._background: set[asyncio.Task] = set()
+        self._request_ids = itertools.count(1)
         self._register_gauges()
 
     # ------------------------------------------------------------------ #
@@ -228,8 +232,10 @@ class ReproServer:
         started = time.perf_counter()
         endpoint, outcome = "http", "error"
         try:
-            method, path, query, body = await self._read_request(reader)
-            endpoint, outcome = await self._route(method, path, query, body, writer)
+            with obs.span("serve.request", request_id=next(self._request_ids)) as span:
+                method, path, query, body = await self._read_request(reader)
+                endpoint, outcome = await self._route(method, path, query, body, writer)
+                span.annotate(endpoint=endpoint, outcome=outcome)
         except _HttpError as error:
             endpoint, outcome = "http", error.body["error"]["code"]
             await self._respond_json(writer, error.status, error.body)
@@ -405,7 +411,13 @@ class ReproServer:
         if query.get("format") == "json":
             await self._respond_json(writer, 200, self.metrics.snapshot())
         else:
-            await self._respond_text(writer, 200, self.metrics.render())
+            # The server's own metrics first, then whatever the rest of the
+            # stack (cache, sweeps, kernel) recorded into the shared registry.
+            text = self.metrics.render()
+            shared = obs.prometheus_lines(obs.REGISTRY.snapshot())
+            if shared:
+                text += "# repro.obs registry\n" + "\n".join(shared) + "\n"
+            await self._respond_text(writer, 200, text)
         return "ok"
 
     # ------------------------------------------------------------------ #

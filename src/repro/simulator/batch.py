@@ -130,6 +130,7 @@ def _simulate_barrier(
     entries = []
     traces: list[EventTrace] = []
     engines: set[str] = set()
+    stats = None
     offset = 0.0
     # Only pass engine= when requested: simulate() surfaces predating the
     # engine option (external solvers) keep working untouched.
@@ -141,6 +142,9 @@ def _simulate_barrier(
         batch_engine = getattr(result, "engine", "")
         if batch_engine:
             engines.add(batch_engine)
+        batch_stats = getattr(result, "stats", None)
+        if batch_stats is not None:
+            stats = batch_stats if stats is None else stats.merge(batch_stats)
         if record:
             traces.append(result.trace.shifted(offset))
         offset += result.schedule.makespan
@@ -154,6 +158,7 @@ def _simulate_barrier(
         schedule=Schedule(entries),
         trace=EventTrace.merged(traces) if record else None,
         engine=merged_engine,
+        stats=stats,
     )
 
 

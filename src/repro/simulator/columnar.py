@@ -71,6 +71,8 @@ from ..core.instance import Instance
 from ..core.schedule import Schedule, ScheduledTask
 from ..core.task import Task
 from ..core.validation import TOLERANCE
+from ..obs import spans as _obs
+from ..obs.stats import KernelStats
 from .policies import (
     CorrectedOrderPolicy,
     CriterionPolicy,
@@ -239,7 +241,12 @@ def columnar_view(instance: Instance, *, build: bool = True) -> ColumnarInstance
     view = getattr(instance, _VIEW_ATTR, None)
     if view is not None or not build:
         return view
-    view = ColumnarInstance(instance)
+    if _obs.is_enabled():
+        pack_started = _obs.now()
+        view = ColumnarInstance(instance)
+        _obs.record_span("columnar.pack", pack_started, _obs.now(), tasks=len(view))
+    else:
+        view = ColumnarInstance(instance)
     try:  # Instance is frozen; the cache is not a dataclass field.
         object.__setattr__(instance, _VIEW_ATTR, view)
     except AttributeError:  # pragma: no cover - only if Instance gains __slots__
@@ -551,6 +558,8 @@ def simulate_columnar(
                 f"but capacity is {capacity:g}"
             )
 
+    traced = _obs.is_enabled()
+    run_started = _obs.now() if traced else 0.0
     if type(policy) is FixedOrderPolicy:
         order = _fixed_order_indices(view, policy)
         if order is None:
@@ -563,7 +572,8 @@ def simulate_columnar(
             resolved = resolve_order(instance, comp_order)
             index = view.index
             comp_idx = [index[t.name] for t in resolved]
-        comm_start, comp_start = _fixed_order_scan(
+        scan_mode = "fixed"
+        comm_start, comp_start, memory_wait = _fixed_order_scan(
             view, order, comp_idx, capacity, machine.link_count
         )
         placed: Sequence[int] = order
@@ -573,14 +583,33 @@ def simulate_columnar(
         if type(policy) is CorrectedOrderPolicy:
             index = view.index
             corrected_order = [index.get(name, -1) for name in policy.order]
-        placed, comm_start, comp_start = _policy_scan(
+        scan_mode = "corrected" if corrected_order is not None else "policy"
+        placed, comm_start, comp_start, memory_wait = _policy_scan(
             view, keys, corrected_order, capacity, machine.link_count
         )
 
+    stats = KernelStats(
+        engine="columnar",
+        tasks=len(placed),
+        events=6 * len(placed),
+        memory_wait_s=memory_wait,
+        ledger_ops=2 * len(placed),
+        elapsed_s=(_obs.now() - run_started) if traced else 0.0,
+    )
+    if traced:
+        _obs.record_span(
+            "columnar.scan",
+            run_started,
+            run_started + stats.elapsed_s,
+            mode=scan_mode,
+            tasks=stats.tasks,
+            memory_wait_s=stats.memory_wait_s,
+        )
     return SimulationResult(
         schedule=_columnar_schedule(view, placed, comm_start, comp_start),
         trace=None,
         engine="columnar",
+        stats=stats,
     )
 
 
@@ -590,7 +619,7 @@ def _fixed_order_scan(
     comp_idx: list[int] | None,
     capacity: float,
     link_count: int,
-) -> tuple[Sequence[float], Sequence[float]]:
+) -> tuple[Sequence[float], Sequence[float], float]:
     """Fixed-order recurrence: one forward pass over the packed columns.
 
     The transfer timeline is the kernel's ``start = max(ready, free)`` /
@@ -626,11 +655,12 @@ def _fixed_order_scan(
                 cs = end if end > cpu_avail else cpu_avail
                 cpu_avail = cs + p
                 comp_append(cs)
-            return _scattered(order, n, comm_seq, comp_seq)
+            return (*_scattered(order, n, comm_seq, comp_seq), 0.0)
         return _fixed_scan_single_link(view, order, capacity)
 
     comm_start = [0.0] * n
     comp_start = [0.0] * n
+    memory_wait = 0.0
 
     # Generic loop: k links and/or an explicit computation order.
     from .engine import DeadlockError
@@ -678,6 +708,7 @@ def _fixed_order_scan(
                         start_at = release
                         break
                 if start_at > time:
+                    memory_wait += start_at - time
                     time = start_at
         c = comm[i]
         if single_link:
@@ -704,7 +735,7 @@ def _fixed_order_scan(
             rel_time.append(ce)
             rel_amount.append(mem[j])
             comp_cursor += 1
-    return comm_start, comp_start
+    return comm_start, comp_start, memory_wait
 
 
 def _gathered_columns(view: ColumnarInstance, order: Sequence[int], *, memory: bool = True):
@@ -754,7 +785,7 @@ def _fixed_scan_single_link(
     view: ColumnarInstance,
     order: Sequence[int],
     capacity: float,
-) -> tuple["array[float]", "array[float]"]:
+) -> tuple["array[float]", "array[float]", float]:
     """Specialised fixed-order scan: one link, computations in placement
     order, finite capacity.  Every expression mirrors the object kernel's
     exact arithmetic; per-task fit limits are precomputed column-wide
@@ -788,6 +819,7 @@ def _fixed_scan_single_link(
     link_avail = 0.0
     cpu_avail = 0.0
     time = 0.0
+    memory_wait = 0.0
 
     for c, p, m, limit in zip(comm_o, comp_o, mem_o, limits_o):
         if link_avail > time:
@@ -813,6 +845,7 @@ def _fixed_scan_single_link(
                     start_at = release
                     break
             if start_at > time:
+                memory_wait += start_at - time
                 time = start_at
         start = start_at if start_at > link_avail else link_avail
         end = start + c
@@ -828,7 +861,7 @@ def _fixed_scan_single_link(
         if next_release == inf:
             next_release = ce
 
-    return _scattered(order, len(view), comm_seq, comp_seq)
+    return (*_scattered(order, len(view), comm_seq, comp_seq), memory_wait)
 
 
 def _policy_scan(
@@ -837,7 +870,7 @@ def _policy_scan(
     corrected_order: list[int] | None,
     capacity: float,
     link_count: int,
-) -> tuple[list[int], list[float], list[float]]:
+) -> tuple[list[int], list[float], list[float], float]:
     """Dynamic / corrected decision loop with vectorized reductions.
 
     One decision still places one transfer, but the per-candidate Python
@@ -884,6 +917,7 @@ def _policy_scan(
     placed: list[int] = []
     comm_start = [0.0] * n
     comp_start = [0.0] * n
+    memory_wait = 0.0
 
     while k > 0:
         now = link_avail if single_link else link_heap[0]
@@ -902,6 +936,7 @@ def _policy_scan(
                     raise DeadlockError(
                         "deadlock: no task fits and no memory will be released"
                     )
+                memory_wait += rel_time[rel_cursor] - time
                 time = rel_time[rel_cursor]
                 continue
         else:
@@ -969,4 +1004,4 @@ def _policy_scan(
             rank_a[slot] = rank_a[last]
             pos[moved] = slot
         k = last
-    return placed, comm_start, comp_start
+    return placed, comm_start, comp_start, memory_wait

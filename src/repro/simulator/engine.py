@@ -34,6 +34,8 @@ from ..core.instance import Instance
 from ..core.schedule import Schedule, ScheduledTask
 from ..core.task import Task
 from ..core.validation import TOLERANCE
+from ..obs import spans as _obs
+from ..obs.stats import KernelStats
 from .events import EventKind, EventTrace, SimEvent
 from .ledger import MemoryLedger
 from .policies import SelectionPolicy
@@ -62,12 +64,15 @@ class SimulationResult:
 
     ``engine`` names the kernel that produced the result (``"object"`` or
     ``"columnar"``); schedule-only solvers that never touch a kernel leave
-    it empty.
+    it empty.  ``stats`` carries the per-run profiling counters
+    (:class:`~repro.obs.stats.KernelStats`); its deterministic fields are
+    always populated, its wall-clock fields only while tracing is enabled.
     """
 
     schedule: Schedule
     trace: EventTrace | None
     engine: str = ""
+    stats: KernelStats | None = None
 
 
 class _KernelState:
@@ -257,7 +262,22 @@ def simulate(
     comp_cursor = 0
     state = _KernelState({}, comm_start, pending)
     waits = getattr(policy, "waits_for_memory", False)
-    select = policy.select
+    traced = _obs.is_enabled()
+    run_started = _obs.now() if traced else 0.0
+    policy_select_s = 0.0
+    if traced:
+        _select = policy.select
+
+        def select(candidates, decision_state):
+            nonlocal policy_select_s
+            started = _obs.now()
+            choice = _select(candidates, decision_state)
+            policy_select_s += _obs.now() - started
+            return choice
+
+    else:
+        select = policy.select
+    memory_wait = 0.0
     time = 0.0
 
     def fire_arrivals(now: float) -> None:
@@ -274,18 +294,18 @@ def simulate(
     def next_arrival() -> float | None:
         return future[arr_cursor].release if arr_cursor < len(future) else None
 
-    def advance_to_next_event() -> bool:
-        """Jump the clock to the next memory release or arrival, if any."""
+    def advance_to_next_event() -> int:
+        """Jump the clock to the next event: 0 none, 1 arrival, 2 release."""
         nonlocal time
         next_release = ledger.next_release()
         arrival = next_arrival()
         if next_release is None and arrival is None:
-            return False
+            return 0
         if next_release is None or (arrival is not None and arrival < next_release):
             time = arrival
-        else:
-            time = next_release
-        return True
+            return 1
+        time = next_release
+        return 2
 
     def place_enabled_computations() -> None:
         """Book every computation whose turn has come and transfer is placed."""
@@ -348,15 +368,19 @@ def simulate(
             # free earlier, but the ledger's destructive release walk — and
             # the fixed order itself — require a monotone clock).
             if start_at > time:
+                memory_wait += start_at - time
                 time = start_at
         else:
             headroom = ledger.headroom()
             candidates = [t for t in pending.values() if t.memory <= headroom]
             if not candidates:
-                if not advance_to_next_event():
+                stalled_at = time
+                if not (kind := advance_to_next_event()):
                     raise DeadlockError(
                         "deadlock: no task fits and no memory will be released"
                     )
+                if kind == 2:
+                    memory_wait += time - stalled_at
                 continue
             state.time = time
             state.available_memory = ledger.available
@@ -396,8 +420,29 @@ def simulate(
         ScheduledTask(task=t, comm_start=comm_start[t.name], comp_start=comp_start[t.name])
         for t in placed
     )
+    stats = KernelStats(
+        engine="object",
+        tasks=len(placed),
+        events=6 * len(placed) + arr_cursor,
+        memory_wait_s=memory_wait,
+        ledger_ops=2 * len(placed),
+        policy_select_s=policy_select_s,
+        elapsed_s=(_obs.now() - run_started) if traced else 0.0,
+    )
+    if traced:
+        _obs.record_span(
+            "kernel.simulate",
+            run_started,
+            run_started + stats.elapsed_s,
+            engine="object",
+            tasks=stats.tasks,
+            events=stats.events,
+            memory_wait_s=stats.memory_wait_s,
+            policy_select_s=stats.policy_select_s,
+        )
     return SimulationResult(
         schedule=schedule,
         trace=EventTrace(events) if events is not None else None,
         engine="object",
+        stats=stats,
     )

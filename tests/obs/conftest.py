@@ -1,0 +1,19 @@
+"""Tracer/registry hygiene: every obs test leaves the module state clean."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    previous = obs.is_enabled()
+    marker = obs.mark()
+    yield
+    obs.set_enabled(previous)
+    # Drop only what the test recorded; parallel-unrelated suites never
+    # write spans (tracing is off outside obs tests), so this is the lot.
+    del marker
+    obs.clear()

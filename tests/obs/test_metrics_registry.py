@@ -1,0 +1,165 @@
+"""Metrics registry: labelled counters, summaries, gauges, wire round-trip."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_WINDOW, MetricsRegistry, Summary, quantile
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 11)]
+        assert quantile(samples, 0.5) == 5.0
+        assert quantile(samples, 0.99) == 10.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile([], 0.5))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            quantile([1.0], -0.1)
+
+
+class TestSummary:
+    def test_lifetime_count_windowed_quantiles(self):
+        summary = Summary(4)
+        for _ in range(10):
+            summary.observe(1.0)
+        summary.observe(100.0)
+        snap = summary.snapshot()
+        assert snap["count"] == 11
+        assert snap["p99_s"] == 100.0 and snap["p50_s"] == 1.0
+        assert summary.max == 100.0
+        assert summary.total == pytest.approx(110.0)
+
+    def test_samples_since(self):
+        summary = Summary(DEFAULT_WINDOW)
+        summary.observe(1.0)
+        baseline = summary.count
+        summary.observe(2.0)
+        summary.observe(3.0)
+        assert summary.samples_since(baseline) == [2.0, 3.0]
+        assert summary.samples_since(summary.count) == []
+
+
+class TestCounters:
+    def test_labels_key_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", endpoint="solve", outcome="ok")
+        registry.inc("requests", 2.0, endpoint="solve", outcome="error")
+        assert registry.value("requests", endpoint="solve", outcome="ok") == 1.0
+        assert registry.value("requests", endpoint="solve", outcome="error") == 2.0
+        assert registry.value("requests", endpoint="other", outcome="ok") == 0.0
+        assert registry.counter_total("requests") == 3.0
+
+    def test_counter_series_exposes_label_sets(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", kind="a")
+        registry.inc("hits", kind="b")
+        series = registry.counter_series("hits")
+        assert series == {(("kind", "a"),): 1.0, (("kind", "b"),): 1.0}
+
+    def test_thread_safety_exact_totals(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                registry.inc("n")
+                registry.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_total("n") == 8 * 500
+        (stats,) = registry.summary_series("lat").values()
+        assert stats["count"] == 8 * 500
+
+
+class TestGauges:
+    def test_live_callable_and_plain_value(self):
+        registry = MetricsRegistry()
+        depth = {"value": 3}
+        registry.register_gauge("depth", lambda: depth["value"])
+        registry.set_gauge("static", 1.5)
+        assert registry.sample_gauges() == {"depth": 3.0, "static": 1.5}
+        depth["value"] = 7
+        assert registry.sample_gauges()["depth"] == 7.0
+
+    def test_dead_gauge_reads_nan(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("gone")
+
+        registry.register_gauge("broken", broken)
+        assert math.isnan(registry.sample_gauges()["broken"])
+
+    def test_reset_keeps_callable_gauges(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("live", lambda: 1.0)
+        registry.set_gauge("plain", 2.0)
+        registry.inc("n")
+        registry.reset()
+        assert registry.counter_total("n") == 0.0
+        gauges = registry.sample_gauges()
+        assert gauges == {"live": 1.0}
+
+
+class TestSnapshot:
+    def test_json_ready_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", endpoint="solve")
+        registry.observe("latency", 0.25, endpoint="solve")
+        snap = registry.snapshot()
+        assert snap["counters"]["requests"] == {'endpoint="solve"': 1.0}
+        stats = snap["summaries"]["latency"]['endpoint="solve"']
+        assert stats["count"] == 1 and stats["p50_s"] == 0.25
+
+
+class TestWire:
+    def test_delta_then_merge_round_trip(self):
+        worker = MetricsRegistry()
+        worker.inc("inherited", 5.0)  # pretend this came from the fork parent
+        worker.observe("lat", 0.1)
+        baseline = worker.wire_snapshot()
+
+        worker.inc("inherited", 2.0)
+        worker.inc("fresh", labels="yes")
+        worker.observe("lat", 0.2)
+        worker.observe("lat", 0.3)
+        delta = worker.delta_since(baseline)
+
+        parent = MetricsRegistry()
+        parent.inc("inherited", 5.0)  # the parent's own copy of the history
+        parent.merge_wire(delta)
+        # Only the post-baseline activity crossed the wire: no double count.
+        assert parent.counter_total("inherited") == 7.0
+        assert parent.value("fresh", labels="yes") == 1.0
+        (stats,) = parent.summary_series("lat").values()
+        assert stats["count"] == 2
+        assert stats["p50_s"] == 0.2 and stats["max_s"] == 0.3
+
+    def test_wire_is_picklable(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.inc("n", endpoint="solve")
+        registry.observe("lat", 0.5)
+        wire = registry.delta_since({"counters": [], "summaries": []})
+        restored = pickle.loads(pickle.dumps(wire))
+        other = MetricsRegistry()
+        other.merge_wire(restored)
+        assert other.value("n", endpoint="solve") == 1.0
+
+    def test_empty_delta_when_nothing_happened(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        baseline = registry.wire_snapshot()
+        delta = registry.delta_since(baseline)
+        assert delta == {"counters": [], "summaries": []}

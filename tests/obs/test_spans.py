@@ -1,0 +1,167 @@
+"""Span tracer: no-op path, nesting, threads, manual records, buffer API."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import repro.obs as obs
+from repro.obs.spans import NOOP_SPAN
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_span_returns_shared_noop_singleton(self):
+        first = obs.span("anything", key="value")
+        second = obs.span("else")
+        assert first is NOOP_SPAN and second is NOOP_SPAN
+
+    def test_noop_span_supports_the_full_surface(self):
+        with obs.span("x") as span:
+            assert span.annotate(extra=1) is span
+
+    def test_nothing_is_recorded_while_disabled(self):
+        marker = obs.mark()
+        with obs.span("invisible"):
+            pass
+        obs.record_span("also-invisible", 0.0, 1.0)
+        assert obs.export_since(marker) == []
+
+
+class TestEnabledSpans:
+    def test_span_records_on_exit(self):
+        obs.enable()
+        marker = obs.mark()
+        with obs.span("work", items=3):
+            pass
+        (record,) = obs.export_since(marker)
+        assert record["name"] == "work"
+        assert record["dur"] >= 0.0
+        assert record["pid"] == os.getpid()
+        assert record["tid"] == threading.get_ident()
+        assert record["parent"] is None
+        assert record["args"] == {"items": 3}
+
+    def test_nesting_links_parent_ids(self):
+        obs.enable()
+        marker = obs.mark()
+        with obs.span("outer"):
+            outer_id = obs.current_span_id()
+            with obs.span("inner"):
+                pass
+        inner, outer = obs.export_since(marker)
+        assert outer["name"] == "outer" and inner["name"] == "inner"
+        assert inner["parent"] == outer["id"] == outer_id
+        assert outer["parent"] is None
+
+    def test_annotate_while_open(self):
+        obs.enable()
+        marker = obs.mark()
+        with obs.span("req") as span:
+            span.annotate(outcome="ok")
+        (record,) = obs.export_since(marker)
+        assert record["args"] == {"outcome": "ok"}
+
+    def test_exception_is_annotated_and_propagates(self):
+        obs.enable()
+        marker = obs.mark()
+        try:
+            with obs.span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        (record,) = obs.export_since(marker)
+        assert record["args"]["error"] == "ValueError"
+
+    def test_record_span_manual_interval(self):
+        obs.enable()
+        marker = obs.mark()
+        start = obs.now()
+        end = start + 0.25
+        obs.record_span("kernel", start, end, tasks=10)
+        (record,) = obs.export_since(marker)
+        assert record["ts"] == start
+        assert record["dur"] == 0.25
+        assert record["args"] == {"tasks": 10}
+
+    def test_record_span_inherits_the_open_parent(self):
+        obs.enable()
+        marker = obs.mark()
+        with obs.span("outer"):
+            obs.record_span("timed", obs.now(), obs.now())
+        timed, outer = obs.export_since(marker)
+        assert timed["parent"] == outer["id"]
+
+
+class TestThreads:
+    def test_each_thread_nests_independently(self):
+        obs.enable()
+        marker = obs.mark()
+        barrier = threading.Barrier(2)
+
+        def worker(label):
+            with obs.span(label):
+                barrier.wait(timeout=5)
+                with obs.span(f"{label}.child"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = {r["name"]: r for r in obs.export_since(marker)}
+        assert set(records) == {"t0", "t0.child", "t1", "t1.child"}
+        for i in range(2):
+            parent, child = records[f"t{i}"], records[f"t{i}.child"]
+            assert child["parent"] == parent["id"]
+            assert child["tid"] == parent["tid"]
+        assert records["t0"]["tid"] != records["t1"]["tid"]
+
+    def test_thread_span_does_not_adopt_main_thread_parent(self):
+        obs.enable()
+        marker = obs.mark()
+        with obs.span("main"):
+            thread = threading.Thread(target=lambda: obs.span("side").__enter__().__exit__(None, None, None))
+            thread.start()
+            thread.join()
+        records = {r["name"]: r for r in obs.export_since(marker)}
+        assert records["side"]["parent"] is None
+
+
+class TestBufferApi:
+    def test_mark_and_export_since(self):
+        obs.enable()
+        with obs.span("before"):
+            pass
+        marker = obs.mark()
+        with obs.span("after"):
+            pass
+        names = [r["name"] for r in obs.export_since(marker)]
+        assert names == ["after"]
+
+    def test_add_spans_merges_external_records(self):
+        marker = obs.mark()
+        obs.add_spans([{"name": "shipped", "ts": 0.0, "dur": 1.0, "pid": 99, "tid": 1, "id": 1, "parent": None}])
+        (record,) = obs.export_since(marker)
+        assert record["name"] == "shipped" and record["pid"] == 99
+
+    def test_clear_drops_everything(self):
+        obs.enable()
+        with obs.span("gone"):
+            pass
+        obs.clear()
+        assert obs.export_since(0) == []
+
+    def test_trace_to_restores_state_and_writes(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert not obs.is_enabled()
+        with obs.trace_to(path):
+            assert obs.is_enabled()
+            with obs.span("inside"):
+                pass
+        assert not obs.is_enabled()
+        info = obs.validate_chrome_trace(str(path))
+        assert info["spans"] == 1
