@@ -109,7 +109,7 @@ from .simulator import (
     simulate_in_batches,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Task",

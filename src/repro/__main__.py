@@ -183,12 +183,14 @@ def _sweep_parser() -> argparse.ArgumentParser:
     execution = parser.add_argument_group("execution")
     execution.add_argument(
         "--engine",
-        choices=["auto", "object", "columnar"],
+        choices=["auto", "object", "columnar", "batched"],
         default=None,
         help="execution engine: 'auto' picks the columnar fast path for large "
-        "instances, 'columnar' requests it explicitly (falls back when "
-        "unsupported), 'object' forces the event kernel "
-        "(default: the legacy recording path)",
+        "instances (and the cross-instance batched plane for wide sweeps), "
+        "'columnar' requests the per-instance fast path explicitly, "
+        "'batched' stacks homogeneous fixed-order sweep lanes into one "
+        "numpy step loop (both fall back when unsupported), 'object' "
+        "forces the event kernel (default: the legacy recording path)",
     )
     execution.add_argument(
         "--backend",

@@ -53,6 +53,7 @@ from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_che
 
 from .. import obs
 from .results import RunRecord
+from .shm import ShmPlane, shm_enabled
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -458,6 +459,41 @@ def _process_worker_init() -> None:
     warm_registry()
 
 
+def _is_shm_handle(wire_job) -> bool:
+    from .shm import ShmHandle
+
+    return isinstance(getattr(wire_job, "payload", None), ShmHandle)
+
+
+def _wire_probe():
+    """Trial-pickle gate probing one wire job per *distinct payload type*.
+
+    Sweep jobs share their solver specs and sweep-wide options, so pickle
+    failures are a property of the payload family: probing the first
+    ``Trace`` job does nothing for an unpicklable ``Instance`` subclass
+    later in the plane, which used to detonate mid-pool as an opaque
+    error.  One probe per payload type keeps the early clear ``TypeError``
+    without serializing every payload twice.
+    """
+    probed: set[type] = set()
+
+    def probe(wire_job, job) -> None:
+        kind = type(getattr(wire_job, "payload", wire_job))
+        if kind in probed:
+            return
+        probed.add(kind)
+        try:
+            pickle.dumps(wire_job)
+        except Exception as error:
+            raise TypeError(
+                f"sweep job {job.label!r} cannot be pickled for the process "
+                f"backend ({error}); use picklable solver parameters and "
+                "payloads, or backend='threads'"
+            ) from error
+
+    return probe
+
+
 class ProcessBackend:
     """Fan chunks of jobs over a process pool — true multi-core sweeps.
 
@@ -468,79 +504,103 @@ class ProcessBackend:
 
     name = "processes"
 
-    def __init__(self, n_jobs: int | None = None) -> None:
+    def __init__(self, n_jobs: int | None = None, *, shm: bool | None = None) -> None:
         self.n_jobs = n_jobs
+        #: ``True``/``False`` force the shared-memory job plane on or off;
+        #: ``None`` defers to the ``REPRO_SHM`` environment variable.
+        self.shm = shm
+
+    def _job_plane(self) -> "ShmPlane | None":
+        return ShmPlane() if shm_enabled(self.shm) else None
 
     def run(self, jobs, *, chunk_size=None, on_progress=None):
         chunk_size = _checked_chunk_size(chunk_size)
-        wire_jobs = [job.to_wire() for job in jobs]
-        if not wire_jobs:
-            return []
-        # One trial pickle before the pool spins up: sweep jobs share their
-        # solver specs, so an unpicklable parameter almost always breaks
-        # every job — catching it on the first one gives a clear error
-        # without serializing each payload twice.
+        plane = self._job_plane()
         try:
-            pickle.dumps(wire_jobs[0])
-        except Exception as error:
-            raise TypeError(
-                f"sweep job {jobs[0].label!r} cannot be pickled for the process "
-                f"backend ({error}); use picklable solver parameters and "
-                "payloads, or backend='threads'"
-            ) from error
-        workers = _effective_workers(self.n_jobs, len(wire_jobs))
-        size = chunk_size if chunk_size is not None else auto_chunk_size(len(wire_jobs), workers)
-        chunks = _chunked(wire_jobs, size)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(chunks)), initializer=_process_worker_init
-            ) as pool:
-                per_chunk = _run_pool(
-                    pool, chunks, len(wire_jobs), on_progress, runner=_process_runner()
-                )
-        except BrokenProcessPool as error:
-            raise RuntimeError(
-                "the process-backend worker pool died unexpectedly (a worker was "
-                "killed — out-of-memory, a segfault in an extension, or an "
-                "interpreter crash); re-run with backend='serial' to reproduce "
-                "the failure in-process"
-            ) from error
+            wire_jobs = [job.to_wire(plane=plane) if plane is not None else job.to_wire() for job in jobs]
+            if not wire_jobs:
+                return []
+            # Trial pickles before the pool spins up: sweep jobs share their
+            # solver specs, so probing one job per distinct payload type gives
+            # a clear early error for every job that could fail — without
+            # serializing each payload twice.
+            probe = _wire_probe()
+            for wire_job, job in zip(wire_jobs, jobs):
+                probe(wire_job, job)
+            workers = _effective_workers(self.n_jobs, len(wire_jobs))
+            size = chunk_size if chunk_size is not None else auto_chunk_size(len(wire_jobs), workers)
+            chunks = _chunked(wire_jobs, size)
+            if obs.is_enabled():
+                for chunk in chunks:
+                    obs.REGISTRY.inc("sweep_ipc_bytes_shipped_total", len(pickle.dumps(chunk)))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(chunks)), initializer=_process_worker_init
+                ) as pool:
+                    per_chunk = _run_pool(
+                        pool, chunks, len(wire_jobs), on_progress, runner=_process_runner()
+                    )
+            except BrokenProcessPool as error:
+                raise RuntimeError(
+                    "the process-backend worker pool died unexpectedly (a worker was "
+                    "killed — out-of-memory, a segfault in an extension, or an "
+                    "interpreter crash); re-run with backend='serial' to reproduce "
+                    "the failure in-process"
+                ) from error
+        finally:
+            if plane is not None:
+                plane.close()
         return [records for chunk in per_chunk for records in chunk]
 
     def stream_chunks(self, chunks, *, on_chunk=None, max_pending=None):
         """Bounded-window streaming over a process pool (ordered yields).
 
-        Each chunk is converted to wire form as it is pulled; the first
-        job seen gets the same trial pickle as :meth:`run`, so an
-        unpicklable payload fails with a clear TypeError instead of an
-        opaque pool teardown.
+        Each chunk is converted to wire form as it is pulled; one job per
+        distinct payload type gets the same trial pickle as :meth:`run`, so
+        an unpicklable payload anywhere in the stream fails with a clear
+        TypeError instead of an opaque pool teardown.  With the shm plane
+        on, each chunk's segments are released as soon as the chunk's
+        results are back, keeping ``/dev/shm`` usage proportional to the
+        in-flight window.
         """
         workers = _effective_workers(self.n_jobs, None)
         if max_pending is None:
             max_pending = workers * _CHUNKS_PER_WORKER
+        plane = self._job_plane()
+        pending_handles: dict = {}
 
         def wired(source):
-            checked = False
+            probe = _wire_probe()
+            traced = obs.is_enabled()
             for tag, chunk in source:
-                wire_chunk = [job.to_wire() for job in chunk]
-                if not checked and wire_chunk:
-                    checked = True
-                    try:
-                        pickle.dumps(wire_chunk[0])
-                    except Exception as error:
-                        raise TypeError(
-                            f"sweep job {chunk[0].label!r} cannot be pickled for "
-                            f"the process backend ({error}); use picklable solver "
-                            "parameters and payloads, or backend='threads'"
-                        ) from error
+                if plane is not None:
+                    wire_chunk = [job.to_wire(plane=plane) for job in chunk]
+                    pending_handles[tag] = [
+                        job.payload for job in wire_chunk if _is_shm_handle(job)
+                    ]
+                else:
+                    wire_chunk = [job.to_wire() for job in chunk]
+                for wire_job, job in zip(wire_chunk, chunk):
+                    probe(wire_job, job)
+                if traced:
+                    obs.REGISTRY.inc(
+                        "sweep_ipc_bytes_shipped_total", len(pickle.dumps(wire_chunk))
+                    )
                 yield tag, wire_chunk
+
+        def chunk_done(tag, count):
+            if plane is not None:
+                for handle in pending_handles.pop(tag, ()):
+                    plane.release(handle)
+            if on_chunk is not None:
+                on_chunk(tag, count)
 
         try:
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_process_worker_init
             ) as pool:
                 yield from _stream_pool(
-                    pool, wired(chunks), _process_runner(), on_chunk, max_pending
+                    pool, wired(chunks), _process_runner(), chunk_done, max_pending
                 )
         except BrokenProcessPool as error:
             raise RuntimeError(
@@ -549,6 +609,9 @@ class ProcessBackend:
                 "interpreter crash); re-run with backend='serial' to reproduce "
                 "the failure in-process"
             ) from error
+        finally:
+            if plane is not None:
+                plane.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(n_jobs={self.n_jobs!r})"

@@ -26,8 +26,14 @@ from ..core.validation import check_schedule
 from ..flowshop.johnson import omim_makespan
 from ..simulator.arrivals import ArrivalProcess, resolve_arrivals
 from ..simulator.batch import simulate_in_batches
-from ..simulator.columnar import resolve_engine
-from ..simulator.resources import MachineModel
+from ..simulator.batched import (
+    BATCH_AUTO_THRESHOLD,
+    batched_unsupported_reason,
+    simulate_batched_outcomes,
+)
+from ..simulator.columnar import COLUMNAR_AUTO_THRESHOLD, resolve_engine
+from ..simulator.policies import FixedOrderPolicy
+from ..simulator.resources import DEFAULT_MACHINE, MachineModel
 from ..traces.model import Trace, TraceEnsemble, TraceStream
 from .backends import (
     ExecutionBackend,
@@ -39,6 +45,7 @@ from .checkpoint import SweepCheckpoint, chunk_key
 from .registry import Solver, resolve_solvers, solver_names, spec_to_wire, wire_to_spec
 from .results import ResultSet, RunRecord, SpilledResultSet
 from .sharding import parse_shard
+from .shm import ShmHandle, ShmPlane, attach_payload
 
 __all__ = [
     "run_solvers_on_instance",
@@ -120,6 +127,7 @@ def run_solvers_on_instance(
     pipelined: bool = False,
     machine: MachineModel | None = None,
     engine: str | None = None,
+    precomputed: "Mapping[int, object] | None" = None,
 ) -> list[RunRecord]:
     """Run every solver on one instance and return the measurements.
 
@@ -131,9 +139,14 @@ def run_solvers_on_instance(
     model (kernel-backed solvers only).  Kernel-backed solvers run with
     event recording on, so the metrics are read from the structured trace
     instead of re-derived from the schedule — unless ``engine`` requests
-    the columnar fast path (``"auto"``/``"columnar"``), which does not
-    record events: recording is dropped there so the fast path can engage,
-    and the metrics are derived from the schedule instead.
+    an array-native fast path (``"auto"``/``"columnar"``/``"batched"``),
+    which does not record events: recording is dropped there so the fast
+    path can engage, and the metrics are derived from the schedule instead.
+
+    ``precomputed`` maps solver indices to simulation outcomes computed
+    ahead of this call (the sweep's cross-instance batch plane); captured
+    kernel errors re-raise at the solver's own slot, so the failure order
+    matches the per-instance path exactly.
     """
     reference = omim_makespan(instance) if reference is None else reference
     application = application or instance.name.split("/")[0] or ADHOC_APPLICATION
@@ -141,18 +154,29 @@ def run_solvers_on_instance(
     extra = {} if engine is None else {"engine": engine}
     # The REPRO_ENGINE override must be able to force a whole sweep onto the
     # columnar path, so the recording decision looks at the *resolved* engine:
-    # a "columnar" resolution (explicit or via the environment) drops event
-    # recording, exactly like an explicit engine="columnar"/"auto" request.
-    wants_object = engine in (None, "object") and resolve_engine(engine) != "columnar"
+    # a "columnar"/"batched" resolution (explicit or via the environment)
+    # drops event recording, exactly like an explicit fast-path request.
+    wants_object = engine in (None, "object") and resolve_engine(engine) not in (
+        "columnar",
+        "batched",
+    )
     traced = obs.is_enabled()
     records = []
-    for solver in solvers:
+    for index, solver in enumerate(solvers):
         trace = None
         ran_engine = ""
         stats = None
         runs_on_kernel = bool(getattr(solver, "runs_on_kernel", False))
         record = runs_on_kernel and wants_object
-        if batch_size is not None:
+        outcome_ready = precomputed.get(index) if precomputed is not None else None
+        if outcome_ready is not None:
+            if isinstance(outcome_ready, BaseException):
+                raise outcome_ready
+            result = outcome_ready
+            schedule, trace = result.schedule, result.trace
+            ran_engine = getattr(result, "engine", "")
+            stats = getattr(result, "stats", None)
+        elif batch_size is not None:
             with obs.span("solver.run", solver=solver.name) if traced else obs.NOOP_SPAN:
                 result = simulate_in_batches(
                     instance,
@@ -223,6 +247,92 @@ def run_solvers_on_instance(
     return records
 
 
+def _lane_policy(solver, instance: Instance):
+    """The :class:`FixedOrderPolicy` this solver would run, when lane-able.
+
+    A solver joins a batch lane only when its run is *exactly* a fixed-order
+    kernel simulation: a stock :class:`~repro.heuristics.base.Heuristic`
+    (no ``simulate`` override that could add behaviour), kernel-backed, and
+    its policy is literally ``FixedOrderPolicy`` — dynamic/corrected
+    policies re-rank at runtime and stay per-instance.  Returns ``None``
+    otherwise; the solver then runs on the regular dispatch.
+    """
+    from ..heuristics.base import Heuristic
+
+    if not isinstance(solver, Heuristic):
+        return None
+    if type(solver).simulate is not Heuristic.simulate:
+        return None
+    if not solver.runs_on_kernel:
+        return None
+    policy = solver.kernel_policy(instance)
+    if type(policy) is not FixedOrderPolicy:
+        return None
+    return policy
+
+
+def _batched_precomputed(
+    instances: Sequence[Instance],
+    solvers: Sequence[Solver],
+    *,
+    machine: MachineModel | None,
+    engine: str | None,
+    batch_size: int | None,
+) -> "list[dict[int, object]] | None":
+    """Cross-instance batch plane for a sweep's runnable lane group.
+
+    Collects every (instance, solver) combination that is a plain
+    fixed-order kernel run into one :class:`~repro.simulator.batched.
+    BatchedPlane` and simulates all lanes per step; returns one
+    ``{solver index: outcome}`` dict per instance (``None`` when batching
+    does not engage).  Engages when the engine resolves ``"batched"``, or
+    resolves ``"auto"`` with at least ``BATCH_AUTO_THRESHOLD`` lanes of
+    ``COLUMNAR_AUTO_THRESHOLD``-sized instances — the same regime where
+    the columnar path would have been picked lane by lane, so the records
+    are bit-identical to the per-instance sweep.
+    """
+    if batch_size is not None or not instances or not solvers:
+        return None
+    choice = resolve_engine(engine)
+    if choice not in ("auto", "batched"):
+        return None
+    n_tasks = len(instances[0])
+    if choice == "auto" and (
+        n_tasks < COLUMNAR_AUTO_THRESHOLD
+        or len(instances) * len(solvers) < BATCH_AUTO_THRESHOLD
+    ):
+        return None
+    if any(instance.has_releases for instance in instances[:1]):
+        return None  # arrival-stamped sweeps stream on the object kernel
+    resolved_machine = DEFAULT_MACHINE if machine is None else machine
+    if resolved_machine.link_count != 1 or resolved_machine.cpu_count != 1:
+        return None
+    lanes: list[tuple[int, int]] = []
+    runs = []
+    for fi, instance in enumerate(instances):
+        for si, solver in enumerate(solvers):
+            policy = _lane_policy(solver, instance)
+            if policy is None:
+                continue
+            if batched_unsupported_reason(instance, policy, machine=machine) is not None:
+                continue
+            lanes.append((fi, si))
+            runs.append((instance, policy))
+    if not lanes or (choice == "auto" and len(lanes) < BATCH_AUTO_THRESHOLD):
+        return None
+    started = obs.now() if obs.is_enabled() else 0.0
+    outcomes = simulate_batched_outcomes(runs, machine=machine)
+    obs.REGISTRY.inc("sweep_batch_lanes_total", len(lanes))
+    if obs.is_enabled():
+        obs.record_span(
+            "sweep.batch", started, obs.now(), lanes=len(lanes), tasks=n_tasks
+        )
+    per_instance: list[dict[int, object]] = [{} for _ in instances]
+    for (fi, si), outcome in zip(lanes, outcomes):
+        per_instance[fi][si] = outcome
+    return per_instance
+
+
 def _limit_trace(trace: Trace, task_limit: int | None) -> Trace:
     if task_limit is None or task_limit >= len(trace):
         return trace
@@ -266,11 +376,19 @@ def _sweep_one_trace(
         )
     reference = omim_makespan(base)
     mc = trace.min_capacity_bytes
-    records: list[RunRecord] = []
+    instances = []
     for factor in capacity_factors:
         instance = trace.to_instance(mc * factor)
         if releases is not None:
             instance = instance.with_releases(releases)
+        instances.append(instance)
+    # One batch plane across the whole factor × solver grid: every plain
+    # fixed-order lane advances in lockstep, the rest run per-instance.
+    precomputed = _batched_precomputed(
+        instances, solvers, machine=machine, engine=engine, batch_size=batch_size
+    )
+    records: list[RunRecord] = []
+    for fi, (factor, instance) in enumerate(zip(capacity_factors, instances)):
         records.extend(
             run_solvers_on_instance(
                 instance,
@@ -283,6 +401,7 @@ def _sweep_one_trace(
                 pipelined=pipelined,
                 machine=machine,
                 engine=engine,
+                precomputed=None if precomputed is None else precomputed[fi],
             )
         )
     return records
@@ -308,6 +427,9 @@ def _sweep_one_instance(
                 arrivals, instance.tasks, seed=_arrival_seed(arrival_seed, instance.name)
             )
         )
+    precomputed = _batched_precomputed(
+        [instance], solvers, machine=machine, engine=engine, batch_size=batch_size
+    )
     return run_solvers_on_instance(
         instance,
         solvers,
@@ -316,6 +438,7 @@ def _sweep_one_instance(
         pipelined=pipelined,
         machine=machine,
         engine=engine,
+        precomputed=None if precomputed is None else precomputed[0],
     )
 
 
@@ -332,7 +455,7 @@ class SweepJob:
     form for a trip across a process boundary.
     """
 
-    payload: "Trace | Instance"
+    payload: "Trace | Instance | ShmHandle"
     solver_specs: tuple = ()
     capacity_factors: tuple[float, ...] | None = None
     validate: bool = True
@@ -346,17 +469,28 @@ class SweepJob:
 
     @property
     def label(self) -> str:
+        if isinstance(self.payload, ShmHandle):
+            return self.payload.label
         return self.payload.label if isinstance(self.payload, Trace) else self.payload.name
 
-    def to_wire(self) -> "SweepJob":
+    def to_wire(self, *, plane: "ShmPlane | None" = None) -> "SweepJob":
         """A copy whose solver specs are plain-data wire dicts.
 
         Raises a :class:`TypeError` naming the offending spec when one
         cannot be expressed by registered name + parameters (live solver
         instances, opaque closures) — the process backend calls this before
         any worker starts, so the error surfaces early and clearly.
+
+        With a ``plane`` (the process backend's opt-in shared-memory job
+        plane), the payload itself is replaced by a tiny
+        :class:`~repro.api.shm.ShmHandle`: the columns travel through a
+        shared segment published once per distinct payload, and the wire
+        job carries only the pointer.
         """
-        return replace(self, solver_specs=tuple(spec_to_wire(s) for s in self.solver_specs))
+        specs = tuple(spec_to_wire(s) for s in self.solver_specs)
+        if plane is not None and isinstance(self.payload, (Trace, Instance)):
+            return replace(self, solver_specs=specs, payload=plane.publish(self.payload))
+        return replace(self, solver_specs=specs)
 
     def run(self) -> list[RunRecord]:
         """Execute the job in the current process and return its records."""
@@ -369,9 +503,22 @@ class SweepJob:
         specs = tuple(
             wire_to_spec(spec) if isinstance(spec, dict) else spec for spec in self.solver_specs
         )
-        if isinstance(self.payload, Trace):
+        payload = self.payload
+        if isinstance(payload, ShmHandle):
+            payload, detach = attach_payload(payload)
+            try:
+                return self._run_payload(payload, specs)
+            finally:
+                # Drop the payload reference before detaching, so the
+                # segment's buffer has no exported views left to trip on.
+                del payload
+                detach()
+        return self._run_payload(payload, specs)
+
+    def _run_payload(self, payload: "Trace | Instance", specs: tuple) -> list[RunRecord]:
+        if isinstance(payload, Trace):
             return _sweep_one_trace(
-                self.payload,
+                payload,
                 capacity_factors=self.capacity_factors or (),
                 solver_specs=specs,
                 validate=self.validate,
@@ -384,7 +531,7 @@ class SweepJob:
                 engine=self.engine,
             )
         return _sweep_one_instance(
-            self.payload,
+            payload,
             solver_specs=specs,
             validate=self.validate,
             batch_size=self.batch_size,

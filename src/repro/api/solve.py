@@ -127,9 +127,11 @@ def solve(
         array-native fast path for large instances when the configuration
         supports it, ``"columnar"`` requests it explicitly (still falling
         back to the object kernel when unsupported — e.g. event recording
-        or multi-CPU machines), ``"object"`` forces the event kernel.
-        Kernel-backed solvers only; the chosen engine is recorded on
-        :attr:`SolveResult.engine`.
+        or multi-CPU machines), ``"batched"`` runs the cross-instance
+        batch kernel (a single solve is a one-lane plane, float-identical
+        to columnar; sweeps stack many lanes), ``"object"`` forces the
+        event kernel.  Kernel-backed solvers only; the chosen engine is
+        recorded on :attr:`SolveResult.engine`.
     trace:
         Enable :mod:`repro.obs` tracing for this call and write the spans
         to ``trace`` as a Chrome trace-event file (open it in Perfetto or

@@ -211,15 +211,18 @@ class Study:
     def engine(self, engine: str) -> "Study":
         """Select the execution engine for every kernel run of the sweep.
 
-        ``"auto"`` picks the columnar array-native fast path for large
-        instances when the configuration supports it; ``"columnar"``
-        requests it explicitly (still falling back to the object kernel
-        when unsupported); ``"object"`` forces the event kernel.  The
-        engine each run actually used is recorded in the ``engine`` result
-        column.  Note the trade-off: the default (never calling this)
-        records structured event traces for kernel solvers, while
-        ``"auto"``/``"columnar"`` sweeps skip event recording so the fast
-        path can engage.
+        ``"auto"`` picks an array-native fast path for large instances when
+        the configuration supports it — including the cross-instance
+        *batched* plane once a sweep has enough homogeneous fixed-order
+        lanes; ``"columnar"`` requests the per-instance fast path
+        explicitly (still falling back to the object kernel when
+        unsupported); ``"batched"`` requests the cross-instance plane
+        (lanes that cannot batch fall back per instance); ``"object"``
+        forces the event kernel.  The engine each run actually used is
+        recorded in the ``engine`` result column.  Note the trade-off: the
+        default (never calling this) records structured event traces for
+        kernel solvers, while ``"auto"``/``"columnar"``/``"batched"``
+        sweeps skip event recording so the fast paths can engage.
         """
         from ..simulator.columnar import ENGINE_CHOICES
 
@@ -237,6 +240,7 @@ class Study:
         *,
         backend: "str | ExecutionBackend | None" = None,
         chunk_size: int | None = None,
+        shm: bool | None = None,
     ) -> "Study":
         """Fan trace jobs out over ``n_jobs`` workers of an execution backend.
 
@@ -250,13 +254,36 @@ class Study:
         and the job count); jobs are sharded into chunks of ``chunk_size``
         (auto-sized when omitted) to amortize inter-process traffic.
 
+        ``shm=True`` ships payloads through the zero-copy shared-memory
+        job plane (:mod:`repro.api.shm`) instead of pickling them by value
+        — process backend only, implied when ``backend`` is omitted.  The
+        ``REPRO_SHM`` environment variable is the hands-off equivalent.
+
         Results are byte-identical to the sequential path, including their
-        order, whatever the backend, worker count or chunking.
+        order, whatever the backend, worker count, chunking or shm mode.
         ``parallel(1)`` switches back to sequential execution.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size!r}")
         self._n_jobs = default_jobs() if n_jobs is None else int(n_jobs)
+        if shm is not None:
+            from .backends import ProcessBackend
+
+            if backend is None:
+                backend = ProcessBackend(self._n_jobs, shm=shm)
+            elif isinstance(backend, str) and backend.lower() in (
+                "processes",
+                "process",
+                "multiprocessing",
+            ):
+                backend = ProcessBackend(self._n_jobs, shm=shm)
+            elif isinstance(backend, ProcessBackend):
+                backend = ProcessBackend(backend.n_jobs, shm=shm)
+            else:
+                raise ValueError(
+                    "shm= applies to the process backend only; pass "
+                    "backend='processes' (or a ProcessBackend instance)"
+                )
         self._backend = backend
         self._chunk_size = chunk_size
         return self

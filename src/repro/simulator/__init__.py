@@ -27,6 +27,14 @@ from .arrivals import (
     resolve_arrivals,
 )
 from .batch import DEFAULT_BATCH_SIZE, execute_in_batches, simulate_in_batches
+from .batched import (
+    BATCH_AUTO_THRESHOLD,
+    BatchedPlane,
+    batched_supported,
+    batched_unsupported_reason,
+    simulate_batched,
+    simulate_batched_outcomes,
+)
 from .columnar import (
     COLUMNAR_AUTO_THRESHOLD,
     ColumnarInstance,
@@ -78,10 +86,12 @@ from .resources import (
 from .static_executor import execute_fixed_order, execute_two_orders
 
 __all__ = [
+    "BATCH_AUTO_THRESHOLD",
     "COLUMNAR_AUTO_THRESHOLD",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MACHINE",
     "ArrivalProcess",
+    "BatchedPlane",
     "BurstyArrivals",
     "ColumnarInstance",
     "ColumnarSchedule",
@@ -108,6 +118,8 @@ __all__ = [
     "WindowedCorrectedPolicy",
     "WindowedCriterionPolicy",
     "WindowedPlanPolicy",
+    "batched_supported",
+    "batched_unsupported_reason",
     "columnar_johnson_order",
     "columnar_key_order",
     "columnar_supported",
@@ -124,6 +136,8 @@ __all__ = [
     "resolve_order",
     "run_online",
     "simulate",
+    "simulate_batched",
+    "simulate_batched_outcomes",
     "simulate_columnar",
     "simulate_in_batches",
     "smallest_communication",

@@ -100,7 +100,10 @@ __all__ = [
 ]
 
 #: Recognised values of the ``engine=`` option across the facade.
-ENGINE_CHOICES: tuple[str, ...] = ("auto", "object", "columnar")
+#: ``"batched"`` stacks homogeneous fixed-order sweep lanes into one numpy
+#: step loop (:mod:`repro.simulator.batched`); single runs under it fall
+#: back to the columnar scan, which is float-identical.
+ENGINE_CHOICES: tuple[str, ...] = ("auto", "object", "columnar", "batched")
 
 #: Environment override for ``engine="auto"`` (CI forces ``columnar`` here
 #: to run the whole differential suite through the fast path).
@@ -897,6 +900,13 @@ def _policy_scan(
     pos = np.arange(n, dtype=np.int64)  # task index -> live slot
     k = n
 
+    # Per-event scratch, allocated once: the selection step below runs for
+    # every placement, and fresh temporaries per event dominated its cost.
+    idle_s = np.empty(n)
+    fits_s = np.empty(n, dtype=bool)
+    elig_s = np.empty(n, dtype=bool)
+    eq_s = np.empty(n, dtype=bool)
+
     finite = math.isfinite(capacity)
     slack = max(TOLERANCE, TOLERANCE * capacity) if finite else TOLERANCE
     used = 0.0
@@ -930,7 +940,7 @@ def _policy_scan(
 
         if finite:
             headroom = capacity + slack - used
-            fits = mem_a[:k] <= headroom
+            fits = np.less_equal(mem_a[:k], headroom, out=fits_s[:k])
             if not fits.any():
                 if rel_cursor == len(rel_time):
                     raise DeadlockError(
@@ -956,21 +966,28 @@ def _policy_scan(
                     slot = int(pos[head])
         if slot < 0:
             # minimum_idle_filter, then the criterion key, then the name —
-            # the same expressions, evaluated array-wide.
+            # the same expressions, evaluated array-wide.  (``min`` and the
+            # comparisons are exact, so masked reductions into the reusable
+            # scratch buffers select the identical task.)
             threshold = cpu_avail - time
-            idle = comm_a[:k] - threshold
-            best = float(idle.min() if fits is None else idle[fits].min())
+            idle = np.subtract(comm_a[:k], threshold, out=idle_s[:k])
+            if fits is None:
+                best = float(idle.min())
+            else:
+                best = float(np.min(idle, initial=math.inf, where=fits))
             cutoff = max(best, 0.0) + TOLERANCE
-            eligible = idle <= cutoff
+            eligible = np.less_equal(idle, cutoff, out=elig_s[:k])
             if fits is not None:
                 eligible &= fits
             live_keys = key_a[:k]
-            lowest = np.min(live_keys[eligible])
-            contenders = np.flatnonzero(eligible & (live_keys == lowest))
+            lowest = np.min(live_keys, initial=math.inf, where=eligible)
+            eq = np.equal(live_keys, lowest, out=eq_s[:k])
+            eq &= eligible
+            contenders = np.flatnonzero(eq)
             if len(contenders) == 1:
                 slot = int(contenders[0])
             else:
-                slot = int(contenders[np.argmin(rank_a[:k][contenders])])
+                slot = int(contenders[np.argmin(rank_a[contenders])])
         i = int(idx_a[slot])
         if corrected:
             done[i] = True

@@ -227,7 +227,24 @@ def simulate(
         )
 
         choice = resolve_engine(engine)
-        if choice != "object" and (choice == "columnar" or len(instance) >= COLUMNAR_AUTO_THRESHOLD):
+        if choice == "batched":
+            # A single run is a one-lane batch; unsupported lanes fall
+            # through to the columnar/object dispatch below.
+            from .batched import batched_supported, simulate_batched
+
+            if batched_supported(
+                instance, policy, machine=machine, comp_order=comp_order, record=record
+            ):
+                run = (instance, policy) if comp_order is None else (
+                    instance,
+                    policy,
+                    comp_order,
+                )
+                return simulate_batched([run], machine=machine)[0]
+        if choice != "object" and (
+            choice in ("columnar", "batched")
+            or len(instance) >= COLUMNAR_AUTO_THRESHOLD
+        ):
             if columnar_supported(
                 instance, policy, machine=machine, comp_order=comp_order, record=record
             ):

@@ -1,0 +1,243 @@
+"""The shared-memory job plane: zero-copy payloads, guaranteed unlink.
+
+Round-trips :class:`~repro.traces.Trace` and
+:class:`~repro.core.instance.Instance` payloads through
+``ShmPlane.publish`` → ``attach_payload`` asserting full equality and a
+pre-seeded columnar view, checks the wire handle really is tiny, and —
+the part that matters operationally — proves ``/dev/shm`` ends every
+scenario clean: normal sweeps, failing jobs, streaming chunk release,
+and a process killed by SIGTERM mid-publish (where the resource tracker
+is the last line of defence).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ProcessBackend, Study, SweepJob, SweepJobError
+from repro.api.shm import ShmPlane, attach_payload, shm_enabled
+from repro.core import Instance, Task
+from repro.simulator.columnar import columnar_view
+from repro.traces.generator import synthetic_trace
+from repro.traces.model import Trace
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="POSIX shared memory is not mounted at /dev/shm"
+)
+
+
+def shm_entries() -> set[str]:
+    return {entry.name for entry in SHM_DIR.iterdir()}
+
+
+@pytest.fixture()
+def clean_shm():
+    """Snapshot ``/dev/shm`` and assert the test leaves no new entries."""
+    before = shm_entries()
+    yield
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+# --------------------------------------------------------------------------- #
+# Round-trips
+# --------------------------------------------------------------------------- #
+def test_trace_round_trips_and_handle_is_tiny(clean_shm):
+    trace = synthetic_trace("balanced", tasks=500, seed=4)
+    with ShmPlane() as plane:
+        handle = plane.publish(trace)
+        assert (SHM_DIR / handle.name).exists()
+        # The whole point: the wire carries a pointer, not the payload.
+        assert len(pickle.dumps(handle)) < 512
+        assert len(pickle.dumps(handle)) * 10 < len(pickle.dumps(trace))
+
+        rebuilt, detach = attach_payload(handle)
+        assert rebuilt.label == trace.label
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.min_capacity_bytes == trace.min_capacity_bytes
+        assert rebuilt.tasks == trace.tasks
+
+        capacity = trace.min_capacity_bytes * 1.5
+        instance = rebuilt.to_instance(capacity)
+        reference = trace.to_instance(capacity)
+        assert instance == reference
+
+        # The columnar view is pre-seeded with arrays aliasing the shared
+        # segment — the engines skip the per-instance pack entirely.
+        view = columnar_view(instance)
+        assert not view.memory.flags.writeable
+        np.testing.assert_array_equal(view.memory, columnar_view(reference).memory)
+        np.testing.assert_array_equal(view.comm, columnar_view(reference).comm)
+
+        del view, instance, rebuilt, reference
+        detach()
+
+
+def test_instance_round_trips(clean_shm):
+    tasks = [
+        Task(f"t{i}", comm=float(i + 1), comp=float(2 * i + 1), memory=float(i + 2))
+        for i in range(32)
+    ]
+    original = Instance(tasks, capacity=64.0, name="shm/instance")
+    with ShmPlane() as plane:
+        handle = plane.publish(original)
+        assert handle.kind == "instance"
+        rebuilt, detach = attach_payload(handle)
+        assert rebuilt == original
+        assert rebuilt.capacity == original.capacity
+        np.testing.assert_array_equal(
+            columnar_view(rebuilt).memory, columnar_view(original).memory
+        )
+        del rebuilt
+        detach()
+
+
+def test_publish_dedupes_and_refcounts(clean_shm):
+    trace = synthetic_trace("balanced", tasks=30, seed=1)
+    plane = ShmPlane()
+    try:
+        first = plane.publish(trace)
+        second = plane.publish(trace)
+        assert first == second  # one segment per distinct payload
+        assert (SHM_DIR / first.name).exists()
+        plane.release(first)
+        assert (SHM_DIR / first.name).exists()  # one reference still out
+        plane.release(second)
+        assert not (SHM_DIR / first.name).exists()
+    finally:
+        plane.close()
+
+
+def test_shm_enabled_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    assert not shm_enabled()
+    monkeypatch.setenv("REPRO_SHM", "1")
+    assert shm_enabled()
+    monkeypatch.setenv("REPRO_SHM", "0")
+    assert not shm_enabled()
+    assert shm_enabled(True)  # the explicit flag wins over the environment
+    monkeypatch.setenv("REPRO_SHM", "1")
+    assert not shm_enabled(False)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep integration
+# --------------------------------------------------------------------------- #
+def sweep_study(shm: bool | None = None) -> Study:
+    trace = synthetic_trace("balanced", tasks=40, seed=9)
+    study = Study().traces(trace).capacities(1.0, 1.5).solvers("OS", "LCMR")
+    if shm is None:
+        return study
+    return study.parallel(2, backend="processes", shm=shm)
+
+
+def test_shm_sweep_is_byte_identical_to_serial(clean_shm):
+    reference = sweep_study().run().to_json()
+    assert sweep_study(shm=True).run().to_json() == reference
+    assert sweep_study(shm=False).run().to_json() == reference
+
+
+def test_failing_jobs_do_not_leak_segments(clean_shm):
+    # capacity factor 0.5 makes every lane infeasible: the jobs fail inside
+    # the workers, the backend re-raises, and the plane must still unlink.
+    trace = synthetic_trace("balanced", tasks=30, seed=2)
+    study = (
+        Study()
+        .traces(trace)
+        .capacities(0.5)
+        .solvers("OS")
+        .parallel(2, backend="processes", shm=True)
+    )
+    with pytest.raises(SweepJobError):
+        study.run()
+
+
+def test_streaming_chunks_release_segments_and_match_run(clean_shm):
+    traces = [synthetic_trace("balanced", tasks=25, seed=s) for s in (1, 2, 3, 4)]
+    jobs = [
+        SweepJob(payload=trace, solver_specs=("OS",), capacity_factors=(1.0, 1.5))
+        for trace in traces
+    ]
+    backend = ProcessBackend(2, shm=True)
+    reference = backend.run(list(jobs))
+    streamed = backend.stream_chunks(
+        iter((index, [job]) for index, job in enumerate(jobs))
+    )
+    by_tag = dict(streamed)
+    flat = [records for index in range(len(jobs)) for records in by_tag[index]]
+    # repr-compare: RunRecord carries NaN fields (nan != nan), so dataclass
+    # equality would reject even byte-identical records.
+    assert [list(map(repr, records)) for records in flat] == [
+        list(map(repr, records)) for records in reference
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Early pickle probe (one per distinct payload type)
+# --------------------------------------------------------------------------- #
+class _UnpicklableTrace(Trace):
+    """A distinct payload type whose metadata cannot be pickled."""
+
+
+def test_probe_catches_unpicklable_payload_types_beyond_the_first_job():
+    good = synthetic_trace("balanced", tasks=10, seed=1)
+    evil = _UnpicklableTrace(
+        application="evil",
+        process=1,
+        tasks=list(good.tasks),
+        metadata={"closure": lambda: None},  # type: ignore[dict-item]
+    )
+    jobs = [
+        SweepJob(payload=good, solver_specs=("OS",), capacity_factors=(1.0,)),
+        SweepJob(payload=evil, solver_specs=("OS",), capacity_factors=(1.0,)),
+    ]
+    with pytest.raises(TypeError, match="evil/p001.*cannot be pickled"):
+        ProcessBackend(2).run(jobs)
+
+
+# --------------------------------------------------------------------------- #
+# Crash safety: the resource tracker sweeps a SIGTERM'd owner
+# --------------------------------------------------------------------------- #
+_SIGTERM_SCRIPT = """
+import os, signal, sys
+from repro.api.shm import ShmPlane
+from repro.traces.generator import synthetic_trace
+
+plane = ShmPlane()
+handle = plane.publish(synthetic_trace("balanced", tasks=50, seed=3))
+print(handle.name, flush=True)
+os.kill(os.getpid(), signal.SIGTERM)  # no atexit, no finally — hard death
+"""
+
+
+def test_sigterm_mid_sweep_leaves_no_segments():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, "-c", _SIGTERM_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert process.returncode == -signal.SIGTERM, process.stderr
+    name = process.stdout.strip()
+    assert name
+    # The owner died without running any cleanup; its resource tracker is
+    # the backstop and unlinks the registered segment as it shuts down.
+    deadline = time.monotonic() + 30.0
+    while (SHM_DIR / name).exists():
+        assert time.monotonic() < deadline, f"segment {name} still in /dev/shm"
+        time.sleep(0.1)

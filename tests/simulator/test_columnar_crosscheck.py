@@ -14,6 +14,7 @@ same exception class with the same message.
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -247,7 +248,13 @@ def test_large_instances_cross_the_dispatch_threshold_identically():
             continue
         auto = simulate(instance, policy)
         obj = simulate(instance, policy, engine="object")
-        assert auto.engine == "columnar"
+        forced = os.environ.get("REPRO_ENGINE", "auto") or "auto"
+        if forced in ("auto", "columnar"):
+            assert auto.engine == "columnar"
+        else:
+            # A forced engine (the CI oracle steps) takes the dispatch where
+            # it can; policies it cannot batch still fall back to columnar.
+            assert auto.engine in (forced, "columnar")
         assert auto.schedule == obj.schedule
 
 
